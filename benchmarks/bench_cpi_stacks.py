@@ -1,0 +1,76 @@
+"""CPI stacks: where the cycles go, with and without slices.
+
+Cycle accounting by main-thread ROB-head state (the standard crude
+attribution): *busy* (full commit width), *drain* (partial commit),
+*frontend* (empty ROB or head still in the front end — mispredict
+refill), *memory* (head waits on a load), *execute* (head waits on
+computation). The slice mechanism's two benefits appear directly:
+branch-side benchmarks move *frontend* cycles into *busy*; load-side
+benchmarks move *memory* cycles.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import default_scale
+from repro.uarch.config import FOUR_WIDE
+from repro.uarch.core import Core
+from repro.workloads import registry
+
+BENCHMARKS = ("vpr", "mcf", "gzip", "eon")
+KINDS = ("busy", "drain", "execute", "memory", "frontend")
+
+
+def _accounted(workload, slices):
+    return Core(
+        workload.program,
+        FOUR_WIDE,
+        slices=slices,
+        memory_image=workload.memory_image,
+        region=workload.region,
+        cycle_accounting=True,
+    ).run()
+
+
+def _run():
+    scale = default_scale()
+    results = {}
+    for name in BENCHMARKS:
+        workload = registry.build(name, scale)
+        results[name] = (
+            _accounted(workload, ()),
+            _accounted(workload, workload.slices),
+        )
+    return results
+
+
+def _fractions(stats):
+    total = sum(stats.cycle_breakdown.values()) or 1
+    return {k: stats.cycle_breakdown.get(k, 0) / total for k in KINDS}
+
+
+def bench_cpi_stacks(benchmark, publish):
+    results = run_once(benchmark, _run)
+    header = f"{'program':<9s}{'cfg':<8s}" + "".join(
+        f"{k:>10s}" for k in KINDS
+    )
+    lines = ["CPI stacks (fraction of cycles)", "", header, "-" * len(header)]
+    for name, (base, assisted) in results.items():
+        for tag, stats in (("base", base), ("slices", assisted)):
+            fracs = _fractions(stats)
+            lines.append(
+                f"{name:<9s}{tag:<8s}"
+                + "".join(f"{fracs[k]:>10.0%}" for k in KINDS)
+            )
+    publish("cpi_stacks", "\n".join(lines))
+
+    # Branch-side benchmarks cut frontend (refill) cycles...
+    for name in ("vpr", "eon"):
+        base, assisted = results[name]
+        assert _fractions(assisted)["frontend"] < _fractions(base)["frontend"]
+    # ...the load-side one cuts memory cycles...
+    base, assisted = results["mcf"]
+    assert _fractions(assisted)["memory"] < _fractions(base)["memory"]
+    # ...and useful work (busy) grows everywhere slices help.
+    for name in BENCHMARKS:
+        base, assisted = results[name]
+        assert _fractions(assisted)["busy"] >= _fractions(base)["busy"] - 0.02

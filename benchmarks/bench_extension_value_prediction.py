@@ -1,0 +1,72 @@
+"""Extension: value-prediction correlation (the paper's conclusion).
+
+"The final contribution of this paper is a prediction correlation
+mechanism ... This technique is accurate and can potentially be used to
+correlate other types of predictions (e.g., value predictions)."
+
+This bench implements that extension on mcf: the chain-walking slice's
+loaded pointers/potentials are routed to the correlator as *value
+predictions*; a bound, correct prediction lets the load's consumers
+proceed at L1 latency, and a wrong one squashes like a mispredicted
+branch.
+
+The measured outcome doubles as an explanation of why the paper only
+hinted at this: a slice-computed value arrives *with* the data (the
+slice had to perform the load to know the pointer), so on a pointer
+chase value correlation adds almost nothing beyond the prefetch the
+same load already provides. The mechanism, however, is exercised end
+to end: hundreds of bound value predictions at >90% accuracy, with
+mis-speculation recovery on the wrong ones.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import default_scale
+from repro.harness.runner import run_baseline, run_with_slices
+from repro.workloads import mcf
+
+
+def _run():
+    workload = mcf.build(scale=default_scale())
+    base = run_baseline(workload)
+    pred_only = run_with_slices(workload, slices=(workload.slices[0],))
+    value_pred = run_with_slices(
+        workload, slices=(mcf.value_prediction_slice(workload),)
+    )
+    return base, pred_only, value_pred
+
+
+def bench_extension_value_prediction(benchmark, publish):
+    base, pred_only, value_pred = run_once(benchmark, _run)
+    c = value_pred.correlator
+    judged = c.correct_value_overrides + c.incorrect_value_overrides
+    accuracy = c.correct_value_overrides / judged if judged else 0.0
+    text = "\n".join(
+        [
+            "Extension: value-prediction correlation (mcf)",
+            "",
+            f"direction predictions only: speedup "
+            f"{pred_only.ipc / base.ipc - 1:+.1%}",
+            f"plus value predictions:     speedup "
+            f"{value_pred.ipc / base.ipc - 1:+.1%}",
+            f"value predictions bound: {c.value_overrides} "
+            f"({accuracy:.0%} correct, "
+            f"{value_pred.value_mispredict_squashes} recovery squashes)",
+            "",
+            "A chasing slice must load a pointer to predict it, so its",
+            "value predictions arrive with the data: on pointer chases",
+            "the extension adds little beyond prefetching — consistent",
+            "with the paper leaving value correlation as future work.",
+        ]
+    )
+    publish("extension_value_prediction", text)
+
+    # The mechanism is exercised end to end...
+    assert c.value_overrides > 100
+    assert judged > 50
+    assert accuracy > 0.90
+    # ...recovery fires on the wrong ones...
+    assert value_pred.value_mispredict_squashes > 0
+    # ...and it does not regress the direction-only configuration.
+    assert value_pred.ipc > pred_only.ipc * 0.95
+    assert value_pred.ipc > base.ipc * 1.05

@@ -1,0 +1,29 @@
+"""Figure 11 on the 8-wide machine.
+
+The paper presents Figure 11 for the 4-wide machine and notes "the
+8-wide results, omitted for space, are similar". This bench runs the
+same experiment at 8 wide and checks that similarity: the same
+benchmarks win, and every slice-assisted run stays within the limit.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_figure11
+from repro.uarch.config import EIGHT_WIDE
+
+
+def bench_figure11_8wide(benchmark, publish):
+    results, text = run_once(benchmark, experiment_figure11, config=EIGHT_WIDE)
+    publish("figure11_speedup_8wide", text)
+
+    by_name = {r.workload.name: r for r in results}
+    # Same winners as the 4-wide machine...
+    assert by_name["vpr"].slice_speedup > 0.15
+    assert by_name["bzip2"].slice_speedup > 0.10
+    assert by_name["mcf"].slice_speedup > 0.08
+    # ...same failures...
+    for name in ("gcc", "parser", "vortex"):
+        assert by_name[name].slice_speedup < 0.08, name
+    # ...and no material regressions.
+    for r in results:
+        assert r.slice_speedup > -0.05, r.workload.name

@@ -1,0 +1,42 @@
+"""Figure 11: speedup of slice-assisted execution vs the constrained
+limit study, on the 4-wide machine.
+
+Shape targets (paper Section 6): speedups between ~1% and ~43%; the
+failures fail (gcc, parser, vortex, and crafty show little or no
+speedup, Section 6.2); slice speedups are on the order of half the
+limit-study speedups; slice-generated predictions are >99% accurate.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_figure11
+
+
+def bench_figure11_speedup(benchmark, publish):
+    results, text = run_once(benchmark, experiment_figure11)
+    publish("figure11_speedup", text)
+
+    by_name = {r.workload.name: r for r in results}
+
+    # The headliners get large speedups...
+    assert by_name["vpr"].slice_speedup > 0.20
+    assert by_name["bzip2"].slice_speedup > 0.15
+    assert by_name["mcf"].slice_speedup > 0.10
+    # ...the documented failures do not...
+    for name in ("gcc", "parser", "vortex", "crafty"):
+        assert by_name[name].slice_speedup < 0.08, name
+    # ...and nothing regresses materially.
+    for r in results:
+        assert r.slice_speedup > -0.05, r.workload.name
+        # The limit study bounds the slices.
+        assert r.limit_speedup >= r.slice_speedup - 0.03, r.workload.name
+
+    # Prediction accuracy when slices override the predictor (>99%).
+    total_correct = sum(
+        r.assisted.correlator.correct_overrides for r in results
+    )
+    total_judged = total_correct + sum(
+        r.assisted.correlator.incorrect_overrides for r in results
+    )
+    assert total_judged > 0
+    assert total_correct / total_judged > 0.97

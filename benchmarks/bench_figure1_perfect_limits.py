@@ -1,0 +1,26 @@
+"""Figure 1: IPC of baseline vs problem-instructions-perfect vs
+all-perfect, on the 4-wide and 8-wide machines.
+
+Shape targets (paper Figure 1): perfecting just the classified problem
+instructions recovers most of the baseline-to-all-perfect gap, and the
+gaps are larger on the 8-wide machine.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_figure1
+
+
+def bench_figure1_perfect_limits(benchmark, publish):
+    results, text = run_once(benchmark, experiment_figure1)
+    publish("figure1_perfect_limits", text)
+
+    recovered = []
+    for r in results:
+        assert r.problem_perfect.ipc >= r.base.ipc * 0.98
+        assert r.all_perfect.ipc >= r.problem_perfect.ipc * 0.95
+        gap = r.all_perfect.ipc - r.base.ipc
+        if gap > 0.1:
+            recovered.append((r.problem_perfect.ipc - r.base.ipc) / gap)
+    # Problem instructions account for much of the gap, on average.
+    assert sum(recovered) / len(recovered) > 0.5

@@ -1,0 +1,35 @@
+"""Simulator self-benchmark: simulated instructions per wall second.
+
+Not a paper experiment — this tracks the simulator's own performance so
+model changes that slow it down are visible. pytest-benchmark runs the
+measurement natively (multiple rounds, statistics).
+"""
+
+from repro.uarch.core import Core
+from repro.uarch.config import FOUR_WIDE
+from repro.workloads import registry
+
+
+def bench_simulator_throughput(benchmark, publish):
+    workload = registry.build("vpr", scale=0.05)
+
+    def simulate():
+        return Core(
+            workload.program,
+            FOUR_WIDE,
+            slices=workload.slices,
+            memory_image=workload.memory_image,
+            region=workload.region,
+        ).run()
+
+    stats = benchmark(simulate)
+    rate = stats.committed / benchmark.stats.stats.mean
+    publish(
+        "simulator_throughput",
+        "Simulator throughput (slice-assisted vpr, scale 0.05)\n\n"
+        f"{stats.committed} committed instructions per run; "
+        f"~{rate:,.0f} simulated instructions/second",
+    )
+    assert stats.committed > 5_000
+    # Guard against order-of-magnitude regressions in simulator speed.
+    assert rate > 3_000

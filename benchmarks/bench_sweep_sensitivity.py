@@ -1,0 +1,67 @@
+"""Sensitivity sweeps: how the slice benefit scales with the machine.
+
+Quantifies three of the paper's qualitative claims:
+
+* §6.3: "Programs and processors with low base IPCs (relative to peak
+  IPC) are more likely to benefit from slices because the opportunity
+  cost of slice execution is lower" — swept here via memory latency
+  (mcf: higher latency, lower base IPC, larger prefetch win).
+* Figure 1's caveat that the window bounds achievable ILP — swept via
+  window size.
+* Figure 10's provisioning of 8 prediction slots per branch — swept
+  via slot count (loop slices starve below the loop's typical depth).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import default_scale
+from repro.harness.sweep import (
+    render_sweep,
+    sweep_memory_latency,
+    sweep_prediction_slots,
+    sweep_window_size,
+)
+from repro.workloads import registry
+
+
+def _run():
+    scale = default_scale()
+    mcf = registry.build("mcf", scale)
+    vpr = registry.build("vpr", scale)
+    return {
+        "memory": sweep_memory_latency(mcf, (50, 100, 200)),
+        "window": sweep_window_size(vpr, (32, 128, 256)),
+        "slots": sweep_prediction_slots(vpr, (2, 8)),
+    }
+
+
+def bench_sweep_sensitivity(benchmark, publish):
+    sweeps = run_once(benchmark, _run)
+    text = "\n\n".join(
+        [
+            render_sweep(
+                "Sweep: memory latency (mcf)", "latency", sweeps["memory"]
+            ),
+            render_sweep(
+                "Sweep: window size (vpr)", "entries", sweeps["window"]
+            ),
+            render_sweep(
+                "Sweep: prediction slots/branch (vpr)", "slots",
+                sweeps["slots"],
+            ),
+        ]
+    )
+    publish("sweep_sensitivity", text)
+
+    memory = sweeps["memory"]
+    # Longer memory latency -> lower base IPC -> bigger slice win.
+    assert memory[-1].base.ipc < memory[0].base.ipc
+    assert memory[-1].speedup > memory[0].speedup
+
+    window = sweeps["window"]
+    # Larger windows raise the baseline by tolerating latency natively.
+    assert window[-1].base.ipc > window[0].base.ipc
+
+    slots = sweeps["slots"]
+    # Starved correlator (2 slots) must not beat the provisioned one.
+    assert slots[-1].speedup >= slots[0].speedup - 0.02

@@ -1,0 +1,26 @@
+"""Table 1: the simulated machine parameters (both widths).
+
+This bench prints the configuration and sanity-checks the presets
+against the paper's numbers; the "benchmark" timing it reports is the
+cost of constructing and checking the configurations.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_table1
+from repro.uarch.config import EIGHT_WIDE, FOUR_WIDE
+
+
+def bench_table1_machine(benchmark, publish):
+    configs, text = run_once(benchmark, experiment_table1)
+    publish("table1_machine", text)
+
+    assert FOUR_WIDE.window_entries == 128
+    assert FOUR_WIDE.load_store_ports == 2
+    assert FOUR_WIDE.pipeline_depth == 14
+    assert EIGHT_WIDE.window_entries == 256
+    assert EIGHT_WIDE.load_store_ports == 4
+    assert FOUR_WIDE.l1d.size_bytes == 64 * 1024
+    assert FOUR_WIDE.l2.size_bytes == 2 * 1024 * 1024
+    assert FOUR_WIDE.memory_latency == 100
+    assert configs == [FOUR_WIDE, EIGHT_WIDE]

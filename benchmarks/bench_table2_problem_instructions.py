@@ -1,0 +1,26 @@
+"""Table 2: coverage of performance degrading events by problem
+instructions, for all twelve benchmark analogs.
+
+Shape targets (paper Table 2): a handful of static instructions cover a
+large majority of each category's PDEs while being a modest fraction of
+dynamic instructions.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_table2
+
+
+def bench_table2_problem_instructions(benchmark, publish):
+    rows, text = run_once(benchmark, experiment_table2)
+    publish("table2_problem_instructions", text)
+
+    # The paper's headline: PDEs concentrate in few static instructions.
+    branchy = [cov for _n, cov in rows if cov.branch_problem_count]
+    assert branchy, "no benchmark had problem branches"
+    high_coverage = [c for c in branchy if c.branch_misp_coverage > 0.5]
+    assert len(high_coverage) >= len(branchy) * 2 // 3
+    # Problem instructions are a small set of static instructions.
+    for _name, cov in rows:
+        assert cov.branch_problem_count <= 20
+        assert cov.mem_problem_count <= 20

@@ -1,0 +1,23 @@
+"""Table 3: characterization of the hand-constructed slices.
+
+Shape targets (paper Table 3): slices are a handful of static
+instructions, need few live-in registers ("rarely more than 4"), and
+generate a prefetch or prediction every few instructions.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_table3
+
+
+def bench_table3_slices(benchmark, publish):
+    rows, text = run_once(benchmark, experiment_table3)
+    publish("table3_slices", text)
+
+    assert len(rows) >= 9  # the paper characterizes 9 slices
+    for row in rows:
+        assert row.static_size <= 32
+        assert row.live_ins <= 4
+        covered = row.prefetches + row.predictions
+        if covered:
+            assert row.static_size <= 4 * covered + 12

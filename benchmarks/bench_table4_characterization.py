@@ -1,0 +1,34 @@
+"""Table 4: detailed characterization of execution with and without
+speculative slices, for the benchmarks with non-trivial speedups.
+
+Shape targets (paper Table 4): slice fetch overhead can reach ~10-15%
+of fetched instructions yet the *total* number of fetched instructions
+goes down (fewer wrong-path fetches); misprediction and miss reductions
+land in the paper's ranges.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import experiment_table4
+
+
+def bench_table4_characterization(benchmark, publish):
+    rows, text = run_once(benchmark, experiment_table4)
+    publish("table4_characterization", text)
+
+    by_name = {row.program: row for row in rows}
+
+    for row in rows:
+        assert row.speedup > 0.0, row.program
+        assert row.predictions_generated > 0 or row.prefetches_performed > 0
+        # Slices are forked and some forks are wrong-path squashed.
+        assert row.fork_points > 0
+    # Branch-driven benchmarks remove a large share of mispredictions.
+    assert by_name["vpr"].misprediction_reduction > 0.5
+    assert by_name["gzip"].misprediction_reduction > 0.3
+    # mcf's benefit is loads, not branches (Section 6.1).
+    assert by_name["mcf"].miss_reduction > 0.4
+    assert by_name["mcf"].misprediction_reduction < 0.3
+    # Most benchmarks reduce total fetch despite slice overhead.
+    reduced = sum(1 for row in rows if row.total_fetch_change < 0.05)
+    assert reduced >= len(rows) // 2

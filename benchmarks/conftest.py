@@ -1,0 +1,34 @@
+"""Shared helpers for the paper-reproduction benches.
+
+Each bench regenerates one of the paper's tables or figures, prints it
+to the terminal (bypassing capture), and archives it under
+``benchmarks/results/``. Workload scale defaults to
+:func:`repro.harness.experiments.default_scale` and can be overridden
+with the ``REPRO_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def publish(capsys):
+    """Return a callable that prints and archives a rendered report."""
+
+    def _publish(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{'=' * 78}\n{text}\n{'=' * 78}")
+
+    return _publish
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run *func* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

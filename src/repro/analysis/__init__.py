@@ -1,0 +1,29 @@
+"""Analysis: problem-instruction profiling and run characterization."""
+
+from repro.analysis.characterize import (
+    RunCharacterization,
+    SliceCharacterization,
+    characterize_run,
+    characterize_slice,
+)
+from repro.analysis.mix import InstructionMix, instruction_mix, render_mix_table
+from repro.analysis.problem import (
+    ClassifierConfig,
+    CoverageSummary,
+    ProblemClassification,
+    classify_problem_instructions,
+)
+
+__all__ = [
+    "ClassifierConfig",
+    "InstructionMix",
+    "instruction_mix",
+    "render_mix_table",
+    "CoverageSummary",
+    "ProblemClassification",
+    "RunCharacterization",
+    "SliceCharacterization",
+    "characterize_run",
+    "characterize_slice",
+    "classify_problem_instructions",
+]

@@ -1,0 +1,175 @@
+"""Slice and run characterization (Tables 3 and 4).
+
+:func:`characterize_slice` reproduces one Table 3 row from a
+:class:`~repro.slices.spec.SliceSpec`; :func:`characterize_run`
+reproduces one Table 4 column from a baseline/slice-assisted pair of
+:class:`~repro.uarch.stats.RunStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.slices.spec import KillKind, SliceSpec
+from repro.uarch.stats import RunStats
+
+
+@dataclass
+class SliceCharacterization:
+    """One Table 3 row."""
+
+    program: str
+    slice_name: str
+    static_size: int
+    loop_size: int | None
+    live_ins: int
+    prefetches: int
+    prefetches_in_loop: int
+    predictions: int
+    predictions_in_loop: int
+    kills: int
+    kills_in_loop: int
+    max_iterations: int | None
+
+
+def _loop_region(spec: SliceSpec) -> tuple[int, int] | None:
+    """PC range [start, end] of the slice's loop, if it has one.
+
+    The loop body spans from the back-edge branch's target to the
+    back-edge itself (the slice loops are natural single-back-edge
+    loops).
+    """
+    if spec.loop_back_pc is None:
+        return None
+    back_edge = spec.code.at(spec.loop_back_pc)
+    if back_edge is None or back_edge.target is None:
+        return None
+    return back_edge.target, spec.loop_back_pc
+
+
+def characterize_slice(program: str, spec: SliceSpec) -> SliceCharacterization:
+    """Build the Table 3 row for *spec*."""
+    region = _loop_region(spec)
+
+    def in_loop(pc: int) -> bool:
+        return region is not None and region[0] <= pc <= region[1]
+
+    loop_size = None
+    if region is not None:
+        loop_size = sum(
+            1 for inst in spec.code.instructions if in_loop(inst.pc)
+        )
+    return SliceCharacterization(
+        program=program,
+        slice_name=spec.name,
+        static_size=spec.static_size,
+        loop_size=loop_size,
+        live_ins=len(spec.live_in_regs),
+        prefetches=len(spec.prefetch_for),
+        prefetches_in_loop=sum(1 for pc in spec.prefetch_for if in_loop(pc)),
+        predictions=len(spec.pgis),
+        predictions_in_loop=sum(
+            1 for pgi in spec.pgis if in_loop(pgi.slice_pc)
+        ),
+        kills=len(spec.kills),
+        kills_in_loop=sum(
+            1
+            for kill in spec.kills
+            if kill.kind is KillKind.LOOP
+        ),
+        max_iterations=spec.max_iterations,
+    )
+
+
+@dataclass
+class RunCharacterization:
+    """One Table 4 column: base vs slice-assisted execution."""
+
+    program: str
+    # Base.
+    base_fetched: int
+    base_mispredictions: int
+    base_load_misses: int
+    base_ipc: float
+    # Base + slices.
+    slice_fetched_main: int
+    slice_fetched_helper: int
+    slice_retired_helper: int
+    fork_points: int
+    forks_squashed: int
+    forks_ignored: int
+    problem_branches_covered: int
+    predictions_generated: int
+    mispredictions_remaining: int
+    incorrect_predictions: int
+    late_fraction: float
+    prefetches_performed: int
+    load_misses_remaining: int
+    slice_ipc: float
+
+    @property
+    def speedup(self) -> float:
+        return self.slice_ipc / self.base_ipc - 1.0 if self.base_ipc else 0.0
+
+    @property
+    def mispredictions_removed(self) -> int:
+        return self.base_mispredictions - self.mispredictions_remaining
+
+    @property
+    def misprediction_reduction(self) -> float:
+        if not self.base_mispredictions:
+            return 0.0
+        return self.mispredictions_removed / self.base_mispredictions
+
+    @property
+    def miss_reduction(self) -> float:
+        if not self.base_load_misses:
+            return 0.0
+        return (
+            self.base_load_misses - self.load_misses_remaining
+        ) / self.base_load_misses
+
+    @property
+    def total_fetch_change(self) -> float:
+        """Relative change in total fetched instructions (negative when
+        slices reduce wrong-path work enough to pay for themselves)."""
+        if not self.base_fetched:
+            return 0.0
+        total = self.slice_fetched_main + self.slice_fetched_helper
+        return total / self.base_fetched - 1.0
+
+
+def characterize_run(
+    workload_name: str,
+    base: RunStats,
+    assisted: RunStats,
+    covered_branches: int,
+) -> RunCharacterization:
+    """Build the Table 4 column from a baseline/assisted stats pair."""
+    correlator = assisted.correlator
+    generated = correlator.predictions_generated
+    consumed = correlator.overrides + correlator.late_predictions
+    late_fraction = (
+        correlator.late_predictions / consumed if consumed else 0.0
+    )
+    return RunCharacterization(
+        program=workload_name,
+        base_fetched=base.main_fetched,
+        base_mispredictions=base.branch_mispredictions,
+        base_load_misses=base.load_misses,
+        base_ipc=base.ipc,
+        slice_fetched_main=assisted.main_fetched,
+        slice_fetched_helper=assisted.slice_fetched,
+        slice_retired_helper=assisted.slice_retired,
+        fork_points=assisted.fork_points_fetched,
+        forks_squashed=assisted.forks_squashed,
+        forks_ignored=assisted.forks_ignored,
+        problem_branches_covered=covered_branches,
+        predictions_generated=generated,
+        mispredictions_remaining=assisted.branch_mispredictions,
+        incorrect_predictions=correlator.incorrect_overrides,
+        late_fraction=late_fraction,
+        prefetches_performed=assisted.hierarchy.get("slice_prefetches", 0),
+        load_misses_remaining=assisted.load_misses,
+        slice_ipc=assisted.ipc,
+    )

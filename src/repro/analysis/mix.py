@@ -1,0 +1,108 @@
+"""Workload characterization: instruction mix and working sets.
+
+Utility analyses used by the documentation and tests to check that each
+SPEC2000int analog has a sensible profile (e.g. that mcf is
+memory-dominated and eon compute-dominated), the way a real benchmark
+suite documents itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.exceptions import Fault
+from repro.arch.interpreter import run_functional
+from repro.arch.memory import Memory
+from repro.arch.state import ThreadState
+from repro.isa.opcodes import OpClass
+from repro.workloads.base import Workload
+
+
+@dataclass
+class InstructionMix:
+    """Dynamic instruction-mix of one workload run."""
+
+    total: int
+    loads: int
+    stores: int
+    branches: int
+    simple_alu: int
+    complex_alu: int
+    #: Distinct 64B lines touched by data accesses.
+    data_lines_touched: int
+    #: Distinct static PCs executed.
+    static_footprint: int
+
+    @property
+    def load_fraction(self) -> float:
+        return self.loads / self.total if self.total else 0.0
+
+    @property
+    def store_fraction(self) -> float:
+        return self.stores / self.total if self.total else 0.0
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.branches / self.total if self.total else 0.0
+
+    @property
+    def data_working_set_bytes(self) -> int:
+        return self.data_lines_touched * 64
+
+
+def instruction_mix(
+    workload: Workload, max_instructions: int = 2_000_000
+) -> InstructionMix:
+    """Run *workload* functionally and collect its dynamic mix."""
+    state = ThreadState(Memory(workload.memory_image), workload.program.entry_pc)
+    total = loads = stores = branches = simple = complex_ops = 0
+    lines: set[int] = set()
+    pcs: set[int] = set()
+    for inst, result in run_functional(
+        workload.program, state, max_instructions
+    ):
+        total += 1
+        pcs.add(inst.pc)
+        if inst.is_load:
+            loads += 1
+        elif inst.is_store:
+            stores += 1
+        elif inst.is_branch:
+            branches += 1
+        elif inst.op_class is OpClass.COMPLEX:
+            complex_ops += 1
+        else:
+            simple += 1
+        if result.addr is not None:
+            lines.add(result.addr >> 6)
+        if result.fault is Fault.HALT:
+            break
+    return InstructionMix(
+        total=total,
+        loads=loads,
+        stores=stores,
+        branches=branches,
+        simple_alu=simple,
+        complex_alu=complex_ops,
+        data_lines_touched=len(lines),
+        static_footprint=len(pcs),
+    )
+
+
+def render_mix_table(rows: list[tuple[str, InstructionMix]]) -> str:
+    """Fixed-width instruction-mix table for all workloads."""
+    lines = [
+        "Workload characterization (dynamic mix, functional run)",
+        "",
+        f"{'program':<9s}{'dyn insts':>10s}{'ld%':>6s}{'st%':>6s}"
+        f"{'br%':>6s}{'data WS':>10s}{'static':>8s}",
+        "-" * 55,
+    ]
+    for name, mix in rows:
+        lines.append(
+            f"{name:<9s}{mix.total:>10d}{mix.load_fraction:>6.0%}"
+            f"{mix.store_fraction:>6.0%}{mix.branch_fraction:>6.0%}"
+            f"{mix.data_working_set_bytes // 1024:>8d}KB"
+            f"{mix.static_footprint:>8d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Problem-instruction classification (Section 2.2, Table 2).
+
+The paper's rule: a static instruction is a *problem instruction* if it
+accounts for a non-trivial number of performance degrading events and
+at least 10% of its executions cause a PDE. The classifier below
+applies the same rule to per-static-PC counters collected by the core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uarch.stats import PcCounter, RunStats
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Thresholds of the Section 2.2 rule."""
+
+    #: Minimum fraction of executions that must cause a PDE.
+    min_event_rate: float = 0.10
+    #: "Non-trivial number": at least this share of the category's
+    #: total PDEs, and at least ``min_events`` in absolute terms.
+    min_event_share: float = 0.002
+    min_events: int = 4
+
+
+@dataclass
+class ProblemClassification:
+    """Problem instructions identified in one baseline run."""
+
+    branch_pcs: frozenset[int]
+    load_pcs: frozenset[int]
+    #: Full per-PC counters, for coverage computations.
+    branch_counters: dict[int, PcCounter] = field(default_factory=dict)
+    mem_counters: dict[int, PcCounter] = field(default_factory=dict)
+
+    def coverage(self) -> "CoverageSummary":
+        """Compute the Table 2 coverage numbers."""
+        return CoverageSummary.from_classification(self)
+
+
+@dataclass
+class CoverageSummary:
+    """One Table 2 row: how concentrated the PDEs are."""
+
+    mem_problem_count: int
+    mem_dynamic_share: float  # problem mem ops / all mem ops
+    mem_miss_coverage: float  # misses at problem PCs / all misses
+    branch_problem_count: int
+    branch_dynamic_share: float
+    branch_misp_coverage: float
+
+    @classmethod
+    def from_classification(
+        cls, classification: "ProblemClassification"
+    ) -> "CoverageSummary":
+        def summarize(counters, chosen):
+            total_exec = sum(c.executions for c in counters.values())
+            total_events = sum(c.events for c in counters.values())
+            chosen_exec = sum(counters[pc].executions for pc in chosen)
+            chosen_events = sum(counters[pc].events for pc in chosen)
+            share = chosen_exec / total_exec if total_exec else 0.0
+            coverage = chosen_events / total_events if total_events else 0.0
+            return share, coverage
+
+        mem_share, mem_cov = summarize(
+            classification.mem_counters, classification.load_pcs
+        )
+        br_share, br_cov = summarize(
+            classification.branch_counters, classification.branch_pcs
+        )
+        return cls(
+            mem_problem_count=len(classification.load_pcs),
+            mem_dynamic_share=mem_share,
+            mem_miss_coverage=mem_cov,
+            branch_problem_count=len(classification.branch_pcs),
+            branch_dynamic_share=br_share,
+            branch_misp_coverage=br_cov,
+        )
+
+
+def _classify_category(
+    counters: dict[int, PcCounter], config: ClassifierConfig
+) -> frozenset[int]:
+    total_events = sum(c.events for c in counters.values())
+    floor = max(config.min_events, int(total_events * config.min_event_share))
+    chosen = {
+        pc
+        for pc, counter in counters.items()
+        if counter.events >= floor and counter.rate >= config.min_event_rate
+    }
+    return frozenset(chosen)
+
+
+def classify_problem_instructions(
+    stats: RunStats, config: ClassifierConfig | None = None
+) -> ProblemClassification:
+    """Apply the Section 2.2 rule to a baseline run's counters."""
+    config = config or ClassifierConfig()
+    return ProblemClassification(
+        branch_pcs=_classify_category(stats.branch_pcs, config),
+        load_pcs=_classify_category(stats.mem_pcs, config),
+        branch_counters=dict(stats.branch_pcs),
+        mem_counters=dict(stats.mem_pcs),
+    )

@@ -1,0 +1,21 @@
+"""Functional architecture: journaled state and the instruction executor."""
+
+from repro.arch.exceptions import Fault, NULL_PAGE_LIMIT
+from repro.arch.interpreter import ExecResult, execute, run_functional
+from repro.arch.memory import MASK64, Memory, to_signed
+from repro.arch.regfile import RegFile
+from repro.arch.state import Checkpoint, ThreadState
+
+__all__ = [
+    "Checkpoint",
+    "ExecResult",
+    "Fault",
+    "MASK64",
+    "Memory",
+    "NULL_PAGE_LIMIT",
+    "RegFile",
+    "ThreadState",
+    "execute",
+    "run_functional",
+    "to_signed",
+]

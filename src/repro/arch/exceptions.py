@@ -1,0 +1,24 @@
+"""Architectural fault kinds.
+
+Faults never raise Python exceptions during simulation: wrong-path code
+routinely dereferences garbage, and the paper relies on faults to
+terminate slices ("linked list traversals will automatically terminate
+when they dereference a null pointer", Section 3.2). Faults are data.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Fault(enum.Enum):
+    """Outcome flag attached to an executed instruction."""
+
+    NONE = "none"
+    NULL_DEREF = "null-deref"  # load/store into the unmapped null page
+    BAD_PC = "bad-pc"  # control transferred outside the program
+    HALT = "halt"  # program executed HALT
+
+
+#: Addresses below this are the "null page": touching them faults.
+NULL_PAGE_LIMIT = 0x100

@@ -1,0 +1,192 @@
+"""Functional executor for the repro ISA.
+
+:func:`execute` applies one instruction to a :class:`ThreadState` and
+reports what happened. It is *wrong-path safe*: no input state can make
+it raise — division by zero yields zero, unmapped loads yield zero, and
+null-page accesses are reported as faults rather than raised, because
+the out-of-order core executes instructions functionally at fetch time,
+including down mispredicted paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.exceptions import NULL_PAGE_LIMIT, Fault
+from repro.arch.memory import to_signed
+from repro.arch.state import ThreadState
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import INSTRUCTION_BYTES, Opcode
+
+#: 64-bit mask used for logical shifts.
+_MASK64 = (1 << 64) - 1
+_MIN64 = -(1 << 63)
+_MAX64 = (1 << 63) - 1
+
+
+@dataclass(slots=True)
+class ExecResult:
+    """Observable outcome of executing one instruction.
+
+    Attributes:
+        value: value written to the destination register (or ``None``).
+        addr: effective byte address for loads/stores (or ``None``).
+        store_value: value stored, for stores.
+        taken: branch direction (``None`` for non-branches).
+        next_pc: architecturally correct next PC.
+        fault: fault flag (:data:`Fault.NONE` if none).
+    """
+
+    value: int | None = None
+    addr: int | None = None
+    store_value: int | None = None
+    taken: bool | None = None
+    next_pc: int = 0
+    fault: Fault = Fault.NONE
+
+
+def execute(inst: Instruction, state: ThreadState) -> ExecResult:
+    """Execute *inst* against *state*, updating registers/memory/PC.
+
+    ``state.pc`` must equal ``inst.pc`` conceptually; the caller controls
+    actual fetch redirection (it may deliberately steer down a predicted
+    wrong path), so this function only *returns* the correct ``next_pc``
+    and also assigns it to ``state.pc``.
+    """
+    op = inst.op
+    regs = state.regs
+    result = ExecResult(next_pc=inst.pc + INSTRUCTION_BYTES)
+
+    if op in _ALU_OPS:
+        a = regs.read(inst.ra)
+        b = regs.read(inst.rb) if inst.rb is not None else inst.imm
+        value = _ALU_OPS[op](a, b)
+        if not _MIN64 <= value <= _MAX64:
+            value = to_signed(value)
+        result.value = value
+        regs.write(inst.rd, value)
+    elif op is Opcode.LI:
+        result.value = inst.imm
+        regs.write(inst.rd, inst.imm)
+    elif op is Opcode.MOV:
+        result.value = regs.read(inst.ra)
+        regs.write(inst.rd, result.value)
+    elif op in _CMOV_COND:
+        cond = _CMOV_COND[op](regs.read(inst.ra))
+        result.value = regs.read(inst.rb) if cond else regs.read(inst.rd)
+        regs.write(inst.rd, result.value)
+    elif op is Opcode.LD:
+        addr = regs.read(inst.ra) + inst.imm
+        result.addr = addr
+        if addr < NULL_PAGE_LIMIT:
+            result.fault = Fault.NULL_DEREF
+            result.value = 0
+        else:
+            result.value = state.memory.load(addr)
+        regs.write(inst.rd, result.value)
+    elif op is Opcode.ST:
+        addr = regs.read(inst.ra) + inst.imm
+        result.addr = addr
+        result.store_value = regs.read(inst.rd)
+        if addr < NULL_PAGE_LIMIT:
+            result.fault = Fault.NULL_DEREF
+        else:
+            state.memory.store(addr, result.store_value)
+    elif op in _BRANCH_COND:
+        taken = _BRANCH_COND[op](regs.read(inst.ra))
+        result.taken = taken
+        if taken:
+            result.next_pc = inst.target
+    elif op is Opcode.BR:
+        result.taken = True
+        result.next_pc = inst.target
+    elif op is Opcode.CALL:
+        result.taken = True
+        result.value = inst.pc + INSTRUCTION_BYTES
+        regs.write(inst.rd, result.value)
+        result.next_pc = inst.target
+    elif op is Opcode.CALLR:
+        result.taken = True
+        target = regs.read(inst.ra)
+        result.value = inst.pc + INSTRUCTION_BYTES
+        regs.write(inst.rd, result.value)
+        result.next_pc = target
+    elif op in (Opcode.JR, Opcode.RET):
+        result.taken = True
+        result.next_pc = regs.read(inst.ra)
+    elif op is Opcode.HALT:
+        result.fault = Fault.HALT
+        result.next_pc = inst.pc  # spin; the core stops the thread
+    elif op in (Opcode.NOP, Opcode.FORK):
+        pass  # FORK is architecturally a no-op (Section 4.2)
+    else:  # pragma: no cover - all opcodes are handled above
+        raise NotImplementedError(f"opcode {op}")
+
+    state.pc = result.next_pc
+    return result
+
+
+def _div(a: int, b: int) -> int:
+    """Truncating signed division; division by zero yields zero."""
+    if b == 0:
+        return 0
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+_ALU_OPS = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: a << (b & 63),
+    Opcode.SRL: lambda a, b: (a & _MASK64) >> (b & 63),
+    Opcode.SRA: lambda a, b: a >> (b & 63),
+    Opcode.CMPEQ: lambda a, b: int(a == b),
+    Opcode.CMPLT: lambda a, b: int(a < b),
+    Opcode.CMPLE: lambda a, b: int(a <= b),
+    Opcode.CMPULT: lambda a, b: int((a & _MASK64) < (b & _MASK64)),
+    Opcode.S4ADD: lambda a, b: (a << 2) + b,
+    Opcode.S8ADD: lambda a, b: (a << 3) + b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: _div,
+}
+
+_CMOV_COND = {
+    Opcode.CMOVEQ: lambda a: a == 0,
+    Opcode.CMOVNE: lambda a: a != 0,
+    Opcode.CMOVLT: lambda a: a < 0,
+    Opcode.CMOVGE: lambda a: a >= 0,
+}
+
+_BRANCH_COND = {
+    Opcode.BEQ: lambda a: a == 0,
+    Opcode.BNE: lambda a: a != 0,
+    Opcode.BLT: lambda a: a < 0,
+    Opcode.BGE: lambda a: a >= 0,
+    Opcode.BLE: lambda a: a <= 0,
+    Opcode.BGT: lambda a: a > 0,
+}
+
+
+def run_functional(
+    program,
+    state: ThreadState,
+    max_instructions: int = 1_000_000,
+):
+    """Run *program* purely functionally from ``state.pc``.
+
+    Follows correct paths only (no speculation). Yields
+    ``(Instruction, ExecResult)`` pairs; stops at HALT, a bad PC, or the
+    instruction budget. Used by the profiler, the trace-based automatic
+    slice builder, and tests.
+    """
+    for _ in range(max_instructions):
+        inst = program.at(state.pc)
+        if inst is None:
+            return
+        result = execute(inst, state)
+        yield inst, result
+        if result.fault is Fault.HALT:
+            return

@@ -1,0 +1,23 @@
+"""Experiment harness: runners, experiment drivers, and text reports."""
+
+from repro.harness.runner import (
+    PerfectSweepResult,
+    TripleResult,
+    covered_problem_spec,
+    run_baseline,
+    run_perfect,
+    run_perfect_sweep,
+    run_triple,
+    run_with_slices,
+)
+
+__all__ = [
+    "PerfectSweepResult",
+    "TripleResult",
+    "covered_problem_spec",
+    "run_baseline",
+    "run_perfect",
+    "run_perfect_sweep",
+    "run_triple",
+    "run_with_slices",
+]

@@ -1,0 +1,85 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro table2              # Table 2 at the default scale
+    python -m repro figure11 --scale 1.0
+    python -m repro table4 --out results.txt
+    python -m repro all --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness import experiments
+
+EXPERIMENTS = {
+    "table1": experiments.experiment_table1,
+    "mix": experiments.experiment_workload_mix,
+    "table2": experiments.experiment_table2,
+    "table3": experiments.experiment_table3,
+    "table4": experiments.experiment_table4,
+    "figure1": experiments.experiment_figure1,
+    "figure11": experiments.experiment_figure11,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce tables/figures from 'Execution-based Prediction "
+            "Using Speculative Slices' (Zilles & Sohi, ISCA 2001)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="workload scale (default: REPRO_SCALE env or 0.35; 1.0 = full)",
+    )
+    parser.add_argument(
+        "--out",
+        type=argparse.FileType("w"),
+        default=None,
+        help="also write the rendered output to this file",
+    )
+    return parser
+
+
+def run_experiment(name: str, scale: float | None) -> str:
+    func = EXPERIMENTS[name]
+    if name == "table1":
+        _data, text = func()
+    else:
+        _data, text = func(scale=scale)
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    blocks = []
+    for name in names:
+        start = time.time()
+        text = run_experiment(name, args.scale)
+        elapsed = time.time() - start
+        blocks.append(text)
+        print(text)
+        print(f"\n[{name}: {elapsed:.1f}s]\n", file=sys.stderr)
+    if args.out is not None:
+        args.out.write("\n\n".join(blocks) + "\n")
+        args.out.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

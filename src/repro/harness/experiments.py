@@ -1,0 +1,126 @@
+"""Experiment drivers: one entry point per table/figure in the paper.
+
+Each function builds the workloads, runs the required configurations,
+and returns ``(data, rendered_text)``. The benches in ``benchmarks/``
+call these; so can users, e.g.::
+
+    from repro.harness.experiments import experiment_figure11
+    results, text = experiment_figure11(scale=0.2)
+    print(text)
+
+``scale`` scales workload working sets and run lengths; 1.0 is the
+benchmark-sized configuration (the paper used 100M-instruction regions;
+our scale-1.0 regions are ~10^5-10^6 instructions, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.characterize import characterize_run, characterize_slice
+from repro.analysis.problem import classify_problem_instructions
+from repro.harness import report
+from repro.harness.runner import (
+    PerfectSweepResult,
+    TripleResult,
+    run_baseline,
+    run_perfect_sweep,
+    run_triple,
+    run_with_slices,
+)
+from repro.uarch.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
+from repro.workloads import registry
+
+#: Benchmarks Table 4 reports (those with non-trivial speedups).
+TABLE4_BENCHMARKS = ("bzip2", "eon", "gap", "gzip", "mcf", "perl", "twolf", "vpr")
+
+
+def default_scale() -> float:
+    """Benchmark scale; override with the REPRO_SCALE env variable."""
+    return float(os.environ.get("REPRO_SCALE", "0.35"))
+
+
+def experiment_table1() -> tuple[list[MachineConfig], str]:
+    """Table 1: print both machine configurations."""
+    configs = [FOUR_WIDE, EIGHT_WIDE]
+    text = "\n\n".join(report.render_table1(config) for config in configs)
+    return configs, text
+
+
+def experiment_workload_mix(scale: float | None = None):
+    """Characterize the workload suite (instruction mix, working sets)."""
+    from repro.analysis.mix import instruction_mix, render_mix_table
+
+    scale = scale if scale is not None else default_scale()
+    rows = [
+        (name, instruction_mix(registry.build(name, scale)))
+        for name in registry.all_names()
+    ]
+    return rows, render_mix_table(rows)
+
+
+def experiment_table2(scale: float | None = None):
+    """Table 2: problem-instruction coverage across all benchmarks."""
+    scale = scale if scale is not None else default_scale()
+    rows = []
+    for name in registry.all_names():
+        workload = registry.build(name, scale)
+        stats = run_baseline(workload, FOUR_WIDE)
+        classification = classify_problem_instructions(stats)
+        rows.append((name, classification.coverage()))
+    return rows, report.render_table2(rows)
+
+
+def experiment_figure1(
+    scale: float | None = None, configs=(FOUR_WIDE, EIGHT_WIDE)
+):
+    """Figure 1: baseline vs problem-perfect vs all-perfect IPC."""
+    scale = scale if scale is not None else default_scale()
+    results: list[PerfectSweepResult] = []
+    for name in registry.all_names():
+        workload = registry.build(name, scale)
+        for config in configs:
+            results.append(run_perfect_sweep(workload, config))
+    return results, report.render_figure1(results)
+
+
+def experiment_table3(scale: float | None = None):
+    """Table 3: characterization of the hand-constructed slices."""
+    scale = scale if scale is not None else default_scale()
+    rows = []
+    for name in registry.all_names():
+        workload = registry.build(name, scale)
+        for spec in workload.slices:
+            rows.append(characterize_slice(name, spec))
+    return rows, report.render_table3(rows)
+
+
+def experiment_figure11(
+    scale: float | None = None, config: MachineConfig = FOUR_WIDE
+):
+    """Figure 11: slice speedup vs constrained limit study."""
+    scale = scale if scale is not None else default_scale()
+    results: list[TripleResult] = []
+    for name in registry.all_names():
+        workload = registry.build(name, scale)
+        results.append(run_triple(workload, config))
+    return results, report.render_figure11(results)
+
+
+def experiment_table4(
+    scale: float | None = None,
+    config: MachineConfig = FOUR_WIDE,
+    benchmarks=TABLE4_BENCHMARKS,
+):
+    """Table 4: detailed with/without-slices characterization."""
+    scale = scale if scale is not None else default_scale()
+    rows = []
+    for name in benchmarks:
+        workload = registry.build(name, scale)
+        base = run_baseline(workload, config)
+        assisted = run_with_slices(workload, config)
+        covered = len(
+            {pc for spec in workload.slices for pc in spec.covered_branch_pcs}
+        )
+        rows.append(characterize_run(name, base, assisted, covered))
+    return rows, report.render_table4(rows)

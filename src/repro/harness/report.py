@@ -1,0 +1,186 @@
+"""Text renderers for the paper's tables and figures.
+
+Every renderer takes the structured results from
+:mod:`repro.harness.experiments` and produces a fixed-width text block
+with the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.characterize import RunCharacterization, SliceCharacterization
+from repro.analysis.problem import CoverageSummary
+from repro.harness.runner import PerfectSweepResult, TripleResult
+
+
+def _bar(value: float, scale: float, width: int = 40) -> str:
+    filled = int(round(min(value / scale, 1.0) * width)) if scale else 0
+    return "#" * filled
+
+
+def render_table2(rows: list[tuple[str, CoverageSummary]]) -> str:
+    """Table 2: coverage of PDEs by problem instructions."""
+    lines = [
+        "Table 2. Coverage of performance degrading events by problem instructions",
+        "",
+        f"{'Program':<9s}|{'Memory Insts':^24s}|{'Control Insts':^24s}",
+        f"{'':<9s}|{'#SI':>6s}{'mem':>9s}{'mis':>9s}|{'#SI':>6s}{'br':>9s}{'mis':>9s}",
+        "-" * 59,
+    ]
+    for name, cov in rows:
+        lines.append(
+            f"{name:<9s}|{cov.mem_problem_count:>6d}"
+            f"{cov.mem_dynamic_share:>8.0%} {cov.mem_miss_coverage:>8.0%} "
+            f"|{cov.branch_problem_count:>6d}"
+            f"{cov.branch_dynamic_share:>8.0%} {cov.branch_misp_coverage:>8.0%}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure1(results: list[PerfectSweepResult]) -> str:
+    """Figure 1: IPC of baseline vs problem-perfect vs all-perfect."""
+    lines = [
+        "Figure 1. Performance impact of problem instructions (IPC)",
+        "",
+        f"{'program':<9s}{'cfg':<8s}{'base':>7s}{'prob.perf':>10s}"
+        f"{'all perf':>9s}   stacked IPC",
+        "-" * 78,
+    ]
+    scale = max((r.all_perfect.ipc for r in results), default=1.0)
+    for r in results:
+        base, prob, allp = r.base.ipc, r.problem_perfect.ipc, r.all_perfect.ipc
+        width = 30
+        base_w = int(round(base / scale * width))
+        prob_w = max(int(round(prob / scale * width)) - base_w, 0)
+        all_w = max(int(round(allp / scale * width)) - base_w - prob_w, 0)
+        bar = "B" * base_w + "P" * prob_w + "A" * all_w
+        lines.append(
+            f"{r.workload.name:<9s}{r.config.name:<8s}{base:>7.2f}"
+            f"{prob:>10.2f}{allp:>9.2f}   {bar}"
+        )
+    lines.append("-" * 78)
+    lines.append("B = baseline, P = added by perfecting problem insts, "
+                 "A = added by perfecting all")
+    return "\n".join(lines)
+
+
+def render_table3(rows: list[SliceCharacterization]) -> str:
+    """Table 3: characterization of the constructed slices."""
+
+    def loop_fmt(total: int, in_loop: int | None, has_loop: bool) -> str:
+        if has_loop and in_loop:
+            return f"{total} ({in_loop})"
+        return str(total)
+
+    lines = [
+        "Table 3. Characterization of slices",
+        "",
+        f"{'prog.':<9s}{'slice':<16s}{'static':>8s}{'live':>6s}"
+        f"{'pref':>8s}{'pred':>8s}{'kills':>8s}{'max iter':>10s}",
+        "-" * 73,
+    ]
+    for row in rows:
+        has_loop = row.max_iterations is not None
+        static = (
+            f"{row.static_size} ({row.loop_size})"
+            if row.loop_size
+            else str(row.static_size)
+        )
+        lines.append(
+            f"{row.program:<9s}{row.slice_name:<16s}{static:>8s}"
+            f"{row.live_ins:>6d}"
+            f"{loop_fmt(row.prefetches, row.prefetches_in_loop, has_loop):>8s}"
+            f"{loop_fmt(row.predictions, row.predictions_in_loop, has_loop):>8s}"
+            f"{loop_fmt(row.kills, row.kills_in_loop, has_loop):>8s}"
+            f"{row.max_iterations if has_loop else '—':>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure11(results: list[TripleResult]) -> str:
+    """Figure 11: speedup of slices vs the constrained limit study."""
+    lines = [
+        "Figure 11. Speedup of slice-assisted execution vs limit study "
+        f"({results[0].config.name} machine)" if results else "Figure 11.",
+        "",
+        f"{'program':<9s}{'slice':>8s}{'limit':>8s}   speedup",
+        "-" * 70,
+    ]
+    scale = max((r.limit_speedup for r in results), default=1.0)
+    scale = max(scale, 0.01)
+    for r in results:
+        lines.append(
+            f"{r.workload.name:<9s}{r.slice_speedup:>8.1%}{r.limit_speedup:>8.1%}"
+            f"   s|{_bar(max(r.slice_speedup, 0), scale)}"
+        )
+        lines.append(f"{'':<25s}   l|{_bar(max(r.limit_speedup, 0), scale)}")
+    return "\n".join(lines)
+
+
+def render_table4(rows: list[RunCharacterization]) -> str:
+    """Table 4: characterization of execution with and without slices."""
+    header = f"{'':38s}" + "".join(f"{row.program:>10s}" for row in rows)
+    lines = [
+        "Table 4. Characterization of program execution with and "
+        "without speculative slices",
+        "",
+        header,
+        "-" * len(header),
+    ]
+
+    def add(label: str, fmt: str, getter) -> None:
+        cells = "".join(f"{fmt.format(getter(row)):>10s}" for row in rows)
+        lines.append(f"{label:<38s}{cells}")
+
+    add("Base: instructions fetched (K)", "{:.1f}", lambda r: r.base_fetched / 1e3)
+    add("Base: branch mispredictions", "{}", lambda r: r.base_mispredictions)
+    add("Base: load misses", "{}", lambda r: r.base_load_misses)
+    add("Base: IPC", "{:.2f}", lambda r: r.base_ipc)
+    add("Slices: program fetched (K)", "{:.1f}", lambda r: r.slice_fetched_main / 1e3)
+    add("Slices: slice fetched (K)", "{:.1f}", lambda r: r.slice_fetched_helper / 1e3)
+    add("Slices: slice retired (K)", "{:.1f}", lambda r: r.slice_retired_helper / 1e3)
+    add("Fork points", "{}", lambda r: r.fork_points)
+    add("Fork points squashed", "{}", lambda r: r.forks_squashed)
+    add("Fork points ignored", "{}", lambda r: r.forks_ignored)
+    add("Problem branches covered", "{}", lambda r: r.problem_branches_covered)
+    add("Predictions generated", "{}", lambda r: r.predictions_generated)
+    add("Mispredictions removed", "{}", lambda r: r.mispredictions_removed)
+    add("Total mispred. removed (%)", "{:.0%}", lambda r: r.misprediction_reduction)
+    add("Incorrect predictions", "{}", lambda r: r.incorrect_predictions)
+    add("Late predictions (%)", "{:.0%}", lambda r: r.late_fraction)
+    add("Prefetches performed", "{}", lambda r: r.prefetches_performed)
+    add("Net reduction in misses (%)", "{:.0%}", lambda r: r.miss_reduction)
+    add("Total fetch change (%)", "{:+.0%}", lambda r: r.total_fetch_change)
+    add("Slices: IPC", "{:.2f}", lambda r: r.slice_ipc)
+    add("Speedup", "{:+.0%}", lambda r: r.speedup)
+    return "\n".join(lines)
+
+
+def render_table1(config) -> str:
+    """Table 1: the simulated machine parameters."""
+    lines = [
+        f"Table 1. Simulated machine parameters ({config.name})",
+        "",
+        f"Core: {config.width}-wide, {config.window_entries}-entry window, "
+        f"{config.load_store_ports} load/store ports, "
+        f"{config.simple_alus} simple + {config.complex_alus} complex ALUs, "
+        f"{config.pipeline_depth}-stage pipeline",
+        f"Front end: {config.icache.size_bytes // 1024}KB I-cache, "
+        f"{config.branch.yags_bits // 1024}Kb YAGS, "
+        f"{config.branch.indirect_bits // 1024}Kb cascading indirect, "
+        f"{config.branch.ras_entries}-entry RAS, perfect BTB",
+        f"L1D: {config.l1d.size_bytes // 1024}KB {config.l1d.associativity}-way, "
+        f"{config.l1d.line_bytes}B lines, {config.l1d.latency}-cycle",
+        f"L2: {config.l2.size_bytes // (1024 * 1024)}MB "
+        f"{config.l2.associativity}-way, {config.l2.line_bytes}B lines, "
+        f"{config.l2.latency}-cycle",
+        f"Memory: {config.memory_latency}-cycle minimum latency",
+        f"Prefetch: {config.prefetch.buffer_entries}-entry unified "
+        f"prefetch/victim buffer, unit-stride stream prefetcher",
+        f"SMT: {config.thread_contexts} thread contexts, ICOUNT biased "
+        f"to the main thread",
+        f"Slice hardware: {config.slice_hw.slice_table_entries}-entry "
+        f"slice table, {config.slice_hw.pgi_table_entries}-entry PGI "
+        f"table, {config.slice_hw.branch_queue_entries}x"
+        f"{config.slice_hw.predictions_per_branch} prediction correlator",
+    ]
+    return "\n".join(lines)

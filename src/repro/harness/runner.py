@@ -1,0 +1,145 @@
+"""Run drivers: the baseline / slice-assisted / limit triples of Section 6.
+
+Each experiment in the paper compares up to three machine setups on the
+same workload region:
+
+* **base** — the Table 1 machine;
+* **slice** — base plus the slice-execution hardware and the workload's
+  hand slices on a 4-context SMT;
+* **limit** — the constrained limit study: the PDEs of exactly the
+  problem instructions the slices cover are "magically" avoided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.problem import (
+    ProblemClassification,
+    classify_problem_instructions,
+)
+from repro.uarch.config import FOUR_WIDE, MachineConfig
+from repro.uarch.core import Core
+from repro.uarch.perfect import ALL_PERFECT, PerfectSpec, problem_perfect
+from repro.uarch.stats import RunStats
+from repro.workloads.base import Workload
+
+
+def run_baseline(
+    workload: Workload, config: MachineConfig = FOUR_WIDE
+) -> RunStats:
+    """Run the Table 1 machine with no slice hardware."""
+    return Core(
+        workload.program,
+        config,
+        memory_image=workload.memory_image,
+        region=workload.region,
+        workload_name=workload.name,
+    ).run()
+
+
+def run_with_slices(
+    workload: Workload,
+    config: MachineConfig = FOUR_WIDE,
+    dedicated: bool = False,
+    slices=None,
+) -> RunStats:
+    """Run with the workload's speculative slices loaded."""
+    return Core(
+        workload.program,
+        config,
+        slices=tuple(workload.slices if slices is None else slices),
+        memory_image=workload.memory_image,
+        region=workload.region,
+        dedicated_slice_resources=dedicated,
+        workload_name=workload.name,
+    ).run()
+
+
+def run_perfect(
+    workload: Workload,
+    perfect: PerfectSpec,
+    config: MachineConfig = FOUR_WIDE,
+) -> RunStats:
+    """Run with a per-static-instruction perfect overlay."""
+    return Core(
+        workload.program,
+        config,
+        perfect=perfect,
+        memory_image=workload.memory_image,
+        region=workload.region,
+        workload_name=workload.name,
+    ).run()
+
+
+def covered_problem_spec(workload: Workload) -> PerfectSpec:
+    """Problem instructions covered by the workload's slices — the set
+    the constrained limit study of Section 6 perfects."""
+    branch_pcs = set()
+    load_pcs = set()
+    for spec in workload.slices:
+        branch_pcs.update(spec.covered_branch_pcs)
+        load_pcs.update(spec.covered_load_pcs)
+    if not branch_pcs and not load_pcs:
+        # No slices (parser): the limit perfects the annotated problem
+        # instructions so the bar still shows what was left on the table.
+        branch_pcs = set(workload.problem_branch_pcs)
+        load_pcs = set(workload.problem_load_pcs)
+    return problem_perfect(branch_pcs, load_pcs)
+
+
+@dataclass
+class TripleResult:
+    """base / slice / limit results for one workload and config."""
+
+    workload: Workload
+    config: MachineConfig
+    base: RunStats
+    assisted: RunStats
+    limit: RunStats
+
+    @property
+    def slice_speedup(self) -> float:
+        return self.assisted.ipc / self.base.ipc - 1.0
+
+    @property
+    def limit_speedup(self) -> float:
+        return self.limit.ipc / self.base.ipc - 1.0
+
+
+def run_triple(
+    workload: Workload, config: MachineConfig = FOUR_WIDE
+) -> TripleResult:
+    """Run the Section 6 experiment for one workload."""
+    base = run_baseline(workload, config)
+    assisted = run_with_slices(workload, config)
+    limit = run_perfect(workload, covered_problem_spec(workload), config)
+    return TripleResult(workload, config, base, assisted, limit)
+
+
+@dataclass
+class PerfectSweepResult:
+    """base / problem-perfect / all-perfect results (Figure 1)."""
+
+    workload: Workload
+    config: MachineConfig
+    base: RunStats
+    problem_perfect: RunStats
+    all_perfect: RunStats
+    classification: ProblemClassification = field(repr=False, default=None)
+
+
+def run_perfect_sweep(
+    workload: Workload, config: MachineConfig = FOUR_WIDE
+) -> PerfectSweepResult:
+    """Run the Figure 1 experiment: profile the baseline, classify its
+    problem instructions, then idealize them and everything."""
+    base = run_baseline(workload, config)
+    classification = classify_problem_instructions(base)
+    prob = run_perfect(
+        workload,
+        problem_perfect(classification.branch_pcs, classification.load_pcs),
+        config,
+    )
+    allp = run_perfect(workload, ALL_PERFECT, config)
+    return PerfectSweepResult(workload, config, base, prob, allp, classification)

@@ -1,0 +1,113 @@
+"""Parameter-sensitivity sweeps.
+
+The paper fixes one machine (Table 1) and reasons qualitatively about
+how its conclusions scale ("programs and processors with low base IPCs
+are more likely to benefit", §6.3). These sweeps make those arguments
+quantitative on our simulator: each varies one machine parameter and
+re-runs the baseline/slice pair, reporting how the slice benefit moves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.harness.runner import run_baseline, run_with_slices
+from repro.uarch.config import FOUR_WIDE, MachineConfig
+from repro.uarch.stats import RunStats
+from repro.workloads.base import Workload
+
+
+@dataclass
+class SweepPoint:
+    """One (parameter value, baseline, assisted) measurement."""
+
+    value: int
+    base: RunStats
+    assisted: RunStats
+
+    @property
+    def speedup(self) -> float:
+        return self.assisted.ipc / self.base.ipc - 1.0
+
+
+def _measure(workload: Workload, config: MachineConfig, value: int) -> SweepPoint:
+    return SweepPoint(
+        value=value,
+        base=run_baseline(workload, config),
+        assisted=run_with_slices(workload, config),
+    )
+
+
+def sweep_memory_latency(
+    workload: Workload,
+    latencies: tuple[int, ...] = (50, 100, 200, 400),
+    config: MachineConfig = FOUR_WIDE,
+) -> list[SweepPoint]:
+    """Scale main-memory latency: prefetch-driven slice benefit should
+    grow with the latency the slice tolerates."""
+    return [
+        _measure(
+            workload,
+            dataclasses.replace(config, memory_latency=latency),
+            latency,
+        )
+        for latency in latencies
+    ]
+
+
+def sweep_window_size(
+    workload: Workload,
+    windows: tuple[int, ...] = (32, 64, 128, 256),
+    config: MachineConfig = FOUR_WIDE,
+) -> list[SweepPoint]:
+    """Scale the instruction window: a bigger window already tolerates
+    more latency on its own, moving the baseline."""
+    return [
+        _measure(
+            workload,
+            dataclasses.replace(config, window_entries=window),
+            window,
+        )
+        for window in windows
+    ]
+
+
+def sweep_prediction_slots(
+    workload: Workload,
+    slot_counts: tuple[int, ...] = (2, 4, 8, 16),
+    config: MachineConfig = FOUR_WIDE,
+) -> list[SweepPoint]:
+    """Scale the correlator's per-branch prediction slots (Figure 10
+    provisions 8): too few slots starve loop slices."""
+    points = []
+    for slots in slot_counts:
+        slice_hw = dataclasses.replace(
+            config.slice_hw, predictions_per_branch=slots
+        )
+        points.append(
+            _measure(
+                workload,
+                dataclasses.replace(config, slice_hw=slice_hw),
+                slots,
+            )
+        )
+    return points
+
+
+def render_sweep(
+    title: str, parameter: str, points: list[SweepPoint]
+) -> str:
+    """Fixed-width rendering of one sweep."""
+    lines = [
+        title,
+        "",
+        f"{parameter:>12s}{'base IPC':>10s}{'slice IPC':>11s}{'speedup':>9s}",
+        "-" * 42,
+    ]
+    for point in points:
+        lines.append(
+            f"{point.value:>12d}{point.base.ipc:>10.3f}"
+            f"{point.assisted.ipc:>11.3f}{point.speedup:>9.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Disassembler: render instructions and programs as readable text.
+
+Used by the examples to print the paper's Figure 4/5-style listings and
+by diagnostics throughout the library.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction, reg_name
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+def format_instruction(inst: Instruction, labels: dict[int, str] | None = None) -> str:
+    """Render one instruction as assembly text (without its PC)."""
+    labels = labels or {}
+
+    def target_text() -> str:
+        if inst.target is not None and inst.target in labels:
+            return labels[inst.target]
+        if inst.target is not None:
+            return f"{inst.target:#x}"
+        return inst.target_label or "?"
+
+    op = inst.op
+    if op in (Opcode.NOP, Opcode.HALT, Opcode.RET):
+        text = op.value
+    elif op is Opcode.FORK:
+        text = f"fork    {inst.imm}"
+    elif op is Opcode.LI:
+        text = f"li      {reg_name(inst.rd)}, {inst.imm}"
+    elif op is Opcode.MOV:
+        text = f"mov     {reg_name(inst.rd)}, {reg_name(inst.ra)}"
+    elif op is Opcode.LD:
+        text = f"ld      {reg_name(inst.rd)}, {inst.imm}({reg_name(inst.ra)})"
+    elif op is Opcode.ST:
+        text = f"st      {reg_name(inst.rd)}, {inst.imm}({reg_name(inst.ra)})"
+    elif op is Opcode.BR:
+        text = f"br      {target_text()}"
+    elif op is Opcode.CALL:
+        text = f"call    {target_text()}"
+    elif op in (Opcode.JR, Opcode.CALLR):
+        text = f"{op.value:<7} {reg_name(inst.ra)}"
+    elif inst.is_conditional:
+        text = f"{op.value:<7} {reg_name(inst.ra)}, {target_text()}"
+    else:
+        second = reg_name(inst.rb) if inst.rb is not None else str(inst.imm)
+        text = f"{op.value:<7} {reg_name(inst.rd)}, {reg_name(inst.ra)}, {second}"
+    if inst.comment:
+        text = f"{text:<32}# {inst.comment}"
+    return text
+
+
+def disassemble(program: Program, mark_pcs: set[int] | None = None) -> str:
+    """Render a whole program, one instruction per line.
+
+    ``mark_pcs`` highlights instructions (the paper bolds problem
+    instructions in its listings); marked lines get a ``*`` prefix.
+    """
+    mark_pcs = mark_pcs or set()
+    label_at = {pc: name for name, pc in program.labels.items()}
+    lines = []
+    for inst in program.instructions:
+        if inst.pc in label_at:
+            lines.append(f"{label_at[inst.pc]}:")
+        marker = "*" if inst.pc in mark_pcs else " "
+        lines.append(f" {marker}{inst.pc:#8x}  {format_instruction(inst, label_at)}")
+    return "\n".join(lines)

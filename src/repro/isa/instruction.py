@@ -1,0 +1,147 @@
+"""Static instruction representation.
+
+An :class:`Instruction` is one static instruction of a
+:class:`~repro.isa.program.Program`. Operand conventions:
+
+* ``rd`` — destination register index (or ``None``).
+* ``ra`` / ``rb`` — source register indices (or ``None``).
+* ``imm`` — immediate operand; for ALU ops it replaces ``rb``; for
+  loads/stores it is the byte displacement off ``ra``.
+* ``target`` — branch/call target PC (resolved by the assembler).
+
+Register index 31 always reads as zero and writes to it are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import (
+    CONDITIONAL_BRANCHES,
+    CONTROL_OPS,
+    INDIRECT_BRANCHES,
+    MEM_OPS,
+    WRITES_DEST,
+    OpClass,
+    Opcode,
+    base_latency,
+    op_class,
+)
+
+#: Register index that is hardwired to zero.
+ZERO_REG = 31
+
+#: Conventional register aliases (a software ABI, not hardware).
+REG_ALIASES = {
+    "zero": 31,
+    "ra": 26,  # return address
+    "gp": 29,  # global pointer
+    "sp": 30,  # stack pointer
+}
+
+
+def parse_reg(name: int | str) -> int:
+    """Parse a register operand given as an index or a name like ``"r7"``.
+
+    Accepts the ABI aliases in :data:`REG_ALIASES`.
+    """
+    if isinstance(name, int):
+        if not 0 <= name <= 31:
+            raise ValueError(f"register index out of range: {name}")
+        return name
+    text = name.strip().lower()
+    if text in REG_ALIASES:
+        return REG_ALIASES[text]
+    if text.startswith("r") and text[1:].isdigit():
+        index = int(text[1:])
+        if 0 <= index <= 31:
+            return index
+    raise ValueError(f"not a register: {name!r}")
+
+
+def reg_name(index: int) -> str:
+    """Render a register index as its canonical ``rN`` name."""
+    return f"r{index}"
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One static instruction.
+
+    ``pc`` is assigned when the instruction is placed into a program.
+    ``comment`` is carried through to the disassembler for readability
+    (the paper's figures annotate every instruction this way).
+    """
+
+    op: Opcode
+    rd: int | None = None
+    ra: int | None = None
+    rb: int | None = None
+    imm: int | None = None
+    target: int | None = None
+    pc: int = -1
+    comment: str = ""
+    #: Unresolved label for the target, kept for diagnostics.
+    target_label: str | None = field(default=None, repr=False)
+
+    @property
+    def writes_dest(self) -> bool:
+        """Whether this instruction writes ``rd``."""
+        return self.op in WRITES_DEST and self.rd is not None
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether this instruction is any control transfer."""
+        return self.op in CONTROL_OPS
+
+    @property
+    def is_conditional(self) -> bool:
+        """Whether this is a conditional direction branch."""
+        return self.op in CONDITIONAL_BRANCHES
+
+    @property
+    def is_indirect(self) -> bool:
+        """Whether this transfers control through a register."""
+        return self.op in INDIRECT_BRANCHES
+
+    @property
+    def is_mem(self) -> bool:
+        """Whether this is a load or store."""
+        return self.op in MEM_OPS
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Opcode.LD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Opcode.ST
+
+    @property
+    def op_class(self) -> OpClass:
+        return op_class(self.op)
+
+    @property
+    def latency(self) -> int:
+        return base_latency(self.op)
+
+    def source_regs(self) -> tuple[int, ...]:
+        """Return the register indices this instruction reads.
+
+        The zero register is excluded: it is always ready and carries no
+        dependence.
+        """
+        sources = []
+        if self.ra is not None and self.ra != ZERO_REG:
+            sources.append(self.ra)
+        if self.rb is not None and self.rb != ZERO_REG:
+            sources.append(self.rb)
+        # Conditional moves and stores read their "destination" operand.
+        if self.op in _READS_RD and self.rd is not None and self.rd != ZERO_REG:
+            sources.append(self.rd)
+        return tuple(sources)
+
+
+_READS_RD = frozenset(
+    {Opcode.CMOVEQ, Opcode.CMOVNE, Opcode.CMOVLT, Opcode.CMOVGE, Opcode.ST}
+)

@@ -1,0 +1,164 @@
+"""Opcode definitions for the repro ISA.
+
+The ISA is a small, Alpha-flavored, 64-bit RISC load/store architecture:
+
+* 32 integer registers ``r0``..``r31``; ``r31`` is hardwired to zero.
+* Instructions occupy 4 bytes; data memory is addressed in bytes and
+  accessed in 8-byte words.
+* Conditional branches test a single register against zero (Alpha
+  style, e.g. ``beq ra, target``).
+* Conditional moves provide if-conversion, which the paper's slice
+  optimizations rely on (Section 3.1 of Zilles & Sohi, ISCA 2001).
+
+Each opcode carries an :class:`OpClass` that determines which functional
+unit executes it and a base execution latency in cycles (memory
+operations take their latency from the cache hierarchy instead).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Functional-unit class of an opcode."""
+
+    SIMPLE = "simple"  # simple integer ALU
+    COMPLEX = "complex"  # multiply/divide unit
+    MEM = "mem"  # load/store port
+    CONTROL = "control"  # branch/jump (executes on a simple ALU)
+    OTHER = "other"  # nop / halt
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the repro ISA."""
+
+    # Simple integer ALU.
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    CMPEQ = "cmpeq"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPULT = "cmpult"
+    MOV = "mov"
+    LI = "li"
+    S4ADD = "s4add"
+    S8ADD = "s8add"
+    # Conditional moves (if-conversion support).
+    CMOVEQ = "cmoveq"
+    CMOVNE = "cmovne"
+    CMOVLT = "cmovlt"
+    CMOVGE = "cmovge"
+    # Complex integer.
+    MUL = "mul"
+    DIV = "div"
+    # Memory.
+    LD = "ld"
+    ST = "st"
+    # Control.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLE = "ble"
+    BGT = "bgt"
+    BR = "br"
+    JR = "jr"
+    CALL = "call"
+    CALLR = "callr"
+    RET = "ret"
+    # Other.
+    NOP = "nop"
+    HALT = "halt"
+    #: Explicit slice fork (Section 4.2's alternative to fork-PC CAMs):
+    #: ``imm`` indexes the slice table. Architecturally a no-op, so
+    #: binaries remain correct on hardware without slice support.
+    FORK = "fork"
+
+
+#: Opcodes that write a destination register.
+WRITES_DEST = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.SRA,
+        Opcode.CMPEQ,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPULT,
+        Opcode.MOV,
+        Opcode.LI,
+        Opcode.S4ADD,
+        Opcode.S8ADD,
+        Opcode.CMOVEQ,
+        Opcode.CMOVNE,
+        Opcode.CMOVLT,
+        Opcode.CMOVGE,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.LD,
+        Opcode.CALL,
+        Opcode.CALLR,
+    }
+)
+
+#: Conditional direction branches (predicted by the direction predictor).
+CONDITIONAL_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLE, Opcode.BGT}
+)
+
+#: Indirect control transfers (predicted by the indirect predictor / RAS).
+INDIRECT_BRANCHES = frozenset({Opcode.JR, Opcode.CALLR, Opcode.RET})
+
+#: All control-transfer opcodes.
+CONTROL_OPS = CONDITIONAL_BRANCHES | INDIRECT_BRANCHES | {Opcode.BR, Opcode.CALL}
+
+#: Call opcodes (push the RAS).
+CALL_OPS = frozenset({Opcode.CALL, Opcode.CALLR})
+
+#: Memory opcodes.
+MEM_OPS = frozenset({Opcode.LD, Opcode.ST})
+
+_OP_CLASS = {
+    Opcode.MUL: OpClass.COMPLEX,
+    Opcode.DIV: OpClass.COMPLEX,
+    Opcode.LD: OpClass.MEM,
+    Opcode.ST: OpClass.MEM,
+    Opcode.NOP: OpClass.OTHER,
+    Opcode.HALT: OpClass.OTHER,
+}
+_OP_CLASS.update({op: OpClass.CONTROL for op in CONTROL_OPS})
+
+_LATENCY = {
+    Opcode.MUL: 7,
+    Opcode.DIV: 20,
+}
+
+
+def op_class(op: Opcode) -> OpClass:
+    """Return the functional-unit class of *op*."""
+    return _OP_CLASS.get(op, OpClass.SIMPLE)
+
+
+def base_latency(op: Opcode) -> int:
+    """Return the fixed execution latency of *op* in cycles.
+
+    Memory operations return 1 here; their true latency is supplied by
+    the cache hierarchy at execution time.
+    """
+    return _LATENCY.get(op, 1)
+
+
+#: Size of one instruction in bytes (fixed-width encoding).
+INSTRUCTION_BYTES = 4

@@ -1,0 +1,192 @@
+"""Textual assembly parser.
+
+Parses the same syntax :mod:`repro.isa.disasm` prints, so programs can
+be written as ``.s`` text (or round-tripped through the disassembler):
+
+.. code-block:: text
+
+    ; data
+    .data counter 1          ; one word named counter, initialized below
+    .word counter 0
+
+    ; code
+        li      r1, 10
+    loop:
+        sub     r1, r1, 1
+        bgt     r1, loop
+        halt
+
+Syntax:
+
+* ``label:`` on its own line (or before an instruction) places a label;
+* instructions are ``op operands`` with operands separated by commas;
+* register operands are ``rN`` or an ABI alias; integers may be decimal
+  or ``0x`` hex; memory operands are ``imm(reg)``;
+* ``@sym`` in an immediate position resolves to a data symbol address;
+* ``.space name N`` reserves N zeroed words, ``.word name v1 v2 ...``
+  allocates initialized words;
+* ``;`` and ``#`` start comments.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.isa.assembler import Assembler, AssemblerError
+from repro.isa.program import Program
+
+_MEM_OPERAND = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\((\w+)\)$")
+
+#: ops taking rd, ra, rb/imm
+_THREE_OP = {
+    "add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+    "cmpeq", "cmplt", "cmple", "cmpult", "mul", "div",
+}
+_REG3 = {"s4add", "s8add", "cmoveq", "cmovne", "cmovlt", "cmovge"}
+_BRANCHES = {"beq", "bne", "blt", "bge", "ble", "bgt"}
+
+
+class ParseError(AssemblerError):
+    """Raised with a line number on malformed assembly text."""
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+class _Parser:
+    def __init__(self, base_pc: int):
+        self.asm = Assembler(base_pc=base_pc)
+
+    def immediate(self, token: str, line_no: int) -> int:
+        token = token.strip()
+        if token.startswith("@"):
+            try:
+                return self.asm.addr_of(token[1:])
+            except KeyError:
+                raise ParseError(
+                    f"line {line_no}: unknown data symbol {token[1:]!r}"
+                ) from None
+        try:
+            return int(token, 0)
+        except ValueError:
+            raise ParseError(
+                f"line {line_no}: bad immediate {token!r}"
+            ) from None
+
+    def reg_or_imm(self, token: str, line_no: int):
+        token = token.strip()
+        if token.startswith("@") or token.lstrip("-").split("x")[0].isdigit():
+            return None, self.immediate(token, line_no)
+        return token, None
+
+    def directive(self, parts: list[str], line_no: int) -> None:
+        head = parts[0]
+        if head == ".space":
+            if len(parts) != 3:
+                raise ParseError(f"line {line_no}: .space name N")
+            self.asm.data_space(parts[1], int(parts[2], 0))
+        elif head == ".word":
+            if len(parts) < 3:
+                raise ParseError(f"line {line_no}: .word name v1 [v2 ...]")
+            self.asm.data_words(
+                parts[1], [int(v, 0) for v in parts[2:]]
+            )
+        elif head == ".entry":
+            self.asm.entry(parts[1])
+        else:
+            raise ParseError(f"line {line_no}: unknown directive {head!r}")
+
+    def instruction(self, op: str, operands: list[str], line_no: int) -> None:
+        asm = self.asm
+        try:
+            if op in _THREE_OP:
+                rd, ra, third = operands
+                rb, imm = self.reg_or_imm(third, line_no)
+                getattr(asm, "and_" if op == "and" else
+                        "or_" if op == "or" else op)(rd, ra, rb=rb, imm=imm)
+            elif op in _REG3:
+                rd, ra, rb = operands
+                getattr(asm, op)(rd, ra, rb)
+            elif op == "mov":
+                asm.mov(*operands)
+            elif op == "li":
+                asm.li(operands[0], self.immediate(operands[1], line_no))
+            elif op == "la":
+                symbol = operands[1].lstrip("@")
+                try:
+                    asm.la(operands[0], symbol)
+                except KeyError:
+                    raise ParseError(
+                        f"line {line_no}: unknown data symbol {symbol!r}"
+                    ) from None
+            elif op in ("ld", "st"):
+                reg, mem = operands
+                match = _MEM_OPERAND.match(mem.replace(" ", ""))
+                if match is None and mem.startswith("@"):
+                    getattr(asm, op)(reg, "zero", self.immediate(mem, line_no))
+                    return
+                if match is None:
+                    raise ParseError(
+                        f"line {line_no}: bad memory operand {mem!r}"
+                    )
+                getattr(asm, op)(reg, match.group(2), int(match.group(1), 0))
+            elif op in _BRANCHES:
+                getattr(asm, op)(operands[0], operands[1])
+            elif op == "br":
+                asm.br(operands[0])
+            elif op == "call":
+                asm.call(operands[0])
+            elif op == "jr":
+                asm.jr(operands[0])
+            elif op == "callr":
+                asm.callr(operands[0])
+            elif op == "ret":
+                asm.ret()
+            elif op == "fork":
+                asm.fork(self.immediate(operands[0], line_no))
+            elif op == "nop":
+                asm.nop()
+            elif op == "halt":
+                asm.halt()
+            else:
+                raise ParseError(f"line {line_no}: unknown opcode {op!r}")
+        except ParseError:
+            raise
+        except (ValueError, TypeError, IndexError) as error:
+            raise ParseError(f"line {line_no}: {error}") from None
+
+
+def parse_assembly(text: str, base_pc: int = 0x1000) -> Program:
+    """Parse assembly *text* into a :class:`Program`."""
+    parser = _Parser(base_pc)
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        while ":" in line:
+            label, _, rest = line.partition(":")
+            if not re.fullmatch(r"\w+", label.strip()):
+                raise ParseError(f"line {line_no}: bad label {label!r}")
+            parser.asm.label(label.strip())
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        if parts[0].startswith("."):
+            parser.directive(line.split(), line_no)
+            continue
+        op = parts[0].lower()
+        operands = (
+            [tok.strip() for tok in parts[1].split(",")]
+            if len(parts) > 1
+            else []
+        )
+        parser.instruction(op, operands, line_no)
+    return parser.asm.build()

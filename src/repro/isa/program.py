@@ -1,0 +1,87 @@
+"""Program container: code, data, and symbols.
+
+A :class:`Program` is an assembled unit: a list of instructions at fixed
+PCs, an initial data image (byte address -> 64-bit word at 8-aligned
+addresses), and symbol tables for code labels and data objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import INSTRUCTION_BYTES
+
+
+@dataclass
+class Program:
+    """An assembled program.
+
+    Attributes:
+        instructions: static instructions in layout order.
+        base_pc: PC of the first instruction.
+        data: initial memory image, word-aligned byte address -> value.
+        labels: code label -> PC.
+        data_symbols: data symbol -> byte address.
+        entry_pc: PC execution starts at (defaults to ``base_pc``).
+    """
+
+    instructions: list[Instruction]
+    base_pc: int = 0x1000
+    data: dict[int, int] = field(default_factory=dict)
+    labels: dict[str, int] = field(default_factory=dict)
+    data_symbols: dict[str, int] = field(default_factory=dict)
+    entry_pc: int | None = None
+    _by_pc: dict[int, Instruction] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.entry_pc is None:
+            self.entry_pc = self.base_pc
+        self._by_pc = {inst.pc: inst for inst in self.instructions}
+
+    def at(self, pc: int) -> Instruction | None:
+        """Return the instruction at *pc*, or ``None`` if out of range."""
+        return self._by_pc.get(pc)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._by_pc
+
+    @property
+    def end_pc(self) -> int:
+        """One past the last instruction's PC."""
+        return self.base_pc + len(self.instructions) * INSTRUCTION_BYTES
+
+    def pc_of(self, label: str) -> int:
+        """Return the PC of a code label."""
+        return self.labels[label]
+
+    def addr_of(self, symbol: str) -> int:
+        """Return the byte address of a data symbol."""
+        return self.data_symbols[symbol]
+
+    def merged_with(self, other: "Program") -> "Program":
+        """Return a new program containing this program plus *other*.
+
+        Used to place slice code alongside main-thread code in the same
+        instruction space (the paper stores slices "as normal
+        instructions in the instruction cache", Section 4.2). PCs must
+        not overlap.
+        """
+        overlap = self._by_pc.keys() & other._by_pc.keys()
+        if overlap:
+            raise ValueError(f"programs overlap at PCs: {sorted(overlap)[:4]}")
+        dup_labels = self.labels.keys() & other.labels.keys()
+        if dup_labels:
+            raise ValueError(f"duplicate labels: {sorted(dup_labels)[:4]}")
+        merged = Program(
+            instructions=self.instructions + other.instructions,
+            base_pc=min(self.base_pc, other.base_pc),
+            data={**self.data, **other.data},
+            labels={**self.labels, **other.labels},
+            data_symbols={**self.data_symbols, **other.data_symbols},
+            entry_pc=self.entry_pc,
+        )
+        return merged

@@ -1,0 +1,39 @@
+"""Speculative slices: specs, hardware, correlator, and construction."""
+
+from repro.slices.auto import AutoSlice, SliceConstructionError, construct_slice
+from repro.slices.builder import (
+    StaticSlice,
+    backward_slice,
+    build_static_slice,
+    collect_trace,
+)
+from repro.slices.correlator import (
+    CorrelatorStats,
+    MatchResult,
+    PredictionCorrelator,
+    PredictionSlot,
+    SlotState,
+)
+from repro.slices.hw import PGITable, SliceTable
+from repro.slices.spec import KillKind, KillSpec, PGISpec, SliceSpec
+
+__all__ = [
+    "AutoSlice",
+    "CorrelatorStats",
+    "SliceConstructionError",
+    "StaticSlice",
+    "backward_slice",
+    "build_static_slice",
+    "collect_trace",
+    "construct_slice",
+    "KillKind",
+    "KillSpec",
+    "MatchResult",
+    "PGISpec",
+    "PGITable",
+    "PredictionCorrelator",
+    "PredictionSlot",
+    "SliceSpec",
+    "SliceTable",
+    "SlotState",
+]

@@ -1,0 +1,25 @@
+"""Timing microarchitecture: caches, predictors, and the OOO SMT core."""
+
+from repro.uarch.cache import AccessResult, DataHierarchy, SetAssociativeCache
+from repro.uarch.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
+from repro.uarch.core import Core
+from repro.uarch.perfect import ALL_PERFECT, NO_PERFECT, PerfectSpec, problem_perfect
+from repro.uarch.prefetch import StreamPrefetcher
+from repro.uarch.stats import PcCounter, RunStats
+
+__all__ = [
+    "ALL_PERFECT",
+    "AccessResult",
+    "Core",
+    "DataHierarchy",
+    "EIGHT_WIDE",
+    "FOUR_WIDE",
+    "MachineConfig",
+    "NO_PERFECT",
+    "PcCounter",
+    "PerfectSpec",
+    "RunStats",
+    "SetAssociativeCache",
+    "StreamPrefetcher",
+    "problem_perfect",
+]

@@ -1,0 +1,19 @@
+"""Branch prediction: YAGS, cascading indirect, RAS, and the composite."""
+
+from repro.uarch.branch.cascading import CascadingIndirectPredictor
+from repro.uarch.branch.frontend_predictor import BranchPrediction, FrontEndPredictor
+from repro.uarch.branch.ras import ReturnAddressStack
+from repro.uarch.branch.simple import BimodalPredictor, GsharePredictor
+from repro.uarch.branch.tournament import TournamentPredictor
+from repro.uarch.branch.yags import YagsPredictor
+
+__all__ = [
+    "BimodalPredictor",
+    "BranchPrediction",
+    "CascadingIndirectPredictor",
+    "FrontEndPredictor",
+    "GsharePredictor",
+    "ReturnAddressStack",
+    "TournamentPredictor",
+    "YagsPredictor",
+]

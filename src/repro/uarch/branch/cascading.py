@@ -1,0 +1,77 @@
+"""Cascaded indirect branch target predictor (Driesen & Hoelzle, MICRO-31).
+
+Two stages: a simple PC-indexed table, and a history-indexed tagged
+table that is only filled on a first-stage misprediction ("cascading"
+filter). The paper's front end allots it 32Kb (Table 1); the default
+geometry models 512 + 512 target entries with a short path history of
+recent indirect targets.
+"""
+
+from __future__ import annotations
+
+
+class CascadingIndirectPredictor:
+    """Two-stage cascaded predictor for indirect branch targets."""
+
+    def __init__(
+        self,
+        stage1_entries: int = 512,
+        stage2_entries: int = 512,
+        history_targets: int = 4,
+    ):
+        if stage1_entries & (stage1_entries - 1) or stage2_entries & (stage2_entries - 1):
+            raise ValueError("table sizes must be powers of two")
+        self._stage1: list[int | None] = [None] * stage1_entries
+        self._stage2: list[tuple[int, int] | None] = [None] * stage2_entries
+        self._s1_mask = stage1_entries - 1
+        self._s2_mask = stage2_entries - 1
+        self._history_targets = history_targets
+        self.path_history = 0
+        self.predictions = 0
+        self.stage2_hits = 0
+
+    def _s2_index_tag(self, pc: int, history: int) -> tuple[int, int]:
+        word_pc = pc >> 2
+        index = (word_pc ^ history) & self._s2_mask
+        tag = word_pc & 0xFFFF
+        return index, tag
+
+    def predict(self, pc: int) -> int | None:
+        """Predict the target of the indirect branch at *pc*.
+
+        Returns ``None`` when neither stage has a target (the front end
+        then stalls until the branch executes, modeled as a
+        misprediction by the core).
+        """
+        self.predictions += 1
+        index, tag = self._s2_index_tag(pc, self.path_history)
+        entry = self._stage2[index]
+        if entry is not None and entry[0] == tag:
+            self.stage2_hits += 1
+            return entry[1]
+        return self._stage1[(pc >> 2) & self._s1_mask]
+
+    def shift_history(self, target: int) -> None:
+        """Speculatively mix a predicted target into the path history.
+
+        The target's high bits are folded down so that aligned targets
+        (whose distinguishing bits sit high) still perturb the low index
+        bits of the second-stage table.
+        """
+        bits = self._history_targets * 4
+        value = target >> 2
+        value ^= value >> 7
+        value ^= value >> 13
+        self.path_history = (
+            ((self.path_history << 3) ^ value) & ((1 << bits) - 1)
+        )
+
+    def update(self, pc: int, target: int, history: int) -> None:
+        """Train with the resolved target, using the prediction-time history."""
+        s1_index = (pc >> 2) & self._s1_mask
+        stage1_correct = self._stage1[s1_index] == target
+        self._stage1[s1_index] = target
+        if not stage1_correct:
+            # Cascade: second stage only learns what stage 1 gets wrong.
+            index, tag = self._s2_index_tag(pc, history)
+            self._stage2[index] = (tag, target)

@@ -1,0 +1,59 @@
+"""Simple direction predictors: bimodal and gshare.
+
+These serve as baselines for the predictor-comparison ablation and as
+reference implementations; the machine of Table 1 uses YAGS.
+"""
+
+from __future__ import annotations
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 8192):
+        if entries & (entries - 1):
+            raise ValueError("table size must be a power of two")
+        self._table = [2] * entries
+        self._mask = entries - 1
+        self.history_mask = 0
+        self.history = 0
+
+    def predict(self, pc: int) -> bool:
+        return self._table[(pc >> 2) & self._mask] >= 2
+
+    def shift_history(self, taken: bool) -> None:
+        """Bimodal keeps no history; provided for interface parity."""
+
+    def update(self, pc: int, taken: bool, history: int = 0) -> None:
+        index = (pc >> 2) & self._mask
+        counter = self._table[index]
+        if taken:
+            self._table[index] = min(counter + 1, 3)
+        else:
+            self._table[index] = max(counter - 1, 0)
+
+
+class GsharePredictor:
+    """Global-history-XOR-PC indexed table of 2-bit counters."""
+
+    def __init__(self, entries: int = 16384, history_bits: int = 12):
+        if entries & (entries - 1):
+            raise ValueError("table size must be a power of two")
+        self._table = [2] * entries
+        self._mask = entries - 1
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+
+    def predict(self, pc: int) -> bool:
+        return self._table[((pc >> 2) ^ self.history) & self._mask] >= 2
+
+    def shift_history(self, taken: bool) -> None:
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask
+
+    def update(self, pc: int, taken: bool, history: int) -> None:
+        index = ((pc >> 2) ^ history) & self._mask
+        counter = self._table[index]
+        if taken:
+            self._table[index] = min(counter + 1, 3)
+        else:
+            self._table[index] = max(counter - 1, 0)

@@ -1,0 +1,69 @@
+"""Tournament (Alpha 21264-style) direction predictor.
+
+A meta-predictor chooses per-branch between a global (gshare) and a
+local (bimodal) component. Included as a comparison point for the
+predictor ablation: the paper's premise is that *problem branches* stay
+mispredicted no matter which history-based predictor is used, because
+their outcomes depend on loaded data, not on branch history.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.branch.simple import BimodalPredictor, GsharePredictor
+
+
+class TournamentPredictor:
+    """Chooser-selected gshare/bimodal hybrid."""
+
+    def __init__(
+        self,
+        chooser_entries: int = 8192,
+        gshare_entries: int = 16384,
+        bimodal_entries: int = 8192,
+        history_bits: int = 12,
+    ):
+        if chooser_entries & (chooser_entries - 1):
+            raise ValueError("table sizes must be powers of two")
+        self._chooser = [2] * chooser_entries  # 2-3 prefer global
+        self._chooser_mask = chooser_entries - 1
+        self.global_component = GsharePredictor(gshare_entries, history_bits)
+        self.local_component = BimodalPredictor(bimodal_entries)
+        self.history_mask = self.global_component.history_mask
+
+    @property
+    def history(self) -> int:
+        return self.global_component.history
+
+    @history.setter
+    def history(self, value: int) -> None:
+        self.global_component.history = value
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser[(pc >> 2) & self._chooser_mask] >= 2:
+            return self.global_component.predict(pc)
+        return self.local_component.predict(pc)
+
+    def shift_history(self, taken: bool) -> None:
+        self.global_component.shift_history(taken)
+
+    def update(self, pc: int, taken: bool, history: int) -> None:
+        global_correct = (
+            self._predict_global_with(pc, history) == taken
+        )
+        local_correct = self.local_component.predict(pc) == taken
+        index = (pc >> 2) & self._chooser_mask
+        if global_correct != local_correct:
+            counter = self._chooser[index]
+            if global_correct:
+                self._chooser[index] = min(counter + 1, 3)
+            else:
+                self._chooser[index] = max(counter - 1, 0)
+        self.global_component.update(pc, taken, history)
+        self.local_component.update(pc, taken)
+
+    def _predict_global_with(self, pc: int, history: int) -> bool:
+        saved = self.global_component.history
+        self.global_component.history = history
+        prediction = self.global_component.predict(pc)
+        self.global_component.history = saved
+        return prediction

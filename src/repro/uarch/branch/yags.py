@@ -1,0 +1,105 @@
+"""YAGS direction predictor (Eden & Mudge, MICRO-31).
+
+YAGS ("Yet Another Global Scheme") keeps a bimodal *choice* PHT plus two
+tagged *direction caches* that record only the exceptions to the bias:
+the T-cache holds not-taken behavior for branches the choice predictor
+biases taken, and vice versa for the NT-cache. The paper's front end
+uses a 64Kb YAGS (Table 1); the default geometry here spends its budget
+as 8K 2-bit choice counters plus two 4K-entry caches of 2-bit counters
+with 6-bit tags (16Kb + 2 x 32Kb).
+"""
+
+from __future__ import annotations
+
+
+def _saturate(counter: int, taken: bool) -> int:
+    """Advance a 2-bit saturating counter."""
+    if taken:
+        return min(counter + 1, 3)
+    return max(counter - 1, 0)
+
+
+class YagsPredictor:
+    """YAGS conditional-branch direction predictor.
+
+    Global history is maintained speculatively by the front end:
+    :meth:`predict` does not shift history; the core calls
+    :meth:`shift_history` with the predicted direction, checkpoints the
+    history register at each branch, and restores it on a squash.
+    Counters/tags are updated non-speculatively via :meth:`update`.
+    """
+
+    def __init__(
+        self,
+        choice_entries: int = 8192,
+        cache_entries: int = 4096,
+        tag_bits: int = 6,
+        history_bits: int = 12,
+    ):
+        if choice_entries & (choice_entries - 1) or cache_entries & (cache_entries - 1):
+            raise ValueError("table sizes must be powers of two")
+        self._choice = [2] * choice_entries  # weakly taken
+        self._choice_mask = choice_entries - 1
+        self._cache_mask = cache_entries - 1
+        self._tag_mask = (1 << tag_bits) - 1
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+        # Direction caches: index -> (tag, counter). The T-cache stores
+        # exceptions for choice==taken; NT-cache for choice==not-taken.
+        self._t_cache: list[tuple[int, int] | None] = [None] * cache_entries
+        self._nt_cache: list[tuple[int, int] | None] = [None] * cache_entries
+        self.predictions = 0
+        self.cache_overrides = 0
+
+    # ------------------------------------------------------------------
+
+    def _indices(self, pc: int) -> tuple[int, int, int]:
+        word_pc = pc >> 2
+        choice_index = word_pc & self._choice_mask
+        cache_index = (word_pc ^ self.history) & self._cache_mask
+        tag = word_pc & self._tag_mask
+        return choice_index, cache_index, tag
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the conditional branch at *pc*."""
+        self.predictions += 1
+        choice_index, cache_index, tag = self._indices(pc)
+        choice_taken = self._choice[choice_index] >= 2
+        cache = self._nt_cache if choice_taken else self._t_cache
+        entry = cache[cache_index]
+        if entry is not None and entry[0] == tag:
+            self.cache_overrides += 1
+            return entry[1] >= 2
+        return choice_taken
+
+    def shift_history(self, taken: bool) -> None:
+        """Speculatively shift the global history register."""
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask
+
+    def update(self, pc: int, taken: bool, history: int) -> None:
+        """Train with the resolved outcome of the branch at *pc*.
+
+        *history* is the global history value that was live when the
+        branch was predicted (the core records it per branch).
+        """
+        word_pc = pc >> 2
+        choice_index = word_pc & self._choice_mask
+        cache_index = (word_pc ^ history) & self._cache_mask
+        tag = word_pc & self._tag_mask
+
+        choice_counter = self._choice[choice_index]
+        choice_taken = choice_counter >= 2
+        cache = self._nt_cache if choice_taken else self._t_cache
+        entry = cache[cache_index]
+        cache_hit = entry is not None and entry[0] == tag
+
+        if cache_hit:
+            cache[cache_index] = (tag, _saturate(entry[1], taken))
+        elif taken != choice_taken:
+            # Allocate an exception entry when the choice predictor errs.
+            cache[cache_index] = (tag, 2 if taken else 1)
+
+        # The choice PHT is not updated when the direction cache provided
+        # a correct exception (standard YAGS update rule).
+        if not (cache_hit and (entry[1] >= 2) == taken and taken != choice_taken):
+            self._choice[choice_index] = _saturate(choice_counter, taken)

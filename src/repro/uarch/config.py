@@ -1,0 +1,114 @@
+"""Machine configuration (Table 1 of the paper).
+
+Two presets mirror the paper's simulated machines:
+
+* :data:`FOUR_WIDE` — 4-wide, 128-entry window, 2 load/store ports.
+* :data:`EIGHT_WIDE` — 8-wide, 256-entry window, 4 load/store ports.
+
+Both share the front end (64KB I-cache, 64Kb YAGS, 32Kb cascading
+indirect predictor, 64-entry RAS, perfect BTB for direct branches,
+fetch past taken branches), the memory hierarchy (64KB 2-way L1D with
+64B lines at 3 cycles; 2MB 4-way unified L2 with 128B lines at 6
+cycles; 100-cycle minimum memory latency; 64-entry unified
+prefetch/victim buffer; unit-stride stream prefetcher), and a 14-stage
+pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.slices.spec import SliceHardwareConfig
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    latency: int
+
+    def __post_init__(self) -> None:
+        sets = self.size_bytes // (self.associativity * self.line_bytes)
+        if sets & (sets - 1):
+            raise ValueError(f"set count must be a power of two, got {sets}")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.associativity * self.line_bytes)
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Stream prefetcher + unified prefetch/victim buffer parameters."""
+
+    buffer_entries: int = 64
+    stream_table_entries: int = 16
+    #: Lines prefetched ahead once a stream is confirmed.
+    stream_depth: int = 4
+    #: Prefetch the next sequential line on a miss (spatial locality
+    #: beyond one line, before a stride is detected).
+    sequential_next_line: bool = True
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """Front-end predictor budgets (Table 1)."""
+
+    yags_bits: int = 64 * 1024  # 64 Kbit direction predictor
+    indirect_bits: int = 32 * 1024  # 32 Kbit cascading indirect predictor
+    ras_entries: int = 64
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full simulated machine configuration."""
+
+    name: str = "4-wide"
+    width: int = 4
+    window_entries: int = 128
+    load_store_ports: int = 2
+    simple_alus: int = 4
+    complex_alus: int = 1
+    pipeline_depth: int = 14
+    #: Cycles between fetch and earliest execute (front-end length);
+    #: together with resolve-to-fetch redirect this yields the 14-cycle
+    #: misprediction penalty of Table 1.
+    frontend_stages: int = 13
+    thread_contexts: int = 4
+    #: ICOUNT fetch-policy bias: main thread is preferred unless its
+    #: in-flight count exceeds a helper thread's by this factor.
+    icount_main_bias: float = 4.0
+    icache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * 1024, 2, 64, 1)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(64 * 1024, 2, 64, 3)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(2 * 1024 * 1024, 4, 128, 6)
+    )
+    memory_latency: int = 100
+    prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
+    branch: BranchPredictorConfig = field(default_factory=BranchPredictorConfig)
+    slice_hw: SliceHardwareConfig = field(default_factory=SliceHardwareConfig)
+
+    def widened(self, name: str, width: int, window: int, ports: int) -> "MachineConfig":
+        """Derive a config with a different core width."""
+        return replace(
+            self,
+            name=name,
+            width=width,
+            window_entries=window,
+            load_store_ports=ports,
+            simple_alus=width,
+        )
+
+
+#: The paper's 4-wide machine (Table 1).
+FOUR_WIDE = MachineConfig()
+
+#: The paper's 8-wide machine: 256-entry window, 4 load/store units.
+EIGHT_WIDE = FOUR_WIDE.widened("8-wide", width=8, window=256, ports=4)

@@ -1,0 +1,827 @@
+"""The out-of-order SMT core (Table 1) with slice-execution hardware.
+
+Execution-driven simulation: the front end follows *predicted* PCs and
+executes instructions functionally at fetch against journaled state, so
+wrong paths are really fetched and executed; branch resolution rolls the
+journal back and redirects fetch. Scheduling is dataflow-driven with
+same-cycle schedule/execute and a perfect load hit/miss predictor, as in
+the paper.
+
+Slice extensions (Sections 4-5): the slice table CAMs every fetched
+main-thread PC; on a match an idle context is forked (live-in registers
+copied), and the helper thread's fetched instructions share bandwidth,
+window slots, functional units, and the L1 D-cache. PGIs route computed
+directions to the prediction correlator; fetched main-thread PCs are
+also CAMed against the correlator's kill and branch-queue entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from itertools import count as _counter
+
+from repro.arch.exceptions import Fault
+from repro.arch.interpreter import execute
+from repro.arch.memory import Memory
+from repro.isa.opcodes import INSTRUCTION_BYTES, OpClass, Opcode
+from repro.isa.program import Program
+from repro.slices.correlator import PredictionCorrelator
+from repro.slices.hw import PGITable, SliceTable
+from repro.slices.spec import PGIKind, SliceSpec
+from repro.uarch.branch.frontend_predictor import BranchPrediction, FrontEndPredictor
+from repro.uarch.cache import DataHierarchy
+from repro.uarch.confidence import ForkConfidenceEstimator
+from repro.uarch.config import FOUR_WIDE, MachineConfig
+from repro.uarch.perfect import NO_PERFECT, PerfectSpec
+from repro.uarch.prefetch import StreamPrefetcher
+from repro.uarch.smt import ThreadContext, ThreadKind, icount_order
+from repro.uarch.stats import RunStats
+from repro.uarch.window import WindowEntry
+
+
+class Core:
+    """A simulated machine instance, ready to :meth:`run` one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: MachineConfig = FOUR_WIDE,
+        slices: tuple[SliceSpec, ...] = (),
+        perfect: PerfectSpec = NO_PERFECT,
+        memory_image: dict[int, int] | None = None,
+        region: int | None = None,
+        warmup: int = 0,
+        dedicated_slice_resources: bool = False,
+        fork_confidence: "ForkConfidenceEstimator | None" = None,
+        direction_predictor=None,
+        cycle_accounting: bool = False,
+        workload_name: str = "",
+    ):
+        self.program = program
+        self.config = config
+        self.perfect = perfect
+        self.region = region
+        #: Committed instructions to run before measurement begins (the
+        #: paper warms caches and predictors before its 100M regions).
+        #: All statistics are reset at the warmup boundary; ``region``
+        #: counts post-warmup commits.
+        self.warmup = warmup
+        self._warmed = warmup == 0
+        self.dedicated_slice_resources = dedicated_slice_resources
+        #: Optional Section 6.3 extension: confidence-gated forking.
+        self.fork_confidence = fork_confidence
+        #: Per-instance cold-miss evidence, kept until the correlator
+        #: retires the instance and its usefulness is finally known.
+        self._instance_missed: dict[int, bool] = {}
+        self.cycle_accounting = cycle_accounting
+
+        self.memory = Memory(
+            memory_image if memory_image is not None else program.data
+        )
+        self.hierarchy = DataHierarchy(config)
+        self.prefetcher = StreamPrefetcher(config.prefetch, self.hierarchy)
+        self.prefetcher.attach()
+        self.predictor = FrontEndPredictor(
+            config.branch, direction_predictor=direction_predictor
+        )
+
+        self.slice_table = SliceTable(config.slice_hw.slice_table_entries)
+        self.pgi_table = PGITable(config.slice_hw.pgi_table_entries)
+        self.correlator = PredictionCorrelator(config.slice_hw)
+        for spec in slices:
+            self.slice_table.load(spec)
+            self.pgi_table.load(spec)
+            self.correlator.register_slice(spec)
+        if fork_confidence is not None:
+            self.correlator.instance_retired_listener = self._on_instance_retired
+        self._slices_enabled = bool(slices)
+        #: Loads covered by VALUE-kind PGIs (the value-prediction
+        #: extension from the paper's conclusion).
+        self._value_load_pcs = {
+            pgi.branch_pc
+            for spec in slices
+            for pgi in spec.pgis
+            if pgi.kind is PGIKind.VALUE
+        }
+        #: Indirect branches covered by TARGET-kind PGIs.
+        self._target_branch_pcs = {
+            pgi.branch_pc
+            for spec in slices
+            for pgi in spec.pgis
+            if pgi.kind is PGIKind.TARGET
+        }
+
+        self.threads = [ThreadContext(i) for i in range(config.thread_contexts)]
+        self._main = self.threads[0]
+        self._main.activate_main(program, self.memory)
+
+        self.stats = RunStats(
+            config_name=config.name, workload_name=workload_name
+        )
+        self.cycle = 0
+        self._next_vn = 0
+        self._next_instance = 0
+        self._window_count = 0
+        self._ready: list[tuple[int, int, WindowEntry]] = []
+        self._completions: list[tuple[int, int, WindowEntry]] = []
+        self._seq = _counter()
+        self._done = False
+        #: Slice-thread live-in producers: thread id -> {reg: producer}.
+        self._livein_producers: dict[int, dict[int, WindowEntry]] = {}
+        #: Fork bookkeeping that outlives the slice's thread context: a
+        #: fork squash must reach the correlator even if the helper
+        #: thread already finished and released its context.
+        self._forked: deque[tuple[int, int]] = deque()  # (fork_vn, instance)
+
+    # ==================================================================
+    # Top-level loop
+    # ==================================================================
+
+    def run(self, max_cycles: int = 50_000_000) -> RunStats:
+        """Simulate until the region commits (or *max_cycles*)."""
+        while not self._done:
+            if self.cycle >= max_cycles:
+                self.stats.hit_cycle_limit = True
+                break
+            self._process_completions()
+            if self.cycle_accounting:
+                self._account_cycle()
+            self._commit()
+            if self._done:
+                break
+            self._fetch()
+            self._issue()
+            self.cycle += 1
+            if self._is_deadlocked():
+                raise RuntimeError(
+                    f"core deadlock at cycle {self.cycle}: main thread "
+                    f"stalled at pc={self._main.state.pc:#x} with nothing in flight"
+                )
+        self.stats.cycles = self.cycle - self._measure_start_cycle
+        self.stats.correlator = self.correlator.stats
+        self.stats.hierarchy = self.hierarchy.stats.snapshot()
+        return self.stats
+
+    def _account_cycle(self) -> None:
+        """Attribute this cycle for the CPI stack (main-thread view)."""
+        breakdown = self.stats.cycle_breakdown
+        rob = self._main.rob
+        head = None
+        for entry in rob:
+            if not entry.squashed:
+                head = entry
+                break
+        if head is None:
+            kind = "frontend"
+        elif (
+            not head.completed
+            and head.fetch_cycle + self.config.frontend_stages > self.cycle
+        ):
+            # The oldest instruction is still traversing the front end:
+            # a redirect/refill period (mispredict penalty).
+            kind = "frontend"
+        elif head.completed:
+            # The head can commit this cycle; count how much of the
+            # commit width the ready prefix covers.
+            ready = 0
+            for entry in rob:
+                if entry.squashed:
+                    continue
+                if not entry.completed or ready >= self.config.width:
+                    break
+                ready += 1
+            kind = "busy" if ready >= self.config.width else "drain"
+        elif head.inst.is_load:
+            kind = "memory"
+        else:
+            kind = "execute"
+        breakdown[kind] = breakdown.get(kind, 0) + 1
+
+    def _is_deadlocked(self) -> bool:
+        if self._ready or self._completions:
+            return False
+        if any(t.active and t.can_fetch for t in self.threads):
+            return False
+        return all(not t.rob for t in self.threads if t.active)
+
+    # ==================================================================
+    # Completion / branch resolution
+    # ==================================================================
+
+    def _process_completions(self) -> None:
+        completions = self._completions
+        while completions and completions[0][0] <= self.cycle:
+            _, _, entry = heapq.heappop(completions)
+            if entry.squashed:
+                continue
+            entry.completed = True
+            entry.completion_cycle = self.cycle
+            for waiter in entry.waiters:
+                if waiter.squashed or waiter.completed:
+                    continue
+                waiter.pending_deps -= 1
+                if waiter.pending_deps == 0:
+                    self._make_ready(waiter)
+            entry.waiters.clear()
+            if entry.pgi_slot is not None:
+                self._route_pgi(entry)
+            if entry.value_predicted and not entry.value_correct:
+                self._resolve_value_mispredict(entry)
+            elif entry.prediction is not None and not entry.squashed:
+                self._resolve_branch(entry)
+
+    def _resolve_branch(self, entry: WindowEntry) -> None:
+        """Compare the path fetch followed with the actual outcome."""
+        inst = entry.inst
+        actual_target = entry.result.next_pc
+        effective_target = self._effective_target(entry)
+        if effective_target == actual_target:
+            return
+        entry.mispredicted = True
+        self._squash_after(
+            entry,
+            resume_pc=actual_target,
+            replay_taken=bool(entry.result.taken),
+            replay_target=actual_target,
+        )
+        entry.effective_taken = entry.result.taken
+
+    def _resolve_value_mispredict(self, entry: WindowEntry) -> None:
+        """A wrong slice value prediction: consumers ran with a bogus
+        value, so everything younger re-executes (like a branch
+        misprediction, but fetch resumes on the same path)."""
+        self.stats.value_mispredict_squashes += 1
+        self._squash_after(
+            entry,
+            resume_pc=entry.result.next_pc,
+            replay_taken=True,
+            replay_target=entry.result.next_pc,
+        )
+
+    def _effective_target(self, entry: WindowEntry) -> int:
+        inst = entry.inst
+        if inst.is_conditional:
+            if entry.effective_taken:
+                return inst.target
+            return inst.pc + INSTRUCTION_BYTES
+        return entry.prediction.target
+
+    def _route_pgi(self, entry: WindowEntry) -> None:
+        """A slice PGI executed: hand its result to the correlator."""
+        slot, pgi = entry.pgi_slot
+        if slot is None:
+            return
+        if pgi.kind in (PGIKind.VALUE, PGIKind.TARGET):
+            self.correlator.on_value_pgi_executed(
+                slot, entry.result.value or 0
+            )
+            return
+        direction = pgi.direction_of(entry.result.value or 0)
+        late_mismatch = self.correlator.on_pgi_executed(slot, direction)
+        if late_mismatch:
+            self._early_resolution(slot, direction)
+
+    def _early_resolution(self, slot, direction: bool) -> None:
+        """Late prediction disagrees with the in-flight traditional one:
+        reverse the prediction and redirect fetch (Section 5.3)."""
+        consumer = None
+        for candidate in self._main.rob:
+            if candidate.vn == slot.consumer_vn:
+                consumer = candidate
+                break
+        if consumer is None or consumer.completed or consumer.squashed:
+            return
+        inst = consumer.inst
+        if not inst.is_conditional:
+            return
+        new_target = (
+            inst.target if direction else inst.pc + INSTRUCTION_BYTES
+        )
+        if new_target == self._effective_target(consumer):
+            return
+        self.stats.early_resolutions += 1
+        consumer.early_resolved = True
+        self._squash_after(
+            consumer,
+            resume_pc=new_target,
+            replay_taken=direction,
+            replay_target=new_target,
+        )
+        consumer.effective_taken = direction
+
+    # ==================================================================
+    # Squash
+    # ==================================================================
+
+    def _squash_after(
+        self,
+        branch: WindowEntry,
+        resume_pc: int,
+        replay_taken: bool,
+        replay_target: int,
+    ) -> None:
+        """Squash everything younger than *branch* and redirect fetch."""
+        main = self._main
+        min_vn = branch.vn + 1
+
+        # Main thread: unwind the ROB tail, restoring the rename map.
+        while main.rob and main.rob[-1].vn > branch.vn:
+            victim = main.rob.pop()
+            self._discard_entry(main, victim)
+
+        # Helper threads forked on the squashed path die with it — both
+        # still-running contexts and already-finished slices whose
+        # predictions must be discarded.
+        for ctx in self.threads:
+            if (
+                ctx.active
+                and ctx.kind is ThreadKind.SLICE
+                and ctx.fork_vn >= min_vn
+            ):
+                self._release_slice_context(ctx)
+        while self._forked and self._forked[-1][0] >= min_vn:
+            _, instance_id = self._forked.pop()
+            self.correlator.on_fork_squashed(instance_id)
+            self.stats.forks_squashed += 1
+
+        # Architectural state, predictor histories, correlator.
+        main.state.rollback(branch.checkpoint)
+        main.state.pc = resume_pc
+        self.predictor.restore(branch.prediction)
+        self.predictor.replay_actual(branch.inst, replay_taken, replay_target)
+        self.correlator.on_squash(min_vn)
+        main.fetch_stalled = False
+
+    def _discard_entry(self, ctx: ThreadContext, victim: WindowEntry) -> None:
+        victim.squashed = True
+        self._window_count -= 1
+        ctx.in_flight -= 1
+        if victim.prev_writer is not None:
+            reg, previous = victim.prev_writer
+            if ctx.last_writer.get(reg) is victim:
+                if previous is None or previous.squashed:
+                    ctx.last_writer.pop(reg, None)
+                else:
+                    ctx.last_writer[reg] = previous
+
+    def _on_instance_retired(
+        self, slice_name: str, instance_id: int, consumed_any: bool
+    ) -> None:
+        """Late usefulness judgment for confidence gating: an instance
+        was useful if a prediction of its was consumed or its loads
+        prefetched something cold."""
+        missed = self._instance_missed.pop(instance_id, False)
+        if self.fork_confidence is not None:
+            self.fork_confidence.update(slice_name, consumed_any or missed)
+
+    def _release_slice_context(self, ctx: ThreadContext) -> None:
+        """Free a helper thread's window entries and return its context."""
+        for victim in ctx.rob:
+            if not victim.squashed:
+                victim.squashed = True
+                self._window_count -= 1
+        self._livein_producers.pop(ctx.thread_id, None)
+        ctx.release()
+
+    # ==================================================================
+    # Commit
+    # ==================================================================
+
+    def _commit(self) -> None:
+        budget = self.config.width
+        watermark = None
+        ordered = [self._main] + [
+            t for t in self.threads if t.active and not t.is_main
+        ]
+        for ctx in ordered:
+            while ctx.rob:
+                head = ctx.rob[0]
+                if head.squashed:
+                    ctx.rob.popleft()
+                    continue
+                if not head.completed or budget <= 0:
+                    break
+                ctx.rob.popleft()
+                head.committed = True
+                self._window_count -= 1
+                ctx.in_flight -= 1
+                budget -= 1
+                if ctx.is_main:
+                    watermark = head.vn
+                    self._commit_main(head)
+                    if self._done:
+                        break
+                else:
+                    ctx.retired += 1
+                    self.stats.slice_retired += 1
+            if not ctx.is_main and ctx.active and ctx.fetch_stalled and not ctx.rob:
+                self.stats.slices_completed += 1
+                if self.fork_confidence is not None:
+                    if ctx.spec.pgis:
+                        # Predictions may be consumed after the helper
+                        # finishes: defer judgment to instance retirement.
+                        self._instance_missed[ctx.instance_id] = (
+                            ctx.slice_misses > 0
+                        )
+                    else:
+                        # Prefetch-only slice: cold misses are the signal.
+                        self.fork_confidence.update(
+                            ctx.spec.name, ctx.slice_misses > 0
+                        )
+                self._release_slice_context(ctx)
+            if self._done:
+                break
+        if watermark is not None:
+            self.correlator.on_retire(watermark)
+            # Forks older than the commit point can no longer be squashed.
+            while self._forked and self._forked[0][0] <= watermark:
+                self._forked.popleft()
+
+    def _commit_main(self, entry: WindowEntry) -> None:
+        stats = self.stats
+        stats.committed += 1
+        inst = entry.inst
+        if inst.is_mem:
+            stats.count_mem(inst.pc, entry.counts_as_miss)
+            if entry.value_predicted and entry.match_slot is not None:
+                self.correlator.record_value_outcome(
+                    entry.match_slot, entry.value_correct
+                )
+            if inst.is_load:
+                stats.loads_committed += 1
+                if entry.counts_as_miss:
+                    stats.load_misses += 1
+            else:
+                stats.stores_committed += 1
+                if entry.counts_as_miss:
+                    stats.store_misses += 1
+        elif entry.prediction is not None and (
+            inst.is_conditional or inst.is_indirect
+        ):
+            stats.branches_committed += 1
+            caused_squash = entry.mispredicted or entry.early_resolved
+            stats.count_branch(inst.pc, caused_squash)
+            if caused_squash:
+                stats.branch_mispredictions += 1
+            self.predictor.train(
+                inst, bool(entry.result.taken), entry.result.next_pc, entry.prediction
+            )
+            if entry.match_slot is not None and entry.prediction.from_correlator:
+                self.correlator.record_override_outcome(
+                    entry.match_slot,
+                    correct=not (entry.mispredicted or entry.early_resolved),
+                )
+        if (
+            not self._warmed
+            and stats.committed >= self.warmup
+        ):
+            self._reset_measurement()
+            stats = self.stats
+        if inst.op is Opcode.HALT:
+            self._done = True
+        if self.region is not None and stats.committed >= self.region:
+            self._done = True
+
+    def _reset_measurement(self) -> None:
+        """Warmup boundary: discard statistics, keep all machine state."""
+        self._warmed = True
+        self._measure_start_cycle = self.cycle
+        self.stats = RunStats(
+            config_name=self.stats.config_name,
+            workload_name=self.stats.workload_name,
+        )
+        self.hierarchy.stats = type(self.hierarchy.stats)()
+        self.correlator.stats = type(self.correlator.stats)()
+
+    _measure_start_cycle = 0
+
+    # ==================================================================
+    # Fetch
+    # ==================================================================
+
+    def _fetch(self) -> None:
+        budget = self.config.width
+        # With dedicated slice resources (the Section 6.3 ablation),
+        # helper threads draw on their own fetch budget instead of
+        # stealing main-thread slots.
+        slice_budget = (
+            self.config.width if self.dedicated_slice_resources else None
+        )
+        for ctx in icount_order(
+            [t for t in self.threads if t.active], self.config.icount_main_bias
+        ):
+            uses_shared = ctx.is_main or slice_budget is None
+            while True:
+                if self._window_count >= self.config.window_entries:
+                    return
+                if not ctx.can_fetch:
+                    break
+                if uses_shared:
+                    if budget <= 0:
+                        break
+                elif slice_budget <= 0:
+                    break
+                if not self._fetch_one(ctx):
+                    break
+                if uses_shared:
+                    budget -= 1
+                else:
+                    slice_budget -= 1
+            if budget <= 0 and slice_budget is None:
+                break
+
+    def _fetch_one(self, ctx: ThreadContext) -> bool:
+        inst = ctx.program.at(ctx.state.pc)
+        if inst is None:
+            ctx.fetch_stalled = True
+            return False
+        vn = self._next_vn
+        self._next_vn += 1
+
+        if ctx.is_main:
+            self.stats.main_fetched += 1
+            if self._slices_enabled:
+                if self.correlator.is_kill_pc(inst.pc):
+                    self.correlator.on_kill_fetched(inst.pc, vn)
+                if inst.op is Opcode.FORK:
+                    # Explicit fork instruction (Section 4.2 alternative).
+                    spec = self.slice_table.at_index(inst.imm or 0)
+                    if spec is not None:
+                        self._try_fork(spec, ctx, vn)
+                else:
+                    for spec in self.slice_table.match(inst.pc):
+                        self._try_fork(spec, ctx, vn)
+        else:
+            ctx.fetched += 1
+            self.stats.slice_fetched += 1
+
+        result = execute(inst, ctx.state)
+        entry = WindowEntry(inst, ctx.thread_id, vn, self.cycle, result)
+        self._window_count += 1
+        ctx.rob.append(entry)
+        ctx.in_flight += 1
+
+        if inst.is_branch:
+            if ctx.is_main:
+                self._fetch_branch_main(ctx, entry)
+            else:
+                self._fetch_branch_slice(ctx, entry)
+        elif (
+            ctx.is_main
+            and inst.is_load
+            and inst.pc in self._value_load_pcs
+        ):
+            match = self.correlator.on_load_fetched(inst.pc, vn)
+            if match is not None and match.value is not None:
+                entry.match_slot = match.slot
+                entry.value_predicted = True
+                entry.value_correct = match.value == result.value
+                # A wrong value prediction squashes like a branch: it
+                # needs a checkpoint and a history snapshot to recover.
+                entry.checkpoint = ctx.state.checkpoint(result.next_pc)
+                entry.prediction = BranchPrediction(
+                    taken=True,
+                    target=result.next_pc,
+                    ghr_before=self.predictor.direction.history,
+                    path_before=self.predictor.indirect.path_history,
+                    ras_before=self.predictor.ras.checkpoint(),
+                )
+        if not ctx.is_main:
+            pgi = self.pgi_table.lookup(ctx.spec.name, inst.pc)
+            if pgi is not None:
+                slot = self.correlator.on_pgi_fetched(
+                    ctx.spec, pgi, ctx.instance_id
+                )
+                entry.pgi_slot = (slot, pgi)
+            if result.fault is Fault.NULL_DEREF:
+                # Exceptions terminate slices (Section 3.2).
+                ctx.fetch_stalled = True
+        if result.fault is Fault.HALT:
+            ctx.fetch_stalled = True
+
+        self._dispatch(ctx, entry)
+        return True
+
+    def _fetch_branch_main(self, ctx: ThreadContext, entry: WindowEntry) -> None:
+        inst = entry.inst
+        result = entry.result
+        if self.perfect.branch_is_perfect(inst.pc) and (
+            inst.is_conditional or inst.is_indirect
+        ):
+            entry.prediction = BranchPrediction(
+                taken=bool(result.taken),
+                target=result.next_pc,
+                ghr_before=self.predictor.direction.history,
+                path_before=self.predictor.indirect.path_history,
+                ras_before=self.predictor.ras.checkpoint(),
+            )
+            entry.effective_taken = result.taken
+            entry.checkpoint = ctx.state.checkpoint(result.next_pc)
+            return
+
+        prediction = self.predictor.predict(inst)
+        if (
+            inst.is_indirect
+            and inst.pc in self._target_branch_pcs
+        ):
+            match = self.correlator.on_target_fetched(inst.pc, entry.vn)
+            if match is not None and match.value is not None:
+                self.predictor.override_target(prediction, match.value)
+                entry.match_slot = match.slot
+        if inst.is_conditional and self._slices_enabled:
+            match = self.correlator.on_branch_fetched(inst.pc, entry.vn)
+            if match is not None:
+                if match.direction is not None:
+                    self.predictor.override_direction(
+                        prediction, inst, match.direction
+                    )
+                    entry.match_slot = match.slot
+                else:
+                    self.correlator.bind_late(
+                        match.slot, entry.vn, prediction.taken
+                    )
+        entry.prediction = prediction
+        entry.effective_taken = prediction.taken
+        entry.checkpoint = ctx.state.checkpoint(result.next_pc)
+        if prediction.target != result.next_pc:
+            # Steer fetch down the (wrong) predicted path.
+            ctx.state.pc = prediction.target
+            entry.mispredicted = True
+
+    def _fetch_branch_slice(self, ctx: ThreadContext, entry: WindowEntry) -> None:
+        """Slice branches follow their computed outcome; the loop
+        back-edge honors the slice's maximum iteration count."""
+        spec = ctx.spec
+        inst = entry.inst
+        if (
+            spec.loop_back_pc is not None
+            and inst.pc == spec.loop_back_pc
+            and entry.result.taken
+        ):
+            ctx.iterations += 1
+            if (
+                spec.max_iterations is not None
+                and ctx.iterations >= spec.max_iterations
+            ):
+                # Iteration bound reached: fall through out of the loop.
+                ctx.state.pc = inst.pc + INSTRUCTION_BYTES
+
+    def _try_fork(self, spec: SliceSpec, main: ThreadContext, vn: int) -> None:
+        self.stats.fork_points_fetched += 1
+        if (
+            self.fork_confidence is not None
+            and not self.fork_confidence.should_fork(spec.name)
+        ):
+            self.stats.forks_gated += 1
+            return
+        idle = next(
+            (t for t in self.threads if not t.active and not t.is_main), None
+        )
+        if idle is None:
+            self.stats.forks_ignored += 1
+            return
+        live_in_values = {
+            reg: main.state.regs.read(reg) for reg in spec.live_in_regs
+        }
+        instance_id = self._next_instance
+        self._next_instance += 1
+        idle.activate_slice(
+            spec,
+            self.memory,
+            live_in_values,
+            instance_id,
+            fork_vn=vn,
+            livein_ready_cycle=self.cycle,
+        )
+        producers = {}
+        for reg in spec.live_in_regs:
+            producer = main.last_writer.get(reg)
+            if producer is not None and not producer.completed:
+                producers[reg] = producer
+        self._livein_producers[idle.thread_id] = producers
+        self.correlator.on_fork(spec, instance_id)
+        self._forked.append((vn, instance_id))
+        self.stats.forks_taken += 1
+
+    # ==================================================================
+    # Dispatch / issue
+    # ==================================================================
+
+    def _dispatch(self, ctx: ThreadContext, entry: WindowEntry) -> None:
+        inst = entry.inst
+        pending = 0
+        seen: set[int] = set()
+        livein_producers = (
+            None if ctx.is_main else self._livein_producers.get(ctx.thread_id)
+        )
+        for reg in inst.source_regs():
+            if reg in seen:
+                continue
+            seen.add(reg)
+            producer = ctx.last_writer.get(reg)
+            if producer is None and livein_producers:
+                producer = livein_producers.get(reg)
+            if producer is not None and not producer.completed and not producer.squashed:
+                pending += 1
+                producer.waiters.append(entry)
+        if inst.writes_dest:
+            entry.prev_writer = (inst.rd, ctx.last_writer.get(inst.rd))
+            ctx.last_writer[inst.rd] = entry
+        entry.pending_deps = pending
+        if pending == 0:
+            self._make_ready(entry)
+
+    def _make_ready(self, entry: WindowEntry) -> None:
+        earliest = entry.fetch_cycle + self.config.frontend_stages
+        if earliest < self.cycle:
+            earliest = self.cycle
+        entry.dispatched_ready = True
+        heapq.heappush(self._ready, (earliest, next(self._seq), entry))
+
+    def _issue(self) -> None:
+        config = self.config
+        budget = config.width
+        simple = config.simple_alus
+        complex_units = config.complex_alus
+        mem_ports = config.load_store_ports
+        deferred: list[tuple[int, int, WindowEntry]] = []
+        ready = self._ready
+        while ready and budget > 0:
+            earliest, seq, entry = ready[0]
+            if earliest > self.cycle:
+                break
+            heapq.heappop(ready)
+            if entry.squashed or entry.completed:
+                continue
+            if (
+                self.dedicated_slice_resources
+                and entry.thread_id != self._main.thread_id
+            ):
+                # Dedicated slice execution resources: no FU contention.
+                latency = self._execution_latency(entry)
+                heapq.heappush(
+                    self._completions,
+                    (self.cycle + latency, next(self._seq), entry),
+                )
+                continue
+            op_class = entry.inst.op_class
+            if op_class is OpClass.MEM:
+                if mem_ports <= 0:
+                    deferred.append((self.cycle + 1, seq, entry))
+                    continue
+                mem_ports -= 1
+            elif op_class is OpClass.COMPLEX:
+                if complex_units <= 0:
+                    deferred.append((self.cycle + 1, seq, entry))
+                    continue
+                complex_units -= 1
+            else:
+                if simple <= 0:
+                    deferred.append((self.cycle + 1, seq, entry))
+                    continue
+                simple -= 1
+            budget -= 1
+            latency = self._execution_latency(entry)
+            heapq.heappush(
+                self._completions,
+                (self.cycle + latency, next(self._seq), entry),
+            )
+        for item in deferred:
+            heapq.heappush(ready, item)
+
+    def _execution_latency(self, entry: WindowEntry) -> int:
+        inst = entry.inst
+        if not inst.is_mem:
+            return inst.latency
+        result = entry.result
+        if result.fault is Fault.NULL_DEREF or result.addr is None:
+            return self.config.l1d.latency
+        is_slice = entry.thread_id != self._main.thread_id
+        if entry.value_predicted and entry.value_correct:
+            # Consumers already have the (correct) predicted value; the
+            # line fetch proceeds in the background.
+            self.hierarchy.access(result.addr, is_store=False, now=self.cycle)
+            entry.counts_as_miss = False
+            return self.config.l1d.latency
+        if (
+            not is_slice
+            and inst.is_load
+            and self.perfect.load_is_perfect(inst.pc)
+        ):
+            # Perfect-cache overlay: still install the line, charge a hit.
+            self.hierarchy.access(result.addr, is_store=False, now=self.cycle)
+            entry.counts_as_miss = False
+            return self.config.l1d.latency
+        access = self.hierarchy.access(
+            result.addr,
+            is_store=inst.is_store,
+            from_slice=is_slice,
+            now=self.cycle,
+        )
+        entry.counts_as_miss = access.counts_as_miss
+        if is_slice and access.counts_as_miss:
+            ctx = self.threads[entry.thread_id]
+            if ctx.active and ctx.instance_id >= 0:
+                ctx.slice_misses += 1
+        return access.latency

@@ -1,0 +1,89 @@
+"""Hardware stream prefetcher (Table 1).
+
+Detects cache misses with unit stride (positive or negative) and
+launches prefetches once a stream is confirmed. Before a stride is
+detected, sequential next blocks are prefetched to exploit spatial
+locality beyond one 64-byte line. Prefetched lines land in the unified
+prefetch/victim buffer via :meth:`DataHierarchy.prefetch_fill`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.cache import DataHierarchy
+from repro.uarch.config import PrefetchConfig
+
+
+@dataclass(slots=True)
+class _Stream:
+    """One tracked miss stream, keyed by its last miss line."""
+
+    last_line: int
+    stride: int  # lines; 0 until confirmed
+    confirmed: bool
+
+
+class StreamPrefetcher:
+    """Unit-stride stream detector and prefetch launcher.
+
+    Attach with :meth:`attach`, which registers the prefetcher as the
+    hierarchy's miss listener; every demand L1 miss then trains it.
+    """
+
+    def __init__(self, config: PrefetchConfig, hierarchy: DataHierarchy):
+        self._config = config
+        self._hierarchy = hierarchy
+        self._line_bytes = hierarchy.config.l1d.line_bytes
+        self._streams: list[_Stream] = []
+        self.prefetches_launched = 0
+        self.streams_confirmed = 0
+
+    def attach(self) -> None:
+        """Register as the hierarchy's L1-miss listener."""
+        self._hierarchy.set_miss_listener(self.on_miss)
+
+    def on_miss(self, addr: int, now: int = 0) -> None:
+        """Train on a demand L1 miss at cycle *now*; launch prefetches."""
+        line = addr // self._line_bytes
+
+        stream = self._match(line)
+        if stream is not None:
+            if not stream.confirmed:
+                stream.stride = line - stream.last_line
+                stream.confirmed = True
+                self.streams_confirmed += 1
+            stream.last_line = line
+            self._launch(line, stream.stride, self._config.stream_depth, now)
+            return
+
+        # No stream matched: allocate a tracker for this miss and,
+        # before any stride is known, prefetch the sequential next block.
+        self._allocate(line)
+        if self._config.sequential_next_line:
+            self._launch(line, stride=1, depth=1, now=now)
+
+    # ------------------------------------------------------------------
+
+    def _match(self, line: int) -> _Stream | None:
+        """Find a stream this miss continues (unit stride, +/-1 line)."""
+        for stream in self._streams:
+            if stream.confirmed:
+                if line == stream.last_line + stream.stride:
+                    return stream
+            elif line in (stream.last_line + 1, stream.last_line - 1):
+                return stream
+        return None
+
+    def _allocate(self, line: int) -> None:
+        if len(self._streams) >= self._config.stream_table_entries:
+            self._streams.pop(0)
+        self._streams.append(_Stream(last_line=line, stride=0, confirmed=False))
+
+    def _launch(self, line: int, stride: int, depth: int, now: int = 0) -> None:
+        for step in range(1, depth + 1):
+            target_line = line + stride * step
+            if target_line < 0:
+                break
+            self.prefetches_launched += 1
+            self._hierarchy.prefetch_fill(target_line * self._line_bytes, now)

@@ -1,0 +1,145 @@
+"""SMT thread contexts and the ICOUNT fetch policy (Section 4.1).
+
+The machine has ``thread_contexts`` hardware contexts: context 0 runs
+the main program; the others are idle until the slice table forks a
+helper thread into one. Helper threads share fetch bandwidth, window
+slots, functional units, and the L1 D-cache with the main thread; fetch
+slots are handed out ICOUNT-style, biased toward the main thread.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+
+from repro.arch.memory import Memory
+from repro.arch.state import ThreadState
+from repro.isa.program import Program
+from repro.slices.spec import SliceSpec
+from repro.uarch.window import WindowEntry
+
+
+class ThreadKind(enum.Enum):
+    MAIN = "main"
+    SLICE = "slice"
+
+
+class ThreadContext:
+    """One hardware thread context."""
+
+    __slots__ = (
+        "thread_id",
+        "kind",
+        "program",
+        "state",
+        "active",
+        "fetch_stalled",
+        "rob",
+        "in_flight",
+        "last_writer",
+        "spec",
+        "instance_id",
+        "fork_vn",
+        "iterations",
+        "livein_ready_cycle",
+        "fetched",
+        "retired",
+        "slice_misses",
+    )
+
+    def __init__(self, thread_id: int):
+        self.thread_id = thread_id
+        self.kind = ThreadKind.SLICE
+        self.program: Program | None = None
+        self.state: ThreadState | None = None
+        self.active = False
+        #: Fetch blocked (wrong path ran off the program / slice done);
+        #: already-fetched instructions continue to drain.
+        self.fetch_stalled = False
+        self.rob: deque[WindowEntry] = deque()
+        self.in_flight = 0
+        self.last_writer: dict[int, WindowEntry] = {}
+        # Slice-thread fields.
+        self.spec: SliceSpec | None = None
+        self.instance_id: int = -1
+        self.fork_vn: int = -1
+        self.iterations = 0
+        self.livein_ready_cycle = 0
+        self.fetched = 0
+        self.retired = 0
+        #: L1-missing loads this helper thread performed (confidence
+        #: gating treats them as evidence of useful prefetching).
+        self.slice_misses = 0
+
+    # ------------------------------------------------------------------
+
+    def activate_main(self, program: Program, memory: Memory) -> None:
+        self.kind = ThreadKind.MAIN
+        self.program = program
+        self.state = ThreadState(memory, program.entry_pc, journaling=True)
+        self.active = True
+
+    def activate_slice(
+        self,
+        spec: SliceSpec,
+        memory: Memory,
+        live_in_values: dict[int, int],
+        instance_id: int,
+        fork_vn: int,
+        livein_ready_cycle: int,
+    ) -> None:
+        """Fork a slice into this context (Section 4.3 register copy)."""
+        self.kind = ThreadKind.SLICE
+        self.program = spec.code
+        # Helper threads perform no stores, so they need no journaling.
+        self.state = ThreadState(memory, spec.entry_pc, journaling=False)
+        self.state.regs.load_values(live_in_values)
+        self.spec = spec
+        self.instance_id = instance_id
+        self.fork_vn = fork_vn
+        self.iterations = 0
+        self.livein_ready_cycle = livein_ready_cycle
+        self.slice_misses = 0
+        self.active = True
+        self.fetch_stalled = False
+        self.rob.clear()
+        self.in_flight = 0
+        self.last_writer.clear()
+        self.fetched = 0
+        self.retired = 0
+
+    def release(self) -> None:
+        """Return the context to the idle pool."""
+        self.active = False
+        self.fetch_stalled = False
+        self.spec = None
+        self.instance_id = -1
+        self.fork_vn = -1
+        self.rob.clear()
+        self.in_flight = 0
+        self.last_writer.clear()
+
+    @property
+    def is_main(self) -> bool:
+        return self.kind is ThreadKind.MAIN
+
+    @property
+    def can_fetch(self) -> bool:
+        return self.active and not self.fetch_stalled
+
+
+def icount_order(
+    threads: list[ThreadContext], main_bias: float
+) -> list[ThreadContext]:
+    """Order fetchable threads by biased in-flight count (ICOUNT).
+
+    The main thread's count is divided by *main_bias* so it wins ties
+    and keeps priority until it is well ahead of the helpers.
+    """
+
+    def key(thread: ThreadContext) -> float:
+        if thread.is_main:
+            return thread.in_flight / main_bias
+        return float(thread.in_flight)
+
+    return sorted((t for t in threads if t.can_fetch), key=key)

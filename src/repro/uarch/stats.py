@@ -1,0 +1,112 @@
+"""Run statistics collected by the core.
+
+Per-static-PC counters feed the problem-instruction profiler (Table 2);
+aggregate counters feed the run characterization (Table 4). All
+"committed" counters reflect the architecturally-correct path only;
+"fetched" counters include wrong-path work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.slices.correlator import CorrelatorStats
+
+
+@dataclass
+class PcCounter:
+    """Executions and performance-degrading events for one static PC."""
+
+    executions: int = 0
+    events: int = 0
+
+    @property
+    def rate(self) -> float:
+        return self.events / self.executions if self.executions else 0.0
+
+
+@dataclass
+class RunStats:
+    """Everything measured during one simulation run."""
+
+    config_name: str = ""
+    workload_name: str = ""
+    cycles: int = 0
+    #: Main-thread instructions committed (the run's length).
+    committed: int = 0
+    #: Main-thread instructions fetched, including wrong-path.
+    main_fetched: int = 0
+    slice_fetched: int = 0
+    slice_retired: int = 0
+    #: Committed branch mispredictions (squash-causing).
+    branch_mispredictions: int = 0
+    #: Committed conditional/indirect branches.
+    branches_committed: int = 0
+    #: Committed loads that missed the L1 (post prefetch-buffer).
+    load_misses: int = 0
+    loads_committed: int = 0
+    stores_committed: int = 0
+    store_misses: int = 0
+    #: Early resolutions triggered by late predictions.
+    early_resolutions: int = 0
+    #: Squashes caused by wrong slice value predictions (extension).
+    value_mispredict_squashes: int = 0
+    # Fork accounting (Table 4).
+    fork_points_fetched: int = 0
+    forks_taken: int = 0
+    forks_ignored: int = 0
+    forks_squashed: int = 0
+    #: Fork requests suppressed by confidence gating (Section 6.3).
+    forks_gated: int = 0
+    slices_completed: int = 0
+    #: Per-static-PC branch behavior (conditional + indirect).
+    branch_pcs: dict[int, PcCounter] = field(default_factory=dict)
+    #: Per-static-PC memory behavior (loads and stores).
+    mem_pcs: dict[int, PcCounter] = field(default_factory=dict)
+    correlator: CorrelatorStats = field(default_factory=CorrelatorStats)
+    hierarchy: dict[str, int] = field(default_factory=dict)
+    #: True when the run hit its cycle ceiling before committing the region.
+    hit_cycle_limit: bool = False
+    #: Optional cycle accounting (fill with Core(cycle_accounting=True)):
+    #: cycles attributed to commit-slot activity at the main thread's
+    #: ROB head: "busy" (full commit width used), "memory" (head waits
+    #: on a load miss), "execute" (head waits on computation),
+    #: "frontend" (ROB empty: mispredict refill / fetch starvation),
+    #: "drain" (partially filled commit).
+    cycle_breakdown: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def total_fetched(self) -> int:
+        return self.main_fetched + self.slice_fetched
+
+    @property
+    def mispredict_rate(self) -> float:
+        if not self.branches_committed:
+            return 0.0
+        return self.branch_mispredictions / self.branches_committed
+
+    @property
+    def load_miss_rate(self) -> float:
+        if not self.loads_committed:
+            return 0.0
+        return self.load_misses / self.loads_committed
+
+    def count_branch(self, pc: int, mispredicted: bool) -> None:
+        counter = self.branch_pcs.get(pc)
+        if counter is None:
+            counter = self.branch_pcs[pc] = PcCounter()
+        counter.executions += 1
+        if mispredicted:
+            counter.events += 1
+
+    def count_mem(self, pc: int, missed: bool) -> None:
+        counter = self.mem_pcs.get(pc)
+        if counter is None:
+            counter = self.mem_pcs[pc] = PcCounter()
+        counter.executions += 1
+        if missed:
+            counter.events += 1

@@ -1,0 +1,137 @@
+"""Pipeline event tracing (debug utility).
+
+Wraps a :class:`~repro.uarch.core.Core` to record per-instruction
+pipeline events — fetch, issue (approximated by readiness), completion,
+commit, squash — over a bounded cycle window, and renders them as a
+classic pipeline diagram. Intended for debugging slices and workloads:
+
+.. code-block:: python
+
+    core = Core(program, FOUR_WIDE, ...)
+    log = attach_trace(core, start_cycle=0, max_entries=200)
+    core.run()
+    print(render_trace(log))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.disasm import format_instruction
+from repro.uarch.core import Core
+
+
+@dataclass
+class TraceRecord:
+    """Lifecycle of one traced dynamic instruction."""
+
+    vn: int
+    thread_id: int
+    pc: int
+    text: str
+    fetch_cycle: int
+    complete_cycle: int | None = None
+    commit_cycle: int | None = None
+    squashed: bool = False
+
+
+@dataclass
+class TraceLog:
+    records: dict[int, TraceRecord] = field(default_factory=dict)
+    max_entries: int = 200
+    start_cycle: int = 0
+    #: Set True once max_entries tracing stopped early.
+    truncated: bool = False
+
+    def ordered(self) -> list[TraceRecord]:
+        return [self.records[vn] for vn in sorted(self.records)]
+
+
+def attach_trace(
+    core: Core, start_cycle: int = 0, max_entries: int = 200
+) -> TraceLog:
+    """Instrument *core* (before ``run``) and return the live log."""
+    log = TraceLog(max_entries=max_entries, start_cycle=start_cycle)
+
+    original_fetch_one = core._fetch_one
+
+    def traced_fetch_one(ctx):
+        ok = original_fetch_one(ctx)
+        if ok and core.cycle >= start_cycle and ctx.rob:
+            if len(log.records) >= max_entries:
+                log.truncated = True
+                return ok
+            entry = ctx.rob[-1]
+            log.records[entry.vn] = TraceRecord(
+                vn=entry.vn,
+                thread_id=entry.thread_id,
+                pc=entry.inst.pc,
+                text=format_instruction(entry.inst),
+                fetch_cycle=core.cycle,
+            )
+        return ok
+
+    core._fetch_one = traced_fetch_one
+
+    original_completions = core._process_completions
+
+    def traced_completions():
+        before = {
+            vn
+            for vn, record in log.records.items()
+            if record.complete_cycle is None
+        }
+        original_completions()
+        for ctx in core.threads:
+            if not ctx.active:
+                continue
+            for entry in ctx.rob:
+                if entry.vn in before and entry.completed:
+                    log.records[entry.vn].complete_cycle = core.cycle
+
+    core._process_completions = traced_completions
+
+    original_commit_main = core._commit_main
+
+    def traced_commit(entry):
+        record = log.records.get(entry.vn)
+        if record is not None:
+            record.commit_cycle = core.cycle
+        return original_commit_main(entry)
+
+    core._commit_main = traced_commit
+
+    original_squash = core._squash_after
+
+    def traced_squash(branch, resume_pc, replay_taken, replay_target):
+        min_vn = branch.vn + 1
+        for vn, record in log.records.items():
+            if vn >= min_vn and record.commit_cycle is None:
+                record.squashed = True
+        return original_squash(branch, resume_pc, replay_taken, replay_target)
+
+    core._squash_after = traced_squash
+    return log
+
+
+def render_trace(log: TraceLog, width: int = 100) -> str:
+    """Render the log as a fetch/complete/commit table."""
+    lines = [
+        f"{'vn':>6s} {'t':>2s} {'pc':>8s}  {'fetch':>7s} {'done':>7s} "
+        f"{'commit':>7s}  instruction",
+        "-" * width,
+    ]
+    for record in log.ordered():
+
+        def cell(value):
+            return f"{value:>7d}" if value is not None else "      -"
+
+        flag = " SQUASHED" if record.squashed else ""
+        lines.append(
+            f"{record.vn:>6d} {record.thread_id:>2d} {record.pc:>#8x}  "
+            f"{record.fetch_cycle:>7d} {cell(record.complete_cycle)} "
+            f"{cell(record.commit_cycle)}  {record.text}{flag}"
+        )
+    if log.truncated:
+        lines.append(f"... (truncated at {log.max_entries} entries)")
+    return "\n".join(lines)

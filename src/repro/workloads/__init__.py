@@ -1,0 +1,5 @@
+"""SPEC2000int-analog synthetic workloads (one module per benchmark)."""
+
+from repro.workloads.base import Lcg, SLICE_CODE_BASE, Workload
+
+__all__ = ["Lcg", "SLICE_CODE_BASE", "Workload"]

@@ -1,0 +1,143 @@
+"""crafty analog: bitboard scans with a data-dependent capture test.
+
+crafty's problem instructions cluster in ``FirstOne``/``LastOne``-style
+bit scans and in capture/quiet decisions on freshly computed attack
+sets. The paper's footnote explains why crafty resisted slices: the
+bit-scan work is compact (Alpha has dedicated instructions for it) and
+the baseline IPC is high, so the opportunity cost of helper-thread
+execution eats the benefit. Expect little or no speedup.
+
+The slice here is the paper's crafty-style 7-instruction straight-line
+slice covering the single capture branch.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.slices.spec import KillKind, KillSpec, PGISpec, SliceSpec
+from repro.workloads.base import SLICE_CODE_BASE, Lcg, Workload
+
+
+def build(scale: float = 1.0, seed: int = 1985) -> Workload:
+    """Build the crafty bit-scan workload.
+
+    At ``scale=1.0``: 2600 move evaluations over L1-resident bitboards,
+    ~230k dynamic instructions at a high baseline IPC.
+    """
+    moves = max(int(2600 * scale), 40)
+
+    asm = Assembler(base_pc=0x1000)
+    boards_base = asm.data_space("boards", 1024)  # L1-resident
+    movelist_base = asm.data_space("moves", moves)
+
+    asm.li("r20", moves)
+    asm.li("r21", movelist_base)
+    asm.li("r22", boards_base)
+    asm.li("r28", 0)
+
+    asm.label("move_loop")
+    asm.ld("r1", "r21")  # packed move descriptor
+    asm.and_("r2", "r1", imm=0xFF8)
+    asm.add("r2", "r2", rb="r22")
+    attack_load = asm.ld("r3", "r2")  # attack bitboard (L1 hit)
+    asm.comment("FirstOne: find lowest set bit by shifting (trip count")
+    asm.comment("is data-dependent but the loop is tiny)")
+    asm.li("r4", 0)
+    asm.label("scan_loop")
+    asm.and_("r5", "r3", imm=1)
+    asm.bne("r5", "scan_done")
+    asm.srl("r3", "r3", imm=1)
+    asm.add("r4", "r4", imm=1)
+    asm.bgt("r3", "scan_loop")
+    asm.label("scan_done")
+    asm.comment("capture test on the found square (unbiased)")
+    asm.sra("r6", "r1", imm=12)
+    asm.xor("r7", "r6", rb="r4")
+    asm.and_("r7", "r7", imm=1)
+    capture_branch = asm.bne("r7", "is_capture")
+    asm.add("r28", "r28", rb="r4")
+    asm.br("move_done")
+    asm.label("is_capture")
+    asm.xor("r28", "r28", rb="r6")
+    asm.label("move_done")
+    asm.comment("fork point for the NEXT move (score bookkeeping)")
+    fork_inst = asm.sll("r8", "r28", imm=1)
+    asm.xor("r28", "r28", rb="r8")
+    asm.add("r9", "r4", rb="r6")
+    asm.add("r28", "r28", rb="r9")
+    asm.add("r21", "r21", imm=8)
+    asm.sub("r20", "r20", imm=1)
+    asm.bgt("r20", "move_loop")
+    asm.halt()
+    program = asm.build()
+
+    rng = Lcg(seed)
+    image = dict(program.data)
+    for i in range(1024):
+        image[boards_base + 8 * i] = rng.below(1 << 40) | 1 << rng.below(20)
+    for i in range(moves):
+        image[movelist_base + 8 * i] = rng.below(1 << 20)
+
+    slice_spec = _build_slice(
+        fork_pc=fork_inst.pc,
+        boards_base=boards_base,
+        capture_branch_pc=capture_branch.pc,
+        slice_kill_pc=program.pc_of("move_done"),
+    )
+
+    return Workload(
+        name="crafty",
+        program=program,
+        memory_image=image,
+        region=moves * 90,
+        description="bitboard scans with capture tests (high base IPC)",
+        slices=(slice_spec,),
+        problem_branch_pcs=frozenset({capture_branch.pc}),
+        problem_load_pcs=frozenset(),
+        expectation=(
+            "little or no speedup: high base IPC makes slice execution "
+            "expensive (the paper did not significantly improve crafty)"
+        ),
+    )
+
+
+def _build_slice(
+    fork_pc: int,
+    boards_base: int,
+    capture_branch_pc: int,
+    slice_kill_pc: int,
+) -> SliceSpec:
+    """Capture-test slice for the next move (contains the scan loop)."""
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x9000)
+    asm.label("cr_slice")
+    asm.comment("the NEXT move (r21 still points at the current)")
+    asm.ld("r1", "r21", 8)  # r21 live-in
+    asm.and_("r2", "r1", imm=0xFF8)
+    asm.add("r2", "r2", imm=boards_base)
+    asm.ld("r3", "r2")
+    asm.li("r4", 0)
+    asm.label("cr_scan")
+    asm.and_("r5", "r3", imm=1)
+    asm.bne("r5", "cr_done")
+    asm.srl("r3", "r3", imm=1)
+    asm.add("r4", "r4", imm=1)
+    back = asm.bgt("r3", "cr_scan")
+    asm.label("cr_done")
+    asm.sra("r6", "r1", imm=12)
+    asm.xor("r7", "r6", rb="r4")
+    asm.comment("PGI: capture parity")
+    pgi_inst = asm.and_("r7", "r7", imm=1)
+    asm.halt()
+    code = asm.build()
+
+    return SliceSpec(
+        name="crafty_capture",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("cr_slice"),
+        live_in_regs=(21,),
+        pgis=(PGISpec(slice_pc=pgi_inst.pc, branch_pc=capture_branch_pc),),
+        kills=(KillSpec(slice_kill_pc, KillKind.SLICE),),
+        max_iterations=40,
+        loop_back_pc=back.pc,
+    )

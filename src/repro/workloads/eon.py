@@ -1,0 +1,198 @@
+"""eon analog: ray-object intersection tests.
+
+eon (a probabilistic ray tracer) is compute-bound: its data fits in the
+caches ("insufficient misses" for the memory side of Table 2), but
+each ray performs several comparisons against freshly computed
+geometry, giving a cluster of unbiased problem branches. The paper's
+eon slice is straight-line (8 static instructions, 1 live-in) and
+predicts 6 branches; the slice here predicts the 3 intersection tests
+of each ray, and gets more than half of the mispredictions (paper:
+52% removed, no loads covered).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.slices.spec import KillKind, KillSpec, PGISpec, SliceSpec
+from repro.workloads.base import SLICE_CODE_BASE, Lcg, Workload
+
+RAY_BYTES = 32
+
+
+def build(scale: float = 1.0, seed: int = 2000) -> Workload:
+    """Build the eon intersection workload.
+
+    At ``scale=1.0``: 2400 rays against an L1-resident scene,
+    ~240k dynamic instructions at a high baseline IPC.
+    """
+    rays = max(int(2400 * scale), 40)
+
+    asm = Assembler(base_pc=0x1000)
+    rays_base = asm.data_space("rays", rays * (RAY_BYTES // 8))
+    scene_base = asm.data_space("scene", 512)  # L1-resident
+    hits_addr = asm.data_word("hits", 0)
+
+    asm.li("r20", rays)
+    asm.li("r21", rays_base)
+    asm.li("r22", scene_base)
+    asm.li("r28", 0)
+
+    asm.label("ray_loop")
+    asm.ld("r1", "r21")  # direction
+    asm.ld("r2", "r21", 8)  # origin
+    asm.ld("r3", "r21", 16)  # t-scale
+    asm.comment("camera transform (unrelated to the hit tests; the")
+    asm.comment("slice excludes it, which is where its lead comes from)")
+    asm.sll("r23", "r1", imm=1)
+    asm.add("r23", "r23", rb="r2")
+    asm.sra("r24", "r2", imm=2)
+    asm.xor("r24", "r24", rb="r3")
+    asm.add("r25", "r23", rb="r24")
+    asm.and_("r25", "r25", imm=0xFFFF)
+    asm.add("r26", "r25", rb="r1")
+    asm.sra("r26", "r26", imm=1)
+    asm.xor("r28", "r28", rb="r26")
+    asm.add("r28", "r28", rb="r25")
+    asm.comment("intersection setup (compute-heavy, no misses)")
+    asm.and_("r4", "r1", imm=0x1FF8)
+    asm.add("r4", "r4", rb="r22")
+    asm.ld("r5", "r4")  # sphere radius (scene: L1 hit)
+    asm.mul("r6", "r1", rb="r2")
+    asm.sra("r6", "r6", imm=14)
+    asm.sub("r7", "r6", rb="r5")
+    asm.comment("problem branch 1: discriminant sign")
+    disc_branch = asm.blt("r7", "ray_miss")
+    asm.mul("r8", "r7", rb="r3")
+    asm.sra("r8", "r8", imm=6)
+    asm.sub("r9", "r8", rb="r2")
+    asm.comment("problem branch 2: near-clip test")
+    near_branch = asm.blt("r9", "ray_near")
+    asm.add("r10", "r9", rb="r5")
+    asm.and_("r10", "r10", imm=0x3F)
+    asm.sub("r11", "r10", imm=31)
+    asm.comment("problem branch 3: shadow-cache parity")
+    shadow_branch = asm.blt("r11", "ray_shadow")
+    asm.add("r28", "r28", rb="r9")
+    asm.br("ray_next")
+    asm.label("ray_shadow")
+    asm.xor("r28", "r28", rb="r10")
+    asm.br("ray_next")
+    asm.label("ray_near")
+    asm.add("r28", "r28", imm=2)
+    asm.br("ray_next")
+    asm.label("ray_miss")
+    asm.sub("r28", "r28", imm=1)
+    asm.label("ray_next")
+    asm.comment("fork point for the NEXT ray (hoisted past shading)")
+    fork_inst = asm.add("r15", "r28", imm=0)
+    asm.comment("shading / radiance accumulation (fork lead, ILP-rich)")
+    asm.and_("r16", "r20", imm=0x3F)
+    asm.sll("r16", "r16", imm=3)
+    asm.add("r16", "r16", rb="r22")
+    for step in range(6):
+        asm.ld("r17", "r16", 8 * step)
+        asm.ld("r18", "r16", 8 * step + 512)
+        asm.add("r23", "r23", rb="r17")
+        asm.xor("r24", "r24", rb="r18")
+        asm.sra("r25", "r17", imm=3)
+        asm.add("r26", "r26", rb="r25")
+    asm.add("r28", "r28", rb="r23")
+    asm.xor("r28", "r28", rb="r24")
+    asm.add("r28", "r28", rb="r26")
+    asm.add("r21", "r21", imm=RAY_BYTES)
+    asm.sub("r20", "r20", imm=1)
+    asm.bgt("r20", "ray_loop")
+    asm.halt()
+    program = asm.build()
+
+    rng = Lcg(seed)
+    image = dict(program.data)
+    for i in range(512):
+        image[scene_base + 8 * i] = rng.below(1 << 14)
+    for i in range(rays):
+        addr = rays_base + i * RAY_BYTES
+        image[addr] = rng.below(1 << 14)
+        image[addr + 8] = rng.below(1 << 14)
+        image[addr + 16] = rng.below(64) + 1
+    image[hits_addr] = 0
+
+    slice_spec = _build_slice(
+        fork_pc=fork_inst.pc,
+        scene_base=scene_base,
+        disc_branch_pc=disc_branch.pc,
+        near_branch_pc=near_branch.pc,
+        shadow_branch_pc=shadow_branch.pc,
+        slice_kill_pc=program.pc_of("ray_next"),
+    )
+
+    return Workload(
+        name="eon",
+        program=program,
+        memory_image=image,
+        region=rays * 110,
+        description="ray intersection tests (compute-bound, branchy)",
+        slices=(slice_spec,),
+        problem_branch_pcs=frozenset(
+            {disc_branch.pc, near_branch.pc, shadow_branch.pc}
+        ),
+        problem_load_pcs=frozenset(),
+        expectation=(
+            "branch-only speedup (paper: 52% of mispredictions "
+            "removed, insufficient misses to matter)"
+        ),
+    )
+
+
+def _build_slice(
+    fork_pc: int,
+    scene_base: int,
+    disc_branch_pc: int,
+    near_branch_pc: int,
+    shadow_branch_pc: int,
+    slice_kill_pc: int,
+) -> SliceSpec:
+    """Straight-line slice computing all three intersection tests.
+
+    Branches 2 and 3 are conditionally executed (each guarded by the
+    previous test), so their unconsumed predictions rely on the slice
+    kill at the rays' reconvergence point — the Figure 8 pattern.
+    """
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x7000)
+    asm.label("eon_slice")
+    asm.comment("the NEXT ray (r21 still points at the current)")
+    asm.ld("r1", "r21", 32)  # r21 live-in: ray pointer
+    asm.ld("r2", "r21", 40)
+    asm.ld("r3", "r21", 48)
+    asm.and_("r4", "r1", imm=0x1FF8)
+    asm.add("r4", "r4", imm=scene_base)
+    asm.ld("r5", "r4")
+    asm.mul("r6", "r1", rb="r2")
+    asm.sra("r6", "r6", imm=14)
+    asm.sub("r7", "r6", rb="r5")
+    asm.comment("PGI 1: discriminant sign")
+    pgi_disc = asm.cmplt("r12", "r7", imm=0)
+    asm.mul("r8", "r7", rb="r3")
+    asm.sra("r8", "r8", imm=6)
+    asm.sub("r9", "r8", rb="r2")
+    asm.comment("PGI 2: near-clip test")
+    pgi_near = asm.cmplt("r13", "r9", imm=0)
+    asm.add("r10", "r9", rb="r5")
+    asm.and_("r10", "r10", imm=0x3F)
+    asm.comment("PGI 3: shadow parity test")
+    pgi_shadow = asm.cmplt("r14", "r10", imm=31)
+    asm.halt()
+    code = asm.build()
+
+    return SliceSpec(
+        name="eon_ray",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("eon_slice"),
+        live_in_regs=(21,),
+        pgis=(
+            PGISpec(slice_pc=pgi_disc.pc, branch_pc=disc_branch_pc),
+            PGISpec(slice_pc=pgi_near.pc, branch_pc=near_branch_pc, conditional=True),
+            PGISpec(slice_pc=pgi_shadow.pc, branch_pc=shadow_branch_pc, conditional=True),
+        ),
+        kills=(KillSpec(slice_kill_pc, KillKind.SLICE),),
+    )

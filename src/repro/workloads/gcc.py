@@ -1,0 +1,170 @@
+"""gcc analog: rtx tree walks dispatched on node type.
+
+gcc's problem branches live in functions that switch on an rtx node's
+code and recursively descend a subset of the operands. Slice
+construction fails here (Section 6.2): "the unpredictability of the
+traversal, coupled with the fact that computing the traversal order is
+a substantial fraction of these functions, makes generating profitable
+slices difficult" — a slice that predicts anything useful must
+replicate most of the walker.
+
+The kernel walks random binary rtx trees with an explicit stack,
+switching on each node's type via an indirect jump (hard for the
+cascading predictor) plus a leaf test (hard for YAGS). The one slice we
+ship is the best that can be built without replicating the traversal —
+a prefetch of the just-pushed child — and, as in the paper, it buys
+approximately nothing.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.slices.spec import SliceSpec
+from repro.workloads.base import SLICE_CODE_BASE, Lcg, Workload
+
+NODE_BYTES = 32
+
+
+def build(scale: float = 1.0, seed: int = 1984) -> Workload:
+    """Build the gcc tree-walk workload.
+
+    At ``scale=1.0``: 220 trees of ~127 nodes over a ~900KB arena,
+    ~240k dynamic instructions.
+    """
+    trees = max(int(220 * scale), 8)
+    depth = 7  # ~127 nodes per tree
+    nodes_per_tree = (1 << depth) - 1
+    total = trees * nodes_per_tree
+
+    asm = Assembler(base_pc=0x1000)
+    roots_base = asm.data_space("roots", trees)
+    arena_base = asm.data_space("arena", total * (NODE_BYTES // 8))
+    stack_base = asm.data_space("stack", 256)
+    dispatch_base = asm.data_space("dispatch", 4)  # jump table
+
+    asm.li("r20", trees)
+    asm.li("r21", roots_base)
+    asm.li("r22", stack_base)
+    asm.li("r23", dispatch_base)
+    asm.li("r28", 0)
+
+    asm.label("tree_loop")
+    fork_inst = asm.ld("r1", "r21")  # node = roots[k]
+    asm.li("r2", 0)  # stack depth
+
+    asm.label("visit")
+    type_load = asm.ld("r3", "r1", 8)  # node->code (problem load)
+    asm.and_("r4", "r3", imm=3)
+    asm.s8add("r5", "r4", "r23")
+    asm.ld("r6", "r5")
+    asm.comment("problem branch: switch on rtx code (indirect)")
+    switch_jump = asm.jr("r6")
+
+    asm.label("case_binary")  # descend both: push right, go left
+    asm.ld("r7", "r1", 24)  # right child
+    asm.s8add("r8", "r2", "r22")
+    asm.st("r7", "r8")
+    asm.add("r2", "r2", imm=1)
+    asm.ld("r1", "r1", 16)  # left child
+    asm.comment("problem branch: leaf test on the left child")
+    leaf_branch = asm.bne("r1", "visit")
+    asm.br("pop")
+
+    asm.label("case_unary")  # descend left only
+    asm.add("r28", "r28", rb="r3")
+    asm.ld("r1", "r1", 16)
+    asm.bne("r1", "visit")
+    asm.br("pop")
+
+    asm.label("case_leaf")
+    asm.xor("r28", "r28", rb="r3")
+    asm.label("pop")
+    asm.ble("r2", "tree_done")
+    asm.sub("r2", "r2", imm=1)
+    asm.s8add("r8", "r2", "r22")
+    asm.ld("r1", "r8")
+    asm.bne("r1", "visit")
+    asm.br("pop")
+
+    asm.label("tree_done")
+    asm.add("r21", "r21", imm=8)
+    asm.sub("r20", "r20", imm=1)
+    asm.bgt("r20", "tree_loop")
+    asm.halt()
+    program = asm.build()
+
+    rng = Lcg(seed)
+    image = dict(program.data)
+    image[dispatch_base] = program.pc_of("case_binary")
+    image[dispatch_base + 8] = program.pc_of("case_unary")
+    image[dispatch_base + 16] = program.pc_of("case_leaf")
+    image[dispatch_base + 24] = program.pc_of("case_leaf")
+
+    slots = list(range(total))
+    for i in range(total - 1, 0, -1):
+        j = rng.below(i + 1)
+        slots[i], slots[j] = slots[j], slots[i]
+    addr = [arena_base + s * NODE_BYTES for s in slots]
+    index = 0
+    for k in range(trees):
+        # Heap-shaped tree over a contiguous index range, random codes.
+        base = index
+        image[roots_base + 8 * k] = addr[base]
+        for i in range(nodes_per_tree):
+            a = addr[base + i]
+            left = base + 2 * i + 1
+            right = base + 2 * i + 2
+            is_internal = left < base + nodes_per_tree
+            if is_internal:
+                code = rng.below(2)  # binary or unary
+            else:
+                code = 2  # leaf
+            image[a + 8] = code | (rng.below(1 << 12) << 2)
+            image[a + 16] = addr[left] if is_internal else 0
+            image[a + 24] = (
+                addr[right] if right < base + nodes_per_tree else 0
+            )
+            index += 1
+        index = base + nodes_per_tree
+
+    slice_spec = _build_slice(fork_pc=program.pc_of("case_binary"),
+                              type_load_pc=type_load.pc)
+
+    return Workload(
+        name="gcc",
+        program=program,
+        memory_image=image,
+        region=total * 14 + trees * 8 + 16,
+        description="rtx tree walk with type-switch dispatch",
+        slices=(slice_spec,),
+        problem_branch_pcs=frozenset({switch_jump.pc, leaf_branch.pc}),
+        problem_load_pcs=frozenset({type_load.pc}),
+        expectation=(
+            "~no speedup: the traversal order is the bulk of the "
+            "computation, so slices cannot run usefully ahead "
+            "(Section 6.2)"
+        ),
+    )
+
+
+def _build_slice(fork_pc: int, type_load_pc: int) -> SliceSpec:
+    """Best-effort gcc slice: prefetch the left child's line.
+
+    Cannot predict the switch (it would need the whole traversal), so
+    it only warms the next node — and mostly arrives barely ahead.
+    """
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0xB000)
+    asm.label("gc_slice")
+    asm.ld("r2", "r1", 16)  # left child of the current node (r1 live-in)
+    pf_type = asm.ld("r3", "r2", 8)
+    asm.halt()
+    code = asm.build()
+
+    return SliceSpec(
+        name="gcc_child",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("gc_slice"),
+        live_in_regs=(1,),
+        prefetch_for={pf_type.pc: type_load_pc},
+    )

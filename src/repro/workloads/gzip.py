@@ -1,0 +1,152 @@
+"""gzip analog: LZ77 longest-match comparison loops.
+
+gzip's ``longest_match`` compares the lookahead string against prior
+window positions; the match-continue branch depends on the compared
+bytes, so its trip count is data-dependent and short (a few words),
+making it the classic unbiased problem branch. The paper's gzip run
+covers no problem loads (Table 4) — the benefit is almost entirely
+branch-side — so the slice here generates predictions only.
+
+Per attempt, the kernel loads two window positions from a candidate
+list and compares word-by-word until inequality. The slice runs the
+same comparison ahead, one prediction per compared word.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.slices.spec import KillKind, KillSpec, PGISpec, SliceSpec
+from repro.workloads.base import SLICE_CODE_BASE, Lcg, Workload
+
+
+def build(scale: float = 1.0, seed: int = 1952) -> Workload:
+    """Build the gzip match workload.
+
+    At ``scale=1.0``: a 48K-word window (384KB) and 2800 match
+    attempts, ~240k dynamic instructions.
+    """
+    window_words = max(int(48_000 * scale), 4096)
+    attempts = max(int(2800 * scale), 40)
+
+    asm = Assembler(base_pc=0x1000)
+    window_base = asm.data_space("window", window_words)
+    # Candidate pairs: (cur, cand) byte offsets into the window.
+    cand_base = asm.data_space("cands", attempts * 2)
+    hash_base = asm.data_space("hash", 256)  # L1-resident hash heads
+
+    asm.li("r20", attempts)
+    asm.li("r21", cand_base)
+    asm.li("r28", 0)  # total match length (checksum)
+
+    asm.label("match_loop")
+    asm.ld("r1", "r21")  # cur position
+    asm.ld("r2", "r21", 8)  # candidate position
+    asm.li("r3", 0)  # match length
+
+    asm.label("cmp_loop")
+    cur_load = asm.ld("r4", "r1")
+    cand_load = asm.ld("r5", "r2")
+    asm.cmpeq("r6", "r4", rb="r5")
+    asm.comment("problem branch: match continues while words equal")
+    match_branch = asm.beq("r6", "match_done")
+    asm.add("r1", "r1", imm=8)
+    asm.add("r2", "r2", imm=8)
+    asm.add("r3", "r3", imm=1)
+    asm.br("cmp_loop")
+
+    asm.label("match_done")
+    asm.comment("fork point for the NEXT attempt (hoisted past the hash update)")
+    fork_inst = asm.add("r28", "r28", rb="r3")
+    asm.comment("hash-chain / best-length update (fork lead)")
+    asm.sll("r7", "r3", imm=2)
+    asm.xor("r28", "r28", rb="r7")
+    for step in range(6):
+        asm.and_("r8", "r28", imm=0x7F8)
+        asm.add("r9", "r8", imm=hash_base)
+        asm.ld("r10", "r9")
+        asm.add("r10", "r10", rb="r3")
+        asm.st("r10", "r9")
+        asm.sra("r28", "r28", imm=1)
+        asm.add("r28", "r28", rb="r10")
+    asm.add("r21", "r21", imm=16)
+    asm.sub("r20", "r20", imm=1)
+    asm.bgt("r20", "match_loop")
+    asm.halt()
+    program = asm.build()
+
+    # ------------------------------------------------------------------
+    # Window contents: low-entropy "text" so random positions agree for
+    # a geometric number of words (average match ~3).
+    # ------------------------------------------------------------------
+    rng = Lcg(seed)
+    image = dict(program.data)
+    for i in range(window_words):
+        image[window_base + 8 * i] = rng.below(2)
+    for i in range(attempts):
+        cur = rng.below(window_words - 64)
+        cand = rng.below(window_words - 64)
+        image[cand_base + 16 * i] = window_base + 8 * cur
+        image[cand_base + 16 * i + 8] = window_base + 8 * cand
+
+    slice_spec = _build_slice(
+        fork_pc=fork_inst.pc,
+        match_branch_pc=match_branch.pc,
+        loop_kill_pc=program.pc_of("cmp_loop"),
+        slice_kill_pc=program.pc_of("match_done"),
+    )
+
+    return Workload(
+        name="gzip",
+        program=program,
+        memory_image=image,
+        region=attempts * 110,
+        description="longest-match word-compare loops",
+        slices=(slice_spec,),
+        problem_branch_pcs=frozenset({match_branch.pc}),
+        problem_load_pcs=frozenset({cur_load.pc, cand_load.pc}),
+        expectation=(
+            "large speedup, entirely from branches (paper: 64% of "
+            "mispredictions removed, no problem loads covered)"
+        ),
+    )
+
+
+def _build_slice(
+    fork_pc: int,
+    match_branch_pc: int,
+    loop_kill_pc: int,
+    slice_kill_pc: int,
+) -> SliceSpec:
+    """Match-compare slice: one match-exit prediction per word."""
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x4000)
+    asm.label("gz_slice")
+    asm.comment("the NEXT attempt's pair (r21 still points at the current)")
+    asm.ld("r1", "r21", 16)  # r21 live-in: candidate-pair pointer
+    asm.ld("r2", "r21", 24)
+    asm.label("gz_loop")
+    asm.ld("r4", "r1")
+    asm.ld("r5", "r2")
+    asm.comment("PGI: words differ == branch taken (match ends)")
+    pgi_inst = asm.cmpeq("r6", "r4", rb="r5")
+    asm.add("r1", "r1", imm=8)
+    asm.add("r2", "r2", imm=8)
+    back = asm.bgt("r6", "gz_loop")
+    asm.halt()
+    code = asm.build()
+
+    return SliceSpec(
+        name="gzip_match",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("gz_slice"),
+        live_in_regs=(21,),
+        pgis=(
+            PGISpec(slice_pc=pgi_inst.pc, branch_pc=match_branch_pc, invert=True),
+        ),
+        kills=(
+            KillSpec(loop_kill_pc, KillKind.LOOP, skip_first=True),
+            KillSpec(slice_kill_pc, KillKind.SLICE),
+        ),
+        max_iterations=48,
+        loop_back_pc=back.pc,
+    )

@@ -1,0 +1,295 @@
+"""mcf analog: pointer-chasing over scattered node chains.
+
+mcf's dominant cost is walking linked node structures (e.g.
+``refresh_potential`` over the spanning tree) where consecutive nodes
+sit on unrelated cache lines: every ``node->next`` dereference misses,
+the stream prefetcher sees no stride, and the per-node branch on the
+node's potential is data-dependent and unbiased.
+
+The slice mirrors the paper's mcf slice (Table 3: 12 static
+instructions, all in the loop, 1 live-in, 4 prefetches and 1 prediction
+per iteration, iteration limit 98): it chases the same chain, touching
+each node's line (one prefetch covers next/potential/cost, which share
+the line) and computing the potential test as a PGI. As the paper notes
+for mcf, "the work performed at each node is insufficient to cover the
+latency of the sequential memory accesses", so the slice runs only
+slightly ahead of the main thread: prefetches are partially covering
+and predictions are frequently late — most of the benefit comes from
+loads (Table 4: ~80%).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.slices.spec import KillKind, KillSpec, PGIKind, PGISpec, SliceSpec
+from repro.workloads.base import SLICE_CODE_BASE, Lcg, Workload
+
+#: Bytes per node: next, potential, cost, pad (one 64B line holds two).
+NODE_BYTES = 32
+
+
+def build(scale: float = 1.0, seed: int = 1814) -> Workload:
+    """Build the mcf chain-walk workload.
+
+    At ``scale=1.0``: 60 chains of 96 nodes scattered over a ~180KB
+    arena (far beyond the 64KB L1), ~90k dynamic instructions dominated
+    by serial misses (mcf has the lowest baseline IPC in Figure 1).
+    """
+    chains = max(int(60 * scale), 6)
+    chain_len = 96
+    total_nodes = chains * chain_len
+
+    asm = Assembler(base_pc=0x1000)
+    heads_base = asm.data_space("heads", chains)
+    arena_base = asm.data_space("arena", total_nodes * (NODE_BYTES // 8))
+
+    # ------------------------------------------------------------------
+    # Driver: walk each chain, updating node potentials.
+    # ------------------------------------------------------------------
+    asm.li("r20", chains)
+    asm.li("r21", heads_base)
+    asm.li("r28", 0)  # running checksum
+    asm.label("chain_loop")
+    asm.comment("fork point: one slice per chain")
+    fork_inst = asm.ld("r1", "r21")  # node = heads[k]
+    asm.li("r2", 1000)  # parent potential seed
+    asm.beq("r1", "chain_done")
+
+    asm.label("node_loop")
+    asm.comment("node->potential (problem load: new line every node)")
+    load_pot = asm.ld("r3", "r1", 8)
+    load_cost = asm.ld("r4", "r1", 16)
+    asm.sub("r5", "r3", rb="r2")
+    asm.comment("problem branch: sign of reduced potential (unbiased)")
+    problem_branch = asm.blt("r5", "neg_update")
+    asm.add("r2", "r2", rb="r4")
+    asm.add("r28", "r28", rb="r3")
+    asm.br("advance")
+    asm.label("neg_update")
+    asm.sub("r2", "r2", rb="r4")
+    asm.xor("r28", "r28", rb="r3")
+    asm.label("advance")
+    asm.st("r2", "r1", 24)  # record updated potential (pad slot)
+    load_next = asm.ld("r1", "r1")  # node = node->next
+    asm.bne("r1", "node_loop")
+
+    asm.label("chain_done")
+    asm.add("r21", "r21", imm=8)
+    asm.sub("r20", "r20", imm=1)
+    asm.bgt("r20", "chain_loop")
+    asm.halt()
+    program = asm.build()
+
+    # ------------------------------------------------------------------
+    # Memory: nodes of each chain at randomly permuted arena slots, so
+    # successive dereferences land on unrelated lines.
+    # ------------------------------------------------------------------
+    rng = Lcg(seed)
+    image = dict(program.data)
+    slots = list(range(total_nodes))
+    for i in range(total_nodes - 1, 0, -1):  # Fisher-Yates
+        j = rng.below(i + 1)
+        slots[i], slots[j] = slots[j], slots[i]
+    addr_of_node = [arena_base + s * NODE_BYTES for s in slots]
+    node_index = 0
+    for k in range(chains):
+        image[heads_base + 8 * k] = addr_of_node[node_index]
+        for i in range(chain_len):
+            addr = addr_of_node[node_index]
+            nxt = (
+                addr_of_node[node_index + 1] if i < chain_len - 1 else 0
+            )
+            image[addr] = nxt
+            # Potentials straddle the running "parent potential" so the
+            # sign test stays unbiased.
+            image[addr + 8] = 900 + rng.below(220)
+            image[addr + 16] = rng.below(5) - 2
+            node_index += 1
+
+    slice_spec = _build_slice(
+        fork_pc=fork_inst.pc,
+        problem_branch_pc=problem_branch.pc,
+        loop_kill_pc=program.pc_of("node_loop"),
+        slice_kill_pc=program.pc_of("chain_done"),
+        load_pot_pc=load_pot.pc,
+        load_next_pc=load_next.pc,
+        load_cost_pc=load_cost.pc,
+    )
+    background_spec = _build_background_slice(
+        fork_pc=fork_inst.pc,
+        chain_len=chain_len,
+        load_pot_pc=load_pot.pc,
+        load_next_pc=load_next.pc,
+    )
+
+    return Workload(
+        name="mcf",
+        program=program,
+        memory_image=image,
+        region=total_nodes * 14 + chains * 8 + 16,
+        description="pointer-chasing chain walk with unbiased sign tests",
+        slices=(slice_spec, background_spec),
+        problem_branch_pcs=frozenset({problem_branch.pc}),
+        problem_load_pcs=frozenset({load_pot.pc, load_next.pc, load_cost.pc}),
+        expectation=(
+            "moderate speedup dominated by prefetching (~80% from "
+            "loads); slices consistently late because per-node work "
+            "cannot hide the chain's serial misses (paper: 55% miss "
+            "reduction, only 15% of mispredictions removed)"
+        ),
+    )
+
+
+def _build_slice(
+    fork_pc: int,
+    problem_branch_pc: int,
+    loop_kill_pc: int,
+    slice_kill_pc: int,
+    load_pot_pc: int,
+    load_next_pc: int,
+    load_cost_pc: int,
+) -> SliceSpec:
+    """Chain-chasing slice: 4 prefetching loads + 1 PGI per iteration.
+
+    Terminates when it dereferences the chain's null tail (the paper's
+    exception rule) or at the 98-iteration runaway bound (Table 3).
+    """
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x1000)
+    asm.label("mcf_slice")
+    asm.ld("r1", "r21")  # node = heads[k] (r21 live-in)
+    asm.li("r2", 1000)
+    asm.label("mcf_slice_loop")
+    asm.comment("prefetch the node line (covers next/potential/cost)")
+    pf_pot = asm.ld("r3", "r1", 8)
+    pf_cost = asm.ld("r4", "r1", 16)
+    asm.sub("r5", "r3", rb="r2")
+    asm.comment("PGI: sign of reduced potential")
+    pgi_inst = asm.cmplt("r6", "r5", imm=0)
+    # Track the potential update on both paths via if-conversion
+    # (Section 3.1: required control flow is if-converted).
+    asm.sub("r7", "r2", rb="r4")
+    asm.add("r2", "r2", rb="r4")
+    asm.cmovne("r2", "r6", "r7")
+    pf_next = asm.ld("r1", "r1")  # faults/stops at the null tail
+    back = asm.bne("r1", "mcf_slice_loop")
+    asm.halt()
+    code = asm.build()
+
+    return SliceSpec(
+        name="mcf_chain",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("mcf_slice"),
+        live_in_regs=(21,),
+        pgis=(PGISpec(slice_pc=pgi_inst.pc, branch_pc=problem_branch_pc),),
+        kills=(
+            KillSpec(loop_kill_pc, KillKind.LOOP, skip_first=True),
+            KillSpec(slice_kill_pc, KillKind.SLICE),
+        ),
+        max_iterations=98,
+        loop_back_pc=back.pc,
+        prefetch_for={
+            pf_pot.pc: load_pot_pc,
+            pf_cost.pc: load_cost_pc,
+            pf_next.pc: load_next_pc,
+        },
+    )
+
+
+def value_prediction_slice(workload: Workload) -> SliceSpec:
+    """The conclusion's value-prediction extension, applied to mcf.
+
+    The chain walk's fundamental limit is the serial ``node->next``
+    dependence: prefetching shortens each miss but the main thread
+    still waits for every pointer before starting the next access.
+    This slice variant additionally routes its computed next pointers
+    and potentials to the correlator as *value predictions*; when a
+    prediction is bound (and correct), the main thread's consumers
+    proceed without waiting for the load, breaking the serial chain.
+    """
+    program = workload.program
+    (branch_pc,) = workload.problem_branch_pcs
+    loads = {program.at(pc).imm: pc for pc in workload.problem_load_pcs}
+    load_next_pc, load_pot_pc, load_cost_pc = loads[0], loads[8], loads[16]
+
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x3000)
+    asm.label("mcf_vp")
+    asm.ld("r1", "r21")  # node = heads[k] (r21 live-in)
+    asm.li("r2", 1000)
+    asm.label("mcf_vp_loop")
+    pf_pot = asm.ld("r3", "r1", 8)
+    pf_cost = asm.ld("r4", "r1", 16)
+    asm.sub("r5", "r3", rb="r2")
+    pgi_branch = asm.cmplt("r6", "r5", imm=0)
+    asm.sub("r7", "r2", rb="r4")
+    asm.add("r2", "r2", rb="r4")
+    asm.cmovne("r2", "r6", "r7")
+    asm.comment("value PGI: the next pointer itself")
+    pf_next = asm.ld("r1", "r1")
+    back = asm.bne("r1", "mcf_vp_loop")
+    asm.halt()
+    code = asm.build()
+
+    return SliceSpec(
+        name="mcf_value",
+        fork_pc=workload.slices[0].fork_pc,
+        code=code,
+        entry_pc=code.pc_of("mcf_vp"),
+        live_in_regs=(21,),
+        pgis=(
+            PGISpec(slice_pc=pgi_branch.pc, branch_pc=branch_pc),
+            PGISpec(
+                slice_pc=pf_next.pc,
+                branch_pc=load_next_pc,
+                kind=PGIKind.VALUE,
+            ),
+            PGISpec(
+                slice_pc=pf_pot.pc,
+                branch_pc=load_pot_pc,
+                kind=PGIKind.VALUE,
+            ),
+        ),
+        kills=(
+            KillSpec(program.pc_of("node_loop"), KillKind.LOOP, skip_first=True),
+            KillSpec(program.pc_of("chain_done"), KillKind.SLICE),
+        ),
+        max_iterations=98,
+        loop_back_pc=back.pc,
+        prefetch_for={
+            pf_pot.pc: load_pot_pc,
+            pf_cost.pc: load_cost_pc,
+            pf_next.pc: load_next_pc,
+        },
+    )
+
+
+def _build_background_slice(
+    fork_pc: int, chain_len: int, load_pot_pc: int, load_next_pc: int
+) -> SliceSpec:
+    """The long-running "background" prefetch slice of Section 6.1.
+
+    While the main thread (and the prediction slice) walk chain k, this
+    slice walks chain k+1 end to end, touching every node's line. It
+    generates no predictions and needs no kills, so it uses a second
+    idle thread context with zero correlation state.
+    """
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x2000)
+    asm.label("mcf_bg")
+    asm.comment("node = heads[k + 1] (the next chain)")
+    asm.ld("r1", "r21", 8)
+    asm.label("mcf_bg_loop")
+    pf_pot = asm.ld("r3", "r1", 8)
+    pf_next = asm.ld("r1", "r1")  # faults/stops at the null tail
+    back = asm.bne("r1", "mcf_bg_loop")
+    asm.halt()
+    code = asm.build()
+    return SliceSpec(
+        name="mcf_background",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("mcf_bg"),
+        live_in_regs=(21,),
+        max_iterations=chain_len + 2,
+        loop_back_pc=back.pc,
+        prefetch_for={pf_pot.pc: load_pot_pc, pf_next.pc: load_next_pc},
+    )

@@ -1,0 +1,121 @@
+"""parser analog: dictionary hashing plus deallocation cascades.
+
+parser is the paper's clearest slice-construction failure (Section
+6.2). Its two problem localities resist slicing for different reasons:
+
+* **Hash probes** — key generation is "computationally intensive, over
+  50 instructions, and it occurs right before the problem
+  instructions": a slice would have to replicate the whole key
+  computation, so forking it buys no latency.
+* **Deallocation cascades** — the stack-organized allocator defers
+  work until the freed chunk reaches the top of the stack, then a long
+  cascade runs; which ``xfree`` call triggers it is unpredictable, so
+  hoisting a fork produces many useless slices.
+
+Accordingly this workload ships **no slices**: its slice-assisted run
+equals the baseline (a ~0% bar in Figure 11), exactly as the paper
+reports. The kernel interleaves hash probes behind a long serial key
+computation with occasional free-stack cascades.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.workloads.base import Lcg, Workload
+
+BUCKET_BYTES = 32
+
+
+def build(scale: float = 1.0, seed: int = 1995) -> Workload:
+    """Build the parser workload.
+
+    At ``scale=1.0``: a 8000-bucket dictionary (256KB), 1700 words,
+    each with a ~30-instruction serial key computation, and a
+    deallocation cascade every 16 words; ~230k dynamic instructions.
+    """
+    buckets = max(int(8000 * scale), 256)
+    words = max(int(1700 * scale), 40)
+
+    asm = Assembler(base_pc=0x1000)
+    table_base = asm.data_space("dict", buckets * (BUCKET_BYTES // 8))
+    words_base = asm.data_space("words", words)
+    free_stack = asm.data_space("freestack", 1024)
+
+    asm.li("r20", words)
+    asm.li("r21", words_base)
+    asm.li("r22", table_base)
+    asm.li("r26", free_stack)
+    asm.li("r27", 0)  # free-stack depth
+    asm.li("r28", 0)
+
+    asm.label("word_loop")
+    asm.ld("r1", "r21")  # raw word bits
+    asm.comment("serial key computation (~30 dependent instructions;")
+    asm.comment("this is why a fork gains no latency, Section 6.2)")
+    for round_num in range(6):
+        asm.mul("r1", "r1", imm=0x5851F4)
+        asm.sra("r2", "r1", imm=13)
+        asm.xor("r1", "r1", rb="r2")
+        asm.add("r1", "r1", imm=round_num * 97)
+        asm.and_("r1", "r1", imm=(1 << 30) - 1)
+    asm.comment("bucket probe immediately after the key is ready")
+    asm.and_("r3", "r1", imm=(1 << 20) - 1)
+    asm.li("r4", buckets)
+    asm.div("r5", "r3", rb="r4")
+    asm.mul("r6", "r5", rb="r4")
+    asm.sub("r5", "r3", rb="r6")  # r5 = r3 % buckets
+    asm.sll("r5", "r5", imm=5)
+    asm.add("r5", "r5", rb="r22")
+    probe_load = asm.ld("r7", "r5")  # bucket key (problem load)
+    asm.cmpeq("r8", "r7", rb="r1")
+    asm.comment("problem branch: dictionary hit test")
+    hit_branch = asm.bne("r8", "word_hit")
+    asm.comment("miss: install the key and push onto the free stack")
+    asm.st("r1", "r5")
+    asm.s8add("r9", "r27", "r26")
+    asm.st("r5", "r9")
+    asm.add("r27", "r27", imm=1)
+    asm.br("word_next")
+    asm.label("word_hit")
+    asm.add("r28", "r28", rb="r7")
+    asm.label("word_next")
+    asm.comment("periodic deallocation cascade (top-of-stack triggered)")
+    asm.and_("r10", "r20", imm=15)
+    asm.bne("r10", "no_cascade")
+    asm.label("cascade")
+    asm.ble("r27", "no_cascade")
+    asm.sub("r27", "r27", imm=1)
+    asm.s8add("r9", "r27", "r26")
+    asm.ld("r11", "r9")  # chunk to free (pointer chase)
+    asm.ld("r12", "r11")  # touch the chunk (problem load)
+    asm.xor("r28", "r28", rb="r12")
+    asm.br("cascade")
+    asm.label("no_cascade")
+    asm.add("r21", "r21", imm=8)
+    asm.sub("r20", "r20", imm=1)
+    asm.bgt("r20", "word_loop")
+    asm.halt()
+    program = asm.build()
+
+    rng = Lcg(seed)
+    image = dict(program.data)
+    for i in range(buckets):
+        image[table_base + BUCKET_BYTES * i] = rng.below(1 << 30)
+    for i in range(words):
+        image[words_base + 8 * i] = rng.below(1 << 30)
+
+    return Workload(
+        name="parser",
+        program=program,
+        memory_image=image,
+        region=words * 170,
+        description="dictionary hashing behind serial key computation",
+        slices=(),  # no profitable slices exist (Section 6.2)
+        problem_branch_pcs=frozenset({hit_branch.pc}),
+        problem_load_pcs=frozenset({probe_load.pc}),
+        expectation=(
+            "no speedup: no profitable slices can be constructed — key "
+            "generation would be replicated wholesale and cascade "
+            "triggers are unpredictable (Section 6.2)"
+        ),
+    )

@@ -1,0 +1,72 @@
+"""Workload registry: the twelve SPEC2000int analogs, in paper order."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads import (
+    bzip2,
+    crafty,
+    eon,
+    gap,
+    gcc,
+    gzip,
+    mcf,
+    parser_wl,
+    perl,
+    twolf,
+    vortex,
+    vpr,
+)
+from repro.workloads.base import Workload
+
+#: name -> builder, ordered as in the paper's tables.
+WORKLOAD_BUILDERS: dict[str, Callable[..., Workload]] = {
+    "bzip2": bzip2.build,
+    "crafty": crafty.build,
+    "eon": eon.build,
+    "gap": gap.build,
+    "gcc": gcc.build,
+    "gzip": gzip.build,
+    "mcf": mcf.build,
+    "parser": parser_wl.build,
+    "perl": perl.build,
+    "twolf": twolf.build,
+    "vortex": vortex.build,
+    "vpr": vpr.build,
+}
+
+#: Benchmarks for which the paper constructed slices (Table 3 set plus
+#: the Table 4 perl entry).
+SLICE_BENCHMARKS = (
+    "bzip2",
+    "crafty",
+    "eon",
+    "gap",
+    "gcc",
+    "gzip",
+    "mcf",
+    "perl",
+    "twolf",
+    "vortex",
+    "vpr",
+)
+
+
+def build(name: str, scale: float = 1.0) -> Workload:
+    """Build workload *name* at the given *scale*."""
+    try:
+        builder = WORKLOAD_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(WORKLOAD_BUILDERS)
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return builder(scale=scale)
+
+
+def all_names() -> tuple[str, ...]:
+    return tuple(WORKLOAD_BUILDERS)
+
+
+def build_all(scale: float = 1.0) -> list[Workload]:
+    """Build every workload at the given *scale*."""
+    return [build(name, scale) for name in WORKLOAD_BUILDERS]

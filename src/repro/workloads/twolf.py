@@ -1,0 +1,159 @@
+"""twolf analog: placement-swap cost evaluation.
+
+twolf (standard-cell placement) repeatedly picks cells, dereferences
+their records to read coordinates, computes a cost delta, and branches
+on whether to accept the swap — a data-dependent, unbiased decision on
+freshly loaded data. The cell records are scattered over an arena
+larger than the L1, so the coordinate loads are problem loads.
+
+The slice covers one swap evaluation: it dereferences both cells
+(prefetching their lines) and computes the accept test as a PGI
+(paper's twolf slice: 8 static instructions, 2 live-ins; Table 4:
+33% of mispredictions removed, ~10% of the speedup from loads).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.slices.spec import KillKind, KillSpec, PGISpec, SliceSpec
+from repro.workloads.base import SLICE_CODE_BASE, Lcg, Workload
+
+CELL_BYTES = 64
+
+
+def build(scale: float = 1.0, seed: int = 1988) -> Workload:
+    """Build the twolf swap workload.
+
+    At ``scale=1.0``: 4000 cells (256KB of records) and 2200 swap
+    evaluations, ~210k dynamic instructions.
+    """
+    cells = max(int(4000 * scale), 128)
+    swaps = max(int(2200 * scale), 40)
+
+    asm = Assembler(base_pc=0x1000)
+    arena_base = asm.data_space("cells", cells * (CELL_BYTES // 8))
+    pairs_base = asm.data_space("pairs", swaps * 2)
+    accept_count = asm.data_word("accepts", 0)
+    hist_base = asm.data_space("hist", 512)  # L1-resident histogram
+    asm.li("r20", swaps)
+    asm.li("r21", pairs_base)
+    asm.li("r19", accept_count)
+    asm.li("r28", 0)
+    asm.label("swap_loop")
+    fork_inst = None  # assigned at the hoisted fork point below
+    asm.ld("r1", "r21")
+    asm.ld("r2", "r21", 8)
+    load_ax = asm.ld("r4", "r1")
+    load_bx = asm.ld("r5", "r2")
+    asm.ld("r6", "r1", 8)
+    asm.ld("r7", "r2", 8)
+    asm.sub("r8", "r4", rb="r5")
+    asm.sub("r9", "r6", rb="r7")
+    asm.add("r10", "r8", rb="r9")
+    asm.ld("r11", "r1", 16)
+    asm.mul("r12", "r10", rb="r11")
+    asm.sra("r12", "r12", imm=4)
+    asm.comment("problem branch: accept if weighted delta negative")
+    accept_branch = asm.blt("r12", "do_accept")
+    asm.xor("r28", "r28", rb="r12")
+    asm.br("swap_done")
+    asm.label("do_accept")
+    asm.st("r5", "r1")
+    asm.st("r4", "r2")
+    asm.ld("r13", "r19")
+    asm.add("r13", "r13", imm=1)
+    asm.st("r13", "r19")
+    asm.label("swap_done")
+    asm.comment("fork point for the NEXT swap (hoisted past bookkeeping)")
+    fork_inst = asm.add("r14", "r28", imm=0)
+    asm.comment("wirelength bookkeeping between swaps (fork lead)")
+    for step in range(5):
+        asm.and_("r15", "r14", imm=0xFF8)
+        asm.add("r16", "r15", imm=hist_base)
+        asm.ld("r17", "r16")
+        asm.add("r17", "r17", imm=1)
+        asm.st("r17", "r16")
+        asm.sra("r14", "r14", imm=2)
+        asm.xor("r14", "r14", rb="r17")
+    asm.add("r28", "r28", rb="r14")
+    asm.add("r21", "r21", imm=16)
+    asm.sub("r20", "r20", imm=1)
+    asm.bgt("r20", "swap_loop")
+    asm.halt()
+    program = asm.build()
+
+    rng = Lcg(seed)
+    image = dict(program.data)
+    for i in range(cells):
+        addr = arena_base + i * CELL_BYTES
+        image[addr] = rng.below(4096)  # x
+        image[addr + 8] = rng.below(4096)  # y
+        image[addr + 16] = rng.below(7) + 1  # weight
+    for i in range(swaps):
+        a = rng.below(cells)
+        b = rng.below(cells)
+        image[pairs_base + 16 * i] = arena_base + a * CELL_BYTES
+        image[pairs_base + 16 * i + 8] = arena_base + b * CELL_BYTES
+
+    slice_spec = _build_slice(
+        fork_pc=fork_inst.pc,
+        accept_branch_pc=accept_branch.pc,
+        slice_kill_pc=program.pc_of("swap_done"),
+        load_ax_pc=load_ax.pc,
+        load_bx_pc=load_bx.pc,
+    )
+
+    return Workload(
+        name="twolf",
+        program=program,
+        memory_image=image,
+        region=swaps * 95,
+        description="placement-swap accept/reject evaluation",
+        slices=(slice_spec,),
+        problem_branch_pcs=frozenset({accept_branch.pc}),
+        problem_load_pcs=frozenset({load_ax.pc, load_bx.pc}),
+        expectation=(
+            "moderate speedup, mostly branches (paper: 33% of "
+            "mispredictions removed, 12% miss reduction, ~10% of the "
+            "speedup from loads)"
+        ),
+    )
+
+
+def _build_slice(
+    fork_pc: int,
+    accept_branch_pc: int,
+    slice_kill_pc: int,
+    load_ax_pc: int,
+    load_bx_pc: int,
+) -> SliceSpec:
+    """Straight-line swap-evaluation slice: 2 prefetches + 1 PGI."""
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x5000)
+    asm.label("tw_slice")
+    asm.comment("the NEXT swap's pair (r21 still points at the current)")
+    asm.ld("r1", "r21", 16)  # r21 live-in: pair pointer
+    asm.ld("r2", "r21", 24)
+    pf_a = asm.ld("r4", "r1")
+    pf_b = asm.ld("r5", "r2")
+    asm.ld("r6", "r1", 8)
+    asm.ld("r7", "r2", 8)
+    asm.sub("r8", "r4", rb="r5")
+    asm.sub("r9", "r6", rb="r7")
+    asm.add("r10", "r8", rb="r9")
+    asm.ld("r11", "r1", 16)
+    asm.mul("r12", "r10", rb="r11")
+    asm.comment("PGI: accept test (sign survives the shift)")
+    pgi_inst = asm.cmplt("r13", "r12", imm=0)
+    asm.halt()
+    code = asm.build()
+
+    return SliceSpec(
+        name="twolf_swap",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("tw_slice"),
+        live_in_regs=(21,),
+        pgis=(PGISpec(slice_pc=pgi_inst.pc, branch_pc=accept_branch_pc),),
+        kills=(KillSpec(slice_kill_pc, KillKind.SLICE),),
+        prefetch_for={pf_a.pc: load_ax_pc, pf_b.pc: load_bx_pc},
+    )

@@ -1,0 +1,118 @@
+"""vortex analog: OO-database record validation (high base IPC).
+
+vortex resisted slices for mundane reasons (Section 6.2): its baseline
+IPC is within ~13% of the machine's peak, so stealing fetch slots for
+helper threads is expensive, and its problem instructions miss or
+mispredict rarely, so slice overhead is paid on every fork but pays off
+seldom. The kernel is an ILP-rich record checksum/validation pass with
+one occasionally-missing indirection; the slice is the paper's
+4-instruction prefetch-only vortex slice (1 prefetch, 0 predictions).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.slices.spec import SliceSpec
+from repro.workloads.base import SLICE_CODE_BASE, Lcg, Workload
+
+RECORD_WORDS = 8
+
+
+def build(scale: float = 1.0, seed: int = 1999) -> Workload:
+    """Build the vortex validation workload.
+
+    At ``scale=1.0``: 2400 record validations, mostly L1-resident,
+    ~240k dynamic instructions near peak IPC.
+    """
+    records = max(int(2400 * scale), 40)
+    # A modest object arena; most links stay L1-resident.
+    objects = max(int(3000 * scale), 128)
+
+    asm = Assembler(base_pc=0x1000)
+    recs_base = asm.data_space("records", records * RECORD_WORDS)
+    objs_base = asm.data_space("objects", objects * 4)
+
+    asm.li("r20", records)
+    asm.li("r21", recs_base)
+    asm.li("r28", 0)
+
+    asm.label("rec_loop")
+    asm.comment("fork point: prefetch the record's object link")
+    fork_inst = asm.ld("r1", "r21")  # object pointer (sometimes cold)
+    asm.ld("r2", "r21", 8)
+    asm.ld("r3", "r21", 16)
+    asm.ld("r4", "r21", 24)
+    asm.comment("ILP-rich field validation")
+    asm.add("r5", "r2", rb="r3")
+    asm.xor("r6", "r3", rb="r4")
+    asm.sra("r7", "r2", imm=3)
+    asm.add("r8", "r5", rb="r6")
+    asm.and_("r9", "r8", imm=0xFFFF)
+    asm.add("r23", "r23", rb="r9")
+    asm.xor("r24", "r24", rb="r7")
+    obj_load = asm.ld("r10", "r1")  # object header (problem load)
+    asm.add("r11", "r10", rb="r9")
+    asm.sll("r12", "r11", imm=1)
+    asm.xor("r25", "r25", rb="r12")
+    asm.add("r26", "r26", rb="r2")
+    asm.sra("r13", "r6", imm=2)
+    asm.add("r27", "r27", rb="r13")
+    asm.add("r28", "r28", rb="r11")
+    asm.add("r21", "r21", imm=8 * RECORD_WORDS)
+    asm.sub("r20", "r20", imm=1)
+    asm.bgt("r20", "rec_loop")
+    asm.halt()
+    program = asm.build()
+
+    rng = Lcg(seed)
+    image = dict(program.data)
+    hot = [objs_base + 32 * rng.below(min(objects, 512)) for _ in range(64)]
+    for i in range(objects):
+        image[objs_base + 32 * i] = rng.below(1 << 16)
+    for i in range(records):
+        addr = recs_base + 8 * RECORD_WORDS * i
+        # 85% of links point into a hot set; 15% are cold.
+        if rng.below(100) < 85:
+            image[addr] = hot[rng.below(len(hot))]
+        else:
+            image[addr] = objs_base + 32 * rng.below(objects)
+        for f in range(1, 4):
+            image[addr + 8 * f] = rng.below(1 << 18)
+
+    slice_spec = _build_slice(fork_pc=fork_inst.pc, obj_load_pc=obj_load.pc)
+
+    return Workload(
+        name="vortex",
+        program=program,
+        memory_image=image,
+        region=records * 110,
+        description="record validation near peak IPC",
+        slices=(slice_spec,),
+        problem_branch_pcs=frozenset(),
+        problem_load_pcs=frozenset({obj_load.pc}),
+        expectation=(
+            "~no speedup: base IPC near peak makes slice execution's "
+            "opportunity cost high and the covered load misses rarely "
+            "(Section 6.2)"
+        ),
+    )
+
+
+def _build_slice(fork_pc: int, obj_load_pc: int) -> SliceSpec:
+    """The paper's 4-static-instruction prefetch-only vortex slice."""
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0xA000)
+    asm.label("vx_slice")
+    asm.comment("the NEXT record's object link")
+    asm.ld("r1", "r21", 8 * RECORD_WORDS)  # r21 live-in
+    pf_obj = asm.ld("r10", "r1")
+    asm.halt()
+    code = asm.build()
+
+    return SliceSpec(
+        name="vortex_link",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("vx_slice"),
+        live_in_regs=(21,),
+        prefetch_for={pf_obj.pc: obj_load_pc},
+    )

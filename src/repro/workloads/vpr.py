@@ -1,0 +1,422 @@
+"""vpr analog: the paper's running example (Figures 2-5).
+
+The kernel is ``add_to_heap`` exactly as in Figure 2: a binary heap of
+*pointers* to cost-carrying elements, stored as an array where node N's
+children live at 2N and 2N+1. Each insertion appends at ``heap_tail``
+and trickles the new element up while its cost is less than its
+parent's.
+
+Problem instructions (Section 2.4):
+
+* the load of ``heap[ito]->cost`` (line 6) — the heap holds thousands
+  of elements, so the element structs don't fit in the L1 and this
+  pointer dereference misses;
+* the comparison branch (also line 6) — the average trickle distance is
+  2-3 iterations, leaving the branch unbiased and data-dependent.
+
+The hand slice mirrors Figure 5, including both paper optimizations:
+
+* *register allocation*: ``heap[ifrom]->cost`` is always the inserted
+  ``cost``, so the slice takes it as a live-in and drops all
+  ``heap[ifrom]`` loads and the swap stores;
+* *strength reduction*: ``ito = ifrom/2`` is a bare arithmetic shift
+  (``ifrom`` is never negative).
+
+One deviation from Figure 2: ``heap_tail++`` is moved to after the
+trickle loop (sequentially equivalent — the loop uses only registers).
+In the paper's machine the slice's load of ``heap_tail`` sees committed
+memory, which the in-flight increment has not reached; our simulator
+executes main-thread stores into the shared image at fetch, so the move
+restores the paper's semantics (the slice reads the pre-insertion
+tail).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.slices.spec import KillKind, KillSpec, PGISpec, SliceSpec
+from repro.workloads.base import SLICE_CODE_BASE, Lcg, Workload
+
+#: Bytes per heap-element struct (cost lives at offset 8).
+STRUCT_BYTES = 48
+
+
+def build(scale: float = 1.0, seed: int = 2001) -> Workload:
+    """Build the vpr heap-insertion workload.
+
+    At ``scale=1.0``: a 6000-element initial heap (the pointer array
+    plus ~280KB of element structs exceed the 64KB L1) and 3500
+    insertions, ~250k dynamic instructions.
+    """
+    heap_size = max(int(6000 * scale), 64)
+    insertions = max(int(1800 * scale), 32)
+    capacity = heap_size + insertions + 2
+
+    asm = Assembler(base_pc=0x1000)
+    heap_base = asm.data_space("heap", capacity)
+    heap_tail_addr = asm.data_word("heap_tail", heap_size + 1)
+    arena_base = asm.data_space("arena", capacity * (STRUCT_BYTES // 8))
+    arena_next_addr = asm.data_word("arena_next", 0)  # patched below
+    costs_base = asm.data_space("costs", insertions)
+    # L1-resident scratch the routing-cost phase reads (real vpr
+    # evaluates net costs between heap operations).
+    net_base = asm.data_space("net", 1024)
+
+    # ------------------------------------------------------------------
+    # Driver: per insertion, a routing-cost computation phase (as in
+    # vpr's router, which does substantial work between heap
+    # operations) and then node_to_heap(cost). The fork point is the
+    # top of the loop body, hoisted past the whole compute phase
+    # (Section 3.2's fork-point hoisting): ~130 dynamic instructions of
+    # lead before the problem loop.
+    # ------------------------------------------------------------------
+    asm.li("r20", insertions)
+    asm.li("r21", costs_base)
+    asm.li("r22", net_base)
+    asm.label("driver_loop")
+    asm.comment("fork point (hoisted past the routing-cost phase)")
+    fork_inst = asm.and_("r23", "r20", imm=63)
+    asm.sll("r23", "r23", imm=6)
+    asm.add("r23", "r23", rb="r22")
+    # Unrolled "net cost" evaluation: ILP-rich, L1-resident.
+    for step in range(8):
+        asm.ld("r24", "r23", 8 * step)
+        asm.ld("r25", "r23", 8 * step + 256)
+        asm.add("r26", "r24", rb="r25")
+        asm.xor("r27", "r24", rb="r25")
+        asm.sra("r26", "r26", imm=2)
+        asm.add("r28", "r28", rb="r26")
+        asm.and_("r27", "r27", imm=0xFFFF)
+        asm.add("r28", "r28", rb="r27")
+        asm.sll("r25", "r25", imm=1)
+        asm.xor("r28", "r28", rb="r25")
+    asm.st("r28", "r22", 8184)
+    asm.comment("cost argument")
+    asm.ld("r17", "r21")
+    asm.call("node_to_heap")
+    asm.add("r21", "r21", imm=8)
+    asm.sub("r20", "r20", imm=1)
+    asm.bgt("r20", "driver_loop")
+    asm.halt()
+
+    # ------------------------------------------------------------------
+    # node_to_heap (Figure 3): allocates an element, fills its fields,
+    # then falls into the inlined add_to_heap. The first instruction is
+    # the slice fork point, ~40 dynamic instructions before the loop.
+    # ------------------------------------------------------------------
+    asm.label("node_to_heap")
+    asm.comment("hptr = alloc_heap_data()")
+    asm.li("r10", arena_next_addr)
+    asm.ld("r11", "r10")  # hptr
+    asm.add("r12", "r11", imm=STRUCT_BYTES)
+    asm.st("r12", "r10")  # bump arena_next
+    asm.comment("hptr->cost = cost")
+    asm.st("r17", "r11", 8)
+    # Remaining field initialization (index, u.first, u.next, flags...)
+    # mirrors the work node_to_heap does before add_to_heap in vpr and
+    # provides the fork-to-problem distance of Section 3.2.
+    asm.li("r13", 0)
+    asm.st("r13", "r11", 16)
+    asm.st("r13", "r11", 24)
+    asm.add("r14", "r17", imm=1)
+    asm.st("r14", "r11", 32)
+    asm.sra("r15", "r17", imm=4)
+    asm.st("r15", "r11", 40)
+    asm.and_("r16", "r17", imm=0xFF)
+    asm.add("r16", "r16", rb="r15")
+    asm.sll("r16", "r16", imm=1)
+    asm.st("r16", "r11", 0)
+
+    # ------------------------------------------------------------------
+    # add_to_heap (Figure 2), inlined by the compiler as in the paper.
+    # ------------------------------------------------------------------
+    asm.comment("ifrom = heap_tail")
+    asm.li("r1", heap_tail_addr)
+    asm.ld("r2", "r1")
+    asm.li("r5", heap_base)
+    asm.comment("heap[heap_tail] = hptr")
+    asm.s8add("r3", "r2", "r5")
+    asm.st("r11", "r3")
+    asm.comment("ito = ifrom / 2: the compiler's 3-instruction signed-")
+    asm.comment("division sequence (Figure 4 note); slices strength-")
+    asm.comment("reduce it to a bare shift")
+    asm.cmplt("r6", "r2", imm=0)
+    asm.add("r6", "r2", rb="r6")
+    asm.sra("r6", "r6", imm=1)
+    asm.ble("r6", "heap_return")
+
+    asm.label("heap_loop")
+    asm.s8add("r7", "r2", "r5")  # &heap[ifrom]
+    asm.s8add("r8", "r6", "r5")  # &heap[ito]
+    load_ifrom_ptr = asm.ld("r9", "r7")  # heap[ifrom]
+    load_ito_ptr = asm.ld("r10", "r8")  # heap[ito]
+    asm.comment("heap[ifrom]->cost")
+    load_ifrom_cost = asm.ld("r12", "r9", 8)
+    asm.comment("heap[ito]->cost (problem load)")
+    load_ito_cost = asm.ld("r13", "r10", 8)
+    asm.cmplt("r14", "r12", rb="r13")
+    asm.comment("problem branch: exit unless cost < parent cost")
+    problem_branch = asm.beq("r14", "heap_return")
+    asm.comment("swap heap[ito] <-> heap[ifrom]")
+    asm.st("r9", "r8")
+    asm.st("r10", "r7")
+    asm.mov("r2", "r6")  # ifrom = ito
+    asm.cmplt("r6", "r2", imm=0)  # ito = ifrom / 2 (division sequence)
+    asm.add("r6", "r2", rb="r6")
+    asm.sra("r6", "r6", imm=1)
+    back_edge = asm.bgt("r6", "heap_loop")
+
+    asm.label("heap_return")
+    asm.comment("heap_tail++ (moved past the loop; see module docstring)")
+    asm.ld("r4", "r1")
+    asm.add("r4", "r4", imm=1)
+    asm.st("r4", "r1")
+    asm.ret()
+
+    program = asm.build()
+
+    # ------------------------------------------------------------------
+    # Initial memory: a valid heap of heap_size elements. A sorted cost
+    # array placed 1..heap_size satisfies the heap invariant (every
+    # parent index is smaller, hence holds a smaller cost).
+    # ------------------------------------------------------------------
+    rng = Lcg(seed)
+    image = dict(program.data)
+    initial_costs = sorted(rng.below(1 << 34) for _ in range(heap_size))
+    for i, cost in enumerate(initial_costs, start=1):
+        struct_addr = arena_base + i * STRUCT_BYTES
+        image[heap_base + 8 * i] = struct_addr
+        image[struct_addr + 8] = cost
+    image[arena_next_addr] = arena_base + (heap_size + 1) * STRUCT_BYTES
+    # Insertion costs: squared uniforms skew small, giving the paper's
+    # 2-3 iteration average trickle distance (Section 2.4).
+    for i in range(insertions):
+        draw = rng.below(1 << 17)
+        image[costs_base + 8 * i] = draw * draw
+
+    slice_spec = _build_slice(
+        fork_pc=fork_inst.pc,
+        heap_base=heap_base,
+        heap_tail_addr=heap_tail_addr,
+        problem_branch_pc=problem_branch.pc,
+        loop_kill_pc=program.pc_of("heap_loop"),
+        slice_kill_pc=program.pc_of("heap_return"),
+        load_ito_ptr_pc=load_ito_ptr.pc,
+        load_ito_cost_pc=load_ito_cost.pc,
+    )
+
+    region = insertions * 220  # generous cap; the run ends at HALT
+    return Workload(
+        name="vpr",
+        program=program,
+        memory_image=image,
+        region=region,
+        description="heap insertion trickle-up (Figure 2)",
+        slices=(slice_spec,),
+        problem_branch_pcs=frozenset({problem_branch.pc}),
+        problem_load_pcs=frozenset({load_ito_cost.pc, load_ito_ptr.pc}),
+        expectation=(
+            "large speedup; ~50% of the benefit from prefetching "
+            "(paper: 43% speedup, 72% of mispredictions and 64% of "
+            "misses removed)"
+        ),
+    )
+
+
+def _slice_anchors(workload: Workload) -> dict[str, int]:
+    """Recover the PCs/addresses a vpr slice variant needs from a built
+    workload (used by the ablation benches and examples)."""
+    program = workload.program
+    (problem_branch_pc,) = workload.problem_branch_pcs
+    cost_load_pc = next(
+        pc
+        for pc in workload.problem_load_pcs
+        if program.at(pc).imm == 8  # heap[ito]->cost
+    )
+    ptr_load_pc = next(
+        pc for pc in workload.problem_load_pcs if pc != cost_load_pc
+    )
+    return {
+        "heap_base": program.addr_of("heap"),
+        "heap_tail_addr": program.addr_of("heap_tail"),
+        "problem_branch_pc": problem_branch_pc,
+        "loop_kill_pc": program.pc_of("heap_loop"),
+        "slice_kill_pc": program.pc_of("heap_return"),
+        "load_ito_ptr_pc": ptr_load_pc,
+        "load_ito_cost_pc": cost_load_pc,
+        "driver_fork_pc": workload.slices[0].fork_pc,
+        "callee_fork_pc": program.pc_of("node_to_heap"),
+    }
+
+
+def late_fork_slice(workload: Workload) -> SliceSpec:
+    """Slice variant forked at ``node_to_heap`` instead of the driver.
+
+    This is the paper's original Figure 3 fork point — only ~40 dynamic
+    instructions of lead, demonstrating the fork-distance trade-off of
+    Section 3.2 (cost is already in r17 there, so it is the live-in, as
+    in Figure 5).
+    """
+    anchors = _slice_anchors(workload)
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x40000)
+    asm.label("slice")
+    asm.li("r6", anchors["heap_base"])
+    asm.li("r4", anchors["heap_tail_addr"])
+    asm.ld("r3", "r4")
+    asm.label("slice_loop")
+    asm.sra("r3", "r3", imm=1)
+    asm.s8add("r16", "r3", "r6")
+    pf_ptr = asm.ld("r18", "r16")
+    pf_cost = asm.ld("r1", "r18", 8)
+    pgi = asm.cmple("r2", "r1", rb="r17")
+    asm.bne("r2", "slice_exit")
+    back = asm.bgt("r3", "slice_loop")
+    asm.label("slice_exit")
+    asm.halt()
+    code = asm.build()
+    return SliceSpec(
+        name="vpr_heap_late",
+        fork_pc=anchors["callee_fork_pc"],
+        code=code,
+        entry_pc=code.pc_of("slice"),
+        live_in_regs=(17,),
+        pgis=(PGISpec(pgi.pc, anchors["problem_branch_pc"]),),
+        kills=(
+            KillSpec(anchors["loop_kill_pc"], KillKind.LOOP, skip_first=True),
+            KillSpec(anchors["slice_kill_pc"], KillKind.SLICE),
+        ),
+        max_iterations=4,
+        loop_back_pc=back.pc,
+        prefetch_for={
+            pf_ptr.pc: anchors["load_ito_ptr_pc"],
+            pf_cost.pc: anchors["load_ito_cost_pc"],
+        },
+    )
+
+
+def unoptimized_slice(workload: Workload) -> SliceSpec:
+    """The raw backward slice before the Section 3.2 optimizations.
+
+    Mirrors Figure 4's shaded region: without *register allocation*
+    it reloads ``heap[ifrom]`` and its cost every iteration, and
+    without *strength reduction* it keeps the compiler's 3-instruction
+    signed-division sequence. It is bigger, slower, and — because
+    ``heap[ifrom]`` communicates through memory the main thread has not
+    yet written — far less accurate; the optimization ablation
+    quantifies the damage.
+    """
+    anchors = _slice_anchors(workload)
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x50000)
+    asm.label("slice")
+    asm.ld("r17", "r21")  # cost (unused: kept live for fidelity)
+    asm.li("r6", anchors["heap_base"])
+    asm.li("r4", anchors["heap_tail_addr"])
+    asm.ld("r2", "r4")  # ifrom = heap_tail
+    asm.cmplt("r9", "r2", imm=0)
+    asm.add("r3", "r2", rb="r9")
+    asm.sra("r3", "r3", imm=1)  # ito = ifrom / 2 (full division sequence)
+    asm.label("slice_loop")
+    asm.s8add("r7", "r2", "r6")  # &heap[ifrom]
+    asm.s8add("r16", "r3", "r6")  # &heap[ito]
+    asm.ld("r10", "r7")  # heap[ifrom]  (memory communication!)
+    pf_ptr = asm.ld("r18", "r16")  # heap[ito]
+    asm.ld("r11", "r10", 8)  # heap[ifrom]->cost
+    pf_cost = asm.ld("r1", "r18", 8)  # heap[ito]->cost
+    pgi = asm.cmple("r12", "r1", rb="r11")
+    asm.bne("r12", "slice_exit")
+    asm.mov("r2", "r3")  # ifrom = ito
+    asm.cmplt("r9", "r2", imm=0)
+    asm.add("r3", "r2", rb="r9")
+    asm.sra("r3", "r3", imm=1)
+    back = asm.bgt("r3", "slice_loop")
+    asm.label("slice_exit")
+    asm.halt()
+    code = asm.build()
+    return SliceSpec(
+        name="vpr_heap_unopt",
+        fork_pc=anchors["driver_fork_pc"],
+        code=code,
+        entry_pc=code.pc_of("slice"),
+        live_in_regs=(21,),
+        pgis=(PGISpec(pgi.pc, anchors["problem_branch_pc"]),),
+        kills=(
+            KillSpec(anchors["loop_kill_pc"], KillKind.LOOP, skip_first=True),
+            KillSpec(anchors["slice_kill_pc"], KillKind.SLICE),
+        ),
+        max_iterations=4,
+        loop_back_pc=back.pc,
+        prefetch_for={
+            pf_ptr.pc: anchors["load_ito_ptr_pc"],
+            pf_cost.pc: anchors["load_ito_cost_pc"],
+        },
+    )
+
+
+def _build_slice(
+    fork_pc: int,
+    heap_base: int,
+    heap_tail_addr: int,
+    problem_branch_pc: int,
+    loop_kill_pc: int,
+    slice_kill_pc: int,
+    load_ito_ptr_pc: int,
+    load_ito_cost_pc: int,
+) -> SliceSpec:
+    """The optimized slice of Figure 5.
+
+    Deviations from the figure, both standard slice-construction moves:
+    the fork is hoisted to the driver loop so the slice loads ``cost``
+    itself (live-in is the cost-array pointer, available a full
+    compute phase earlier), and the loop exits through the condition
+    the PGI already computes (the trickle-stop test), keeping the
+    prediction count near the 2-3 iteration average instead of running
+    to the iteration bound.
+    """
+    asm = Assembler(base_pc=SLICE_CODE_BASE)
+    asm.label("slice")
+    asm.comment("cost (r21 is the live-in cost-array pointer)")
+    asm.ld("r17", "r21")
+    asm.comment("&heap")
+    asm.li("r6", heap_base)
+    asm.comment("ito = heap_tail")
+    asm.li("r4", heap_tail_addr)
+    asm.ld("r3", "r4")
+    asm.label("slice_loop")
+    asm.comment("ito /= 2")
+    asm.sra("r3", "r3", imm=1)
+    asm.comment("&heap[ito]")
+    asm.s8add("r16", "r3", "r6")
+    asm.comment("heap[ito] (prefetch)")
+    prefetch_ptr = asm.ld("r18", "r16")
+    asm.comment("heap[ito]->cost (prefetch; faults at the root sentinel)")
+    prefetch_cost = asm.ld("r1", "r18", 8)
+    asm.comment("PGI: (heap[ito]->cost <= cost) == problem branch taken")
+    pgi_inst = asm.cmple("r2", "r1", rb="r17")
+    asm.comment("slice exit: the PGI value is the trickle-stop condition")
+    asm.bne("r2", "slice_exit")
+    back = asm.bgt("r3", "slice_loop")
+    asm.label("slice_exit")
+    asm.halt()
+    code = asm.build()
+
+    return SliceSpec(
+        name="vpr_heap",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("slice"),
+        live_in_regs=(21,),  # &costs[i]; the cost itself ($f17) is loaded
+        pgis=(PGISpec(slice_pc=pgi_inst.pc, branch_pc=problem_branch_pc),),
+        kills=(
+            KillSpec(loop_kill_pc, KillKind.LOOP, skip_first=True),
+            KillSpec(slice_kill_pc, KillKind.SLICE),
+        ),
+        # Runaway bound (Section 3.2): the exit test terminates typical
+        # trickles (average 2-3); the bound covers the deep tail up to
+        # the correlator's slot capacity.
+        max_iterations=8,
+        loop_back_pc=back.pc,
+        prefetch_for={
+            prefetch_ptr.pc: load_ito_ptr_pc,
+            prefetch_cost.pc: load_ito_cost_pc,
+        },
+    )

@@ -1,0 +1,333 @@
+"""Extended vpr analog: heap insertions *and* remove-min operations.
+
+The registry's ``vpr`` workload distills the paper's running example
+(the ``add_to_heap`` trickle-up of Figure 2). Real vpr's router also
+pops the minimum (``get_heap_head``), whose trickle-*down* loop is a
+second problem region: per level it dereferences both children (problem
+loads) and makes two data-dependent decisions — which child is smaller,
+and whether the descent continues — both unbiased. This module builds
+the combined workload with two cooperating slices, matching the
+complexity of the paper's actual vpr slice (Table 3: 5 predictions, 3
+kills, loops on both sides).
+
+Round structure: routing-cost phase -> insert(cost) -> second compute
+phase (the pop slice's fork point) -> remove-min -> accumulate. The
+heap size therefore stays constant at its initial value.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Assembler
+from repro.slices.spec import KillKind, KillSpec, PGISpec, SliceSpec
+from repro.workloads.base import SLICE_CODE_BASE, Lcg, Workload
+from repro.workloads.vpr import STRUCT_BYTES
+
+
+def build(scale: float = 1.0, seed: int = 2002) -> Workload:
+    """Build the insert+pop vpr workload.
+
+    At ``scale=1.0``: a 5000-element heap and 1100 insert/pop rounds,
+    ~300k dynamic instructions.
+    """
+    heap_size = max(int(5000 * scale), 64)
+    rounds = max(int(1100 * scale), 24)
+    capacity = heap_size + rounds + 4
+
+    asm = Assembler(base_pc=0x1000)
+    heap_base = asm.data_space("heap", capacity)
+    heap_tail_addr = asm.data_word("heap_tail", heap_size + 1)
+    arena_base = asm.data_space("arena", capacity * (STRUCT_BYTES // 8))
+    arena_next_addr = asm.data_word("arena_next", 0)
+    costs_base = asm.data_space("costs", rounds)
+    net_base = asm.data_space("net", 1024)
+
+    # ------------------------------------------------------------------
+    # Driver.
+    # ------------------------------------------------------------------
+    asm.li("r20", rounds)
+    asm.li("r21", costs_base)
+    asm.li("r22", net_base)
+    asm.li("r28", 0)
+    asm.label("round_loop")
+    asm.comment("fork point: insert slice (hoisted past phase 1)")
+    insert_fork = asm.and_("r23", "r20", imm=63)
+    asm.sll("r23", "r23", imm=6)
+    asm.add("r23", "r23", rb="r22")
+    for step in range(6):
+        asm.ld("r24", "r23", 8 * step)
+        asm.add("r26", "r26", rb="r24")
+        asm.sra("r25", "r24", imm=2)
+        asm.xor("r27", "r27", rb="r25")
+    asm.ld("r17", "r21")  # cost
+    asm.call("node_to_heap")
+    asm.comment("fork point: pop slice (hoisted past phase 2)")
+    pop_fork = asm.xor("r23", "r26", rb="r27")
+    for step in range(6):
+        asm.ld("r24", "r22", 8 * step + 512)
+        asm.add("r26", "r26", rb="r24")
+        asm.sll("r25", "r24", imm=1)
+        asm.xor("r27", "r27", rb="r25")
+    asm.call("get_heap_head")
+    asm.add("r28", "r28", rb="r0")  # popped cost accumulates (r0 = result)
+    asm.add("r21", "r21", imm=8)
+    asm.sub("r20", "r20", imm=1)
+    asm.bgt("r20", "round_loop")
+    asm.halt()
+
+    # ------------------------------------------------------------------
+    # node_to_heap + add_to_heap (as in repro.workloads.vpr).
+    # ------------------------------------------------------------------
+    asm.label("node_to_heap")
+    asm.li("r10", arena_next_addr)
+    asm.ld("r11", "r10")
+    asm.add("r12", "r11", imm=STRUCT_BYTES)
+    asm.st("r12", "r10")
+    asm.st("r17", "r11", 8)
+    asm.li("r13", 0)
+    asm.st("r13", "r11", 16)
+    asm.st("r13", "r11", 24)
+    asm.li("r1", heap_tail_addr)
+    asm.ld("r2", "r1")  # ifrom = heap_tail
+    asm.li("r5", heap_base)
+    asm.s8add("r3", "r2", "r5")
+    asm.st("r11", "r3")  # heap[tail] = hptr
+    asm.sra("r6", "r2", imm=1)
+    asm.ble("r6", "up_return")
+    asm.label("up_loop")
+    asm.s8add("r7", "r2", "r5")
+    asm.s8add("r8", "r6", "r5")
+    asm.ld("r9", "r7")
+    up_load_ptr = asm.ld("r10", "r8")  # heap[ito]
+    asm.ld("r12", "r9", 8)
+    up_load_cost = asm.ld("r13", "r10", 8)  # heap[ito]->cost
+    asm.cmplt("r14", "r12", rb="r13")
+    up_branch = asm.beq("r14", "up_return")
+    asm.st("r9", "r8")
+    asm.st("r10", "r7")
+    asm.mov("r2", "r6")
+    asm.sra("r6", "r2", imm=1)
+    asm.bgt("r6", "up_loop")
+    asm.label("up_return")
+    asm.ld("r4", "r1")
+    asm.add("r4", "r4", imm=1)
+    asm.st("r4", "r1")
+    asm.ret()
+
+    # ------------------------------------------------------------------
+    # get_heap_head: pop the root, move the last element to the root,
+    # and trickle it down. Returns the popped cost in r0.
+    # ------------------------------------------------------------------
+    asm.label("get_heap_head")
+    asm.li("r1", heap_tail_addr)
+    asm.li("r5", heap_base)
+    asm.ld("r2", "r1")  # tail
+    asm.ld("r3", "r5", 8)  # root ptr (heap[1])
+    asm.ld("r0", "r3", 8)  # result = root->cost
+    asm.sub("r2", "r2", imm=1)
+    asm.st("r2", "r1")  # tail--
+    asm.s8add("r4", "r2", "r5")
+    asm.ld("r6", "r4")  # last = heap[tail]
+    asm.ld("r7", "r6", 8)  # last->cost
+    asm.li("r8", 1)  # ito = 1
+    asm.label("down_loop")
+    asm.sll("r9", "r8", imm=1)  # child = 2*ito
+    asm.sub("r10", "r9", rb="r2")
+    asm.bge("r10", "down_done")  # child >= tail: leaf reached
+    asm.s8add("r11", "r9", "r5")
+    down_load_c1 = asm.ld("r12", "r11")  # heap[child]
+    down_load_c2 = asm.ld("r13", "r11", 8)  # heap[child+1]
+    down_load_cost1 = asm.ld("r14", "r12", 8)
+    down_load_cost2 = asm.ld("r15", "r13", 8)
+    asm.cmplt("r16", "r15", rb="r14")
+    asm.comment("problem branch: which child is smaller (unbiased)")
+    which_branch = asm.beq("r16", "no_inc")
+    asm.add("r9", "r9", imm=1)  # child++
+    asm.mov("r12", "r13")
+    asm.mov("r14", "r15")
+    asm.label("no_inc")
+    asm.cmplt("r16", "r14", rb="r7")
+    asm.comment("problem branch: descent continues (unbiased)")
+    continue_branch = asm.beq("r16", "down_done")
+    asm.s8add("r18", "r8", "r5")
+    asm.st("r12", "r18")  # heap[ito] = heap[child]
+    asm.mov("r8", "r9")  # ito = child
+    asm.br("down_loop")
+    asm.label("down_done")
+    asm.s8add("r18", "r8", "r5")
+    asm.st("r6", "r18")  # heap[ito] = last
+    asm.ret()
+
+    program = asm.build()
+
+    rng = Lcg(seed)
+    image = dict(program.data)
+    initial = sorted(rng.below(1 << 34) for _ in range(heap_size))
+    for i, cost in enumerate(initial, start=1):
+        struct_addr = arena_base + i * STRUCT_BYTES
+        image[heap_base + 8 * i] = struct_addr
+        image[struct_addr + 8] = cost
+    image[arena_next_addr] = arena_base + (heap_size + 1) * STRUCT_BYTES
+    for i in range(rounds):
+        draw = rng.below(1 << 17)
+        image[costs_base + 8 * i] = draw * draw
+
+    insert_slice = _insert_slice(
+        insert_fork.pc,
+        heap_base,
+        heap_tail_addr,
+        up_branch.pc,
+        program.pc_of("up_loop"),
+        program.pc_of("up_return"),
+        up_load_ptr.pc,
+        up_load_cost.pc,
+    )
+    pop_slice = _pop_slice(
+        pop_fork.pc,
+        heap_base,
+        heap_tail_addr,
+        which_branch.pc,
+        continue_branch.pc,
+        program.pc_of("down_loop"),
+        program.pc_of("down_done"),
+        {
+            "c1": down_load_c1.pc,
+            "c2": down_load_c2.pc,
+            "cost1": down_load_cost1.pc,
+            "cost2": down_load_cost2.pc,
+        },
+    )
+
+    return Workload(
+        name="vpr_full",
+        program=program,
+        memory_image=image,
+        region=rounds * 330,
+        description="heap insert + remove-min with two cooperating slices",
+        slices=(insert_slice, pop_slice),
+        problem_branch_pcs=frozenset(
+            {up_branch.pc, which_branch.pc, continue_branch.pc}
+        ),
+        problem_load_pcs=frozenset(
+            {
+                up_load_cost.pc,
+                up_load_ptr.pc,
+                down_load_cost1.pc,
+                down_load_cost2.pc,
+            }
+        ),
+        expectation=(
+            "both heap directions covered: the pop slice replicates the "
+            "paper's richer vpr slice shape (4 prefetches + 2 "
+            "predictions per level)"
+        ),
+    )
+
+
+def _insert_slice(
+    fork_pc, heap_base, heap_tail_addr, branch_pc, loop_pc, return_pc,
+    ptr_load_pc, cost_load_pc,
+) -> SliceSpec:
+    """Trickle-up slice (as in repro.workloads.vpr, cost via r21)."""
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x10000)
+    asm.label("s")
+    asm.ld("r17", "r21")
+    asm.li("r6", heap_base)
+    asm.li("r4", heap_tail_addr)
+    asm.ld("r3", "r4")
+    asm.label("loop")
+    asm.sra("r3", "r3", imm=1)
+    asm.s8add("r16", "r3", "r6")
+    pf_ptr = asm.ld("r18", "r16")
+    pf_cost = asm.ld("r1", "r18", 8)
+    pgi = asm.cmple("r2", "r1", rb="r17")
+    asm.bne("r2", "exit")
+    back = asm.bgt("r3", "loop")
+    asm.label("exit")
+    asm.halt()
+    code = asm.build()
+    return SliceSpec(
+        name="vprf_up",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("s"),
+        live_in_regs=(21,),
+        pgis=(PGISpec(pgi.pc, branch_pc),),
+        kills=(
+            KillSpec(loop_pc, KillKind.LOOP, skip_first=True),
+            KillSpec(return_pc, KillKind.SLICE),
+        ),
+        max_iterations=8,
+        loop_back_pc=back.pc,
+        prefetch_for={pf_ptr.pc: ptr_load_pc, pf_cost.pc: cost_load_pc},
+    )
+
+
+def _pop_slice(
+    fork_pc, heap_base, heap_tail_addr, which_pc, continue_pc,
+    loop_pc, done_pc, load_pcs,
+) -> SliceSpec:
+    """Trickle-down slice: 4 prefetches + 2 predictions per level.
+
+    Replicates the descent the main thread will take: per level it
+    loads both children and their costs, predicts the smaller-child
+    test and the continue test, and follows its own decisions down the
+    tree (the "existence" control is fully computable from the data the
+    slice already loads, so nothing is left to the kill mechanism
+    except mis-speculated paths).
+    """
+    asm = Assembler(base_pc=SLICE_CODE_BASE + 0x20000)
+    asm.label("s")
+    asm.li("r5", heap_base)
+    asm.li("r1", heap_tail_addr)
+    asm.ld("r2", "r1")  # pre-pop tail
+    asm.sub("r2", "r2", imm=1)  # post-pop tail
+    asm.s8add("r4", "r2", "r5")
+    asm.ld("r6", "r4")  # last = heap[tail]
+    asm.ld("r7", "r6", 8)  # last->cost
+    asm.li("r8", 1)
+    asm.label("loop")
+    asm.sll("r9", "r8", imm=1)
+    asm.sub("r10", "r9", rb="r2")
+    asm.bge("r10", "exit")
+    asm.s8add("r11", "r9", "r5")
+    pf_c1 = asm.ld("r12", "r11")
+    pf_c2 = asm.ld("r13", "r11", 8)
+    pf_cost1 = asm.ld("r14", "r12", 8)
+    pf_cost2 = asm.ld("r15", "r13", 8)
+    pgi_which = asm.cmplt("r16", "r15", rb="r14")
+    asm.comment("follow our own smaller-child decision (if-converted)")
+    asm.add("r19", "r9", imm=1)
+    asm.cmovne("r9", "r16", "r19")
+    asm.cmovne("r14", "r16", "r15")
+    pgi_continue = asm.cmplt("r16", "r14", rb="r7")
+    asm.beq("r16", "exit")
+    asm.mov("r8", "r9")
+    back = asm.br("loop")
+    asm.label("exit")
+    asm.halt()
+    code = asm.build()
+    return SliceSpec(
+        name="vprf_down",
+        fork_pc=fork_pc,
+        code=code,
+        entry_pc=code.pc_of("s"),
+        live_in_regs=(),
+        pgis=(
+            # Both main-thread branches are beq on the comparison value:
+            # taken means the comparison was FALSE, hence invert.
+            PGISpec(pgi_which.pc, which_pc, invert=True),
+            PGISpec(pgi_continue.pc, continue_pc, invert=True),
+        ),
+        kills=(
+            KillSpec(loop_pc, KillKind.LOOP, skip_first=True),
+            KillSpec(done_pc, KillKind.SLICE),
+        ),
+        max_iterations=16,
+        loop_back_pc=back.pc,
+        prefetch_for={
+            pf_c1.pc: load_pcs["c1"],
+            pf_c2.pc: load_pcs["c2"],
+            pf_cost1.pc: load_pcs["cost1"],
+            pf_cost2.pc: load_pcs["cost2"],
+        },
+    )

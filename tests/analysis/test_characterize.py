@@ -1,0 +1,47 @@
+"""Tests for Table 3 / Table 4 characterization."""
+
+from repro.analysis.characterize import characterize_run, characterize_slice
+from repro.uarch.stats import RunStats
+from repro.workloads import registry
+
+
+def test_characterize_vpr_slice_matches_spec():
+    workload = registry.build("vpr", scale=0.05)
+    spec = workload.slices[0]
+    row = characterize_slice("vpr", spec)
+    assert row.static_size == len(spec.code)
+    assert row.live_ins == len(spec.live_in_regs)
+    assert row.predictions == 1
+    assert row.prefetches == 2
+    assert row.kills == 2
+    assert row.kills_in_loop == 1
+    assert row.max_iterations == spec.max_iterations
+    # The loop region excludes the slice header.
+    assert row.loop_size < row.static_size
+    assert row.predictions_in_loop == 1
+
+
+def test_characterize_straight_line_slice_has_no_loop():
+    workload = registry.build("twolf", scale=0.05)
+    row = characterize_slice("twolf", workload.slices[0])
+    assert row.loop_size is None
+    assert row.max_iterations is None
+
+
+def test_characterize_run_derived_metrics():
+    base = RunStats(cycles=1000, committed=2000)
+    base.branch_mispredictions = 100
+    base.load_misses = 50
+    base.main_fetched = 3000
+    assisted = RunStats(cycles=800, committed=2000)
+    assisted.branch_mispredictions = 40
+    assisted.load_misses = 20
+    assisted.main_fetched = 2500
+    assisted.slice_fetched = 300
+    row = characterize_run("x", base, assisted, covered_branches=2)
+    assert row.mispredictions_removed == 60
+    assert abs(row.misprediction_reduction - 0.6) < 1e-9
+    assert abs(row.miss_reduction - 0.6) < 1e-9
+    assert abs(row.speedup - 0.25) < 1e-9
+    # 2800 total fetched vs 3000 base: net fetch reduction.
+    assert row.total_fetch_change < 0

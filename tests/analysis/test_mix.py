@@ -1,0 +1,56 @@
+"""Tests for the workload characterization utilities."""
+
+import pytest
+
+from repro.analysis.mix import instruction_mix, render_mix_table
+from repro.workloads import registry
+
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def mixes():
+    return {
+        name: instruction_mix(registry.build(name, SCALE))
+        for name in registry.all_names()
+    }
+
+
+def test_fractions_are_consistent(mixes):
+    for name, mix in mixes.items():
+        parts = (
+            mix.loads + mix.stores + mix.branches
+            + mix.simple_alu + mix.complex_alu
+        )
+        assert parts == mix.total, name
+        assert 0 < mix.branch_fraction < 0.5, name
+
+
+def test_mcf_is_memory_dominated(mixes):
+    assert mixes["mcf"].load_fraction > 0.2
+    # Scattered chains: large data working set relative to the region.
+    assert mixes["mcf"].data_working_set_bytes > 12 * 1024
+
+
+def test_eon_is_compute_dominated(mixes):
+    eon = mixes["eon"]
+    assert eon.simple_alu + eon.complex_alu > eon.total * 0.5
+
+
+def test_working_sets_exceed_l1_where_documented(mixes):
+    # These analogs are built so their data exceeds the 64KB L1 at
+    # scale 1.0; at scale 0.1 they must still touch substantial data.
+    for name in ("gcc", "twolf"):
+        assert mixes[name].data_working_set_bytes > 16 * 1024, name
+
+
+def test_static_footprints_are_kernel_sized(mixes):
+    for name, mix in mixes.items():
+        assert 10 <= mix.static_footprint <= 200, name
+
+
+def test_render_mix_table(mixes):
+    text = render_mix_table(sorted(mixes.items()))
+    assert "program" in text
+    for name in registry.all_names():
+        assert name in text

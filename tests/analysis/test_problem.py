@@ -1,0 +1,72 @@
+"""Tests for problem-instruction classification (Table 2 machinery)."""
+
+from repro.analysis.problem import (
+    ClassifierConfig,
+    classify_problem_instructions,
+)
+from repro.uarch.stats import PcCounter, RunStats
+
+
+def stats_with(branches=None, mems=None):
+    stats = RunStats()
+    for pc, (execs, events) in (branches or {}).items():
+        stats.branch_pcs[pc] = PcCounter(execs, events)
+    for pc, (execs, events) in (mems or {}).items():
+        stats.mem_pcs[pc] = PcCounter(execs, events)
+    return stats
+
+
+def test_high_rate_high_count_is_problem():
+    stats = stats_with(branches={0x100: (1000, 400), 0x200: (1000, 5)})
+    result = classify_problem_instructions(stats)
+    assert result.branch_pcs == {0x100}
+
+
+def test_low_rate_is_not_problem_even_with_many_events():
+    """A 5%-rate branch is excluded by the 10% rule (Section 2.2)."""
+    stats = stats_with(branches={0x100: (100_000, 5000)})
+    result = classify_problem_instructions(stats)
+    assert result.branch_pcs == frozenset()
+
+
+def test_trivial_event_count_is_excluded():
+    stats = stats_with(
+        branches={0x100: (10, 5), 0x200: (10_000, 5000)},
+        mems={},
+    )
+    config = ClassifierConfig(min_event_share=0.01)
+    result = classify_problem_instructions(stats, config)
+    assert 0x200 in result.branch_pcs
+    assert 0x100 not in result.branch_pcs  # 5 events < 1% of 5005
+
+
+def test_memory_and_branch_categories_are_independent():
+    stats = stats_with(
+        branches={0x100: (100, 50)},
+        mems={0x300: (100, 50)},
+    )
+    result = classify_problem_instructions(stats)
+    assert result.branch_pcs == {0x100}
+    assert result.load_pcs == {0x300}
+
+
+def test_coverage_summary_fractions():
+    stats = stats_with(
+        branches={0x100: (500, 250), 0x200: (1500, 10)},
+        mems={0x300: (100, 90), 0x400: (900, 10)},
+    )
+    result = classify_problem_instructions(stats)
+    coverage = result.coverage()
+    assert coverage.branch_problem_count == 1
+    assert abs(coverage.branch_dynamic_share - 0.25) < 1e-9
+    assert abs(coverage.branch_misp_coverage - 250 / 260) < 1e-9
+    assert coverage.mem_problem_count == 1
+    assert abs(coverage.mem_dynamic_share - 0.10) < 1e-9
+    assert abs(coverage.mem_miss_coverage - 0.90) < 1e-9
+
+
+def test_empty_stats_classify_cleanly():
+    result = classify_problem_instructions(RunStats())
+    assert result.branch_pcs == frozenset()
+    coverage = result.coverage()
+    assert coverage.branch_misp_coverage == 0.0

@@ -1,0 +1,33 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.harness.cli import EXPERIMENTS, build_parser, main, run_experiment
+
+
+def test_parser_accepts_all_experiments():
+    parser = build_parser()
+    for name in EXPERIMENTS:
+        args = parser.parse_args([name])
+        assert args.experiment == name
+
+
+def test_parser_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table99"])
+
+
+def test_run_table1_renders():
+    text = run_experiment("table1", scale=None)
+    assert "Table 1" in text and "YAGS" in text
+
+
+def test_main_table3_prints_and_writes(tmp_path, capsys):
+    out = tmp_path / "out.txt"
+    code = main(["table3", "--scale", "0.05", "--out", str(out)])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "Table 3" in captured.out
+    assert "vpr" in out.read_text()

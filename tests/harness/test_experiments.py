@@ -1,0 +1,63 @@
+"""Integration smoke tests for the experiment drivers (tiny scale)."""
+
+import pytest
+
+from repro.harness import experiments
+from repro.uarch.config import FOUR_WIDE
+
+
+def test_default_scale_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.42")
+    assert experiments.default_scale() == 0.42
+    monkeypatch.delenv("REPRO_SCALE")
+    assert experiments.default_scale() == 0.35
+
+
+def test_experiment_table1_lists_both_machines():
+    configs, text = experiments.experiment_table1()
+    assert [c.name for c in configs] == ["4-wide", "8-wide"]
+    assert text.count("Table 1") == 2
+
+
+def test_experiment_table3_covers_slice_benchmarks():
+    rows, text = experiments.experiment_table3(scale=0.05)
+    programs = {row.program for row in rows}
+    assert "vpr" in programs and "mcf" in programs
+    assert "parser" not in programs  # ships no slices
+    assert "Table 3" in text
+
+
+@pytest.mark.slow
+def test_experiment_table2_smoke():
+    rows, text = experiments.experiment_table2(scale=0.05)
+    assert len(rows) == 12
+    assert "Table 2" in text
+    # The concentration property: someone covers most mispredictions.
+    assert any(cov.branch_misp_coverage > 0.5 for _n, cov in rows)
+
+
+@pytest.mark.slow
+def test_experiment_figure11_smoke():
+    results, text = experiments.experiment_figure11(
+        scale=0.05, config=FOUR_WIDE
+    )
+    assert len(results) == 12
+    assert "Figure 11" in text
+    by_name = {r.workload.name: r for r in results}
+    assert by_name["vpr"].slice_speedup > 0.1
+
+
+@pytest.mark.slow
+def test_experiment_table4_smoke():
+    rows, text = experiments.experiment_table4(
+        scale=0.05, benchmarks=("vpr", "mcf")
+    )
+    assert [row.program for row in rows] == ["vpr", "mcf"]
+    assert "Table 4" in text
+    assert all(row.predictions_generated > 0 for row in rows)
+
+
+def test_experiment_workload_mix_smoke():
+    rows, text = experiments.experiment_workload_mix(scale=0.05)
+    assert len(rows) == 12
+    assert "Workload characterization" in text

@@ -1,0 +1,42 @@
+"""Tests for the experiment runners."""
+
+from repro.harness.runner import (
+    covered_problem_spec,
+    run_perfect_sweep,
+    run_triple,
+)
+from repro.workloads import registry
+
+
+def test_run_triple_orders_ipcs():
+    result = run_triple(registry.build("vpr", scale=0.08))
+    assert result.limit.ipc > result.base.ipc
+    assert result.assisted.ipc > result.base.ipc
+    assert result.slice_speedup > 0
+    assert result.limit_speedup >= result.slice_speedup - 0.05
+
+
+def test_covered_problem_spec_uses_slice_coverage():
+    workload = registry.build("vpr", scale=0.05)
+    spec = covered_problem_spec(workload)
+    covered = {
+        pc for s in workload.slices for pc in s.covered_branch_pcs
+    }
+    assert spec.branch_pcs == frozenset(covered)
+
+
+def test_covered_problem_spec_falls_back_for_sliceless_workloads():
+    workload = registry.build("parser", scale=0.05)
+    spec = covered_problem_spec(workload)
+    assert spec.branch_pcs == workload.problem_branch_pcs
+    assert spec.load_pcs == workload.problem_load_pcs
+
+
+def test_perfect_sweep_classifies_and_improves():
+    result = run_perfect_sweep(registry.build("gzip", scale=0.08))
+    assert result.classification.branch_pcs  # found problem branches
+    assert result.problem_perfect.ipc > result.base.ipc
+    assert result.all_perfect.ipc >= result.problem_perfect.ipc * 0.95
+    # The classified problem branches include the annotated one.
+    workload = result.workload
+    assert workload.problem_branch_pcs & result.classification.branch_pcs

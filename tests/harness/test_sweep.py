@@ -1,0 +1,38 @@
+"""Tests for the sensitivity-sweep helpers."""
+
+from repro.harness.sweep import (
+    render_sweep,
+    sweep_memory_latency,
+    sweep_prediction_slots,
+    sweep_window_size,
+)
+from repro.workloads import registry
+
+
+def test_memory_latency_sweep_moves_base_ipc():
+    workload = registry.build("mcf", scale=0.1)
+    points = sweep_memory_latency(workload, (50, 200))
+    assert points[0].base.ipc > points[1].base.ipc
+    assert all(p.assisted.ipc >= p.base.ipc * 0.95 for p in points)
+
+
+def test_window_sweep_monotone_baseline():
+    workload = registry.build("vpr", scale=0.08)
+    points = sweep_window_size(workload, (32, 256))
+    assert points[1].base.ipc > points[0].base.ipc
+
+
+def test_prediction_slot_sweep_runs():
+    workload = registry.build("vpr", scale=0.08)
+    points = sweep_prediction_slots(workload, (2, 8))
+    assert [p.value for p in points] == [2, 8]
+    for p in points:
+        assert p.assisted.committed == p.base.committed
+
+
+def test_render_sweep_format():
+    workload = registry.build("vpr", scale=0.05)
+    points = sweep_window_size(workload, (64,))
+    text = render_sweep("Sweep: window", "entries", points)
+    assert "Sweep: window" in text
+    assert "64" in text and "%" in text

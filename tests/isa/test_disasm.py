@@ -1,0 +1,48 @@
+"""Tests for the disassembler."""
+
+from repro.isa import Assembler, disassemble, format_instruction
+
+
+def _single(build):
+    asm = Assembler()
+    asm.label("t")
+    inst = build(asm)
+    return format_instruction(inst, {asm.build().pc_of("t"): "t"})
+
+
+def test_format_alu_reg_and_imm():
+    assert _single(lambda a: a.add("r1", "r2", rb="r3")).startswith("add")
+    assert "r1, r2, 7" in _single(lambda a: a.add("r1", "r2", imm=7))
+
+
+def test_format_memory_ops():
+    assert _single(lambda a: a.ld("r1", "r2", 16)) == "ld      r1, 16(r2)"
+    assert _single(lambda a: a.st("r3", "r4", -8)) == "st      r3, -8(r4)"
+
+
+def test_format_branch_uses_label():
+    assert _single(lambda a: a.beq("r1", "t")) == "beq     r1, t"
+    assert _single(lambda a: a.br("t")) == "br      t"
+
+
+def test_format_comment_appended():
+    def build(asm):
+        asm.comment("heap tail")
+        return asm.li("r1", 0)
+
+    assert "# heap tail" in _single(build)
+
+
+def test_disassemble_marks_problem_pcs():
+    asm = Assembler()
+    asm.label("loop")
+    asm.ld("r1", "r2")
+    asm.bgt("r1", "loop")
+    asm.halt()
+    prog = asm.build()
+    text = disassemble(prog, mark_pcs={prog.base_pc})
+    lines = text.splitlines()
+    assert lines[0] == "loop:"
+    assert lines[1].lstrip().startswith("*")
+    assert "ld" in lines[1]
+    assert not lines[2].lstrip().startswith("*")

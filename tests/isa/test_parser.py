@@ -1,0 +1,159 @@
+"""Tests for the textual assembly parser."""
+
+import pytest
+
+from repro.arch import Memory, ThreadState, run_functional
+from repro.isa import Opcode, disassemble
+from repro.isa.parser import ParseError, parse_assembly
+
+
+def run_program(program, max_insts=100_000):
+    state = ThreadState(Memory(program.data), program.entry_pc)
+    for _ in run_functional(program, state, max_insts):
+        pass
+    return state
+
+
+def test_parse_counted_loop():
+    program = parse_assembly(
+        """
+        ; sum 1..10
+            li      r1, 10
+            li      r2, 0
+        loop:
+            add     r2, r2, r1
+            sub     r1, r1, 1
+            bgt     r1, loop
+            halt
+        """
+    )
+    state = run_program(program)
+    assert state.regs.read(2) == 55
+
+
+def test_parse_data_directives_and_memory_ops():
+    program = parse_assembly(
+        """
+        .word   table 5 6 7
+        .space  out 1
+            la      r1, @table
+            ld      r2, 8(r1)       ; table[1] == 6
+            li      r3, @out
+            st      r2, 0(r3)
+            halt
+        """
+    )
+    state = run_program(program)
+    assert state.memory.load(program.addr_of("out")) == 6
+
+
+def test_parse_register_forms_and_hex():
+    program = parse_assembly(
+        """
+            li      r1, 0x10
+            sll     r2, r1, 2
+            s8add   r3, r1, r2
+            cmoveq  r3, r31, r1
+            halt
+        """
+    )
+    state = run_program(program)
+    assert state.regs.read(2) == 0x40
+    assert state.regs.read(3) == 0x10  # cmoveq on zero reg always moves
+
+
+def test_parse_calls_and_entry():
+    program = parse_assembly(
+        """
+        .entry  main
+        helper:
+            add     r5, r5, 1
+            ret
+        main:
+            call    helper
+            call    helper
+            halt
+        """
+    )
+    assert program.entry_pc == program.pc_of("main")
+    state = run_program(program)
+    assert state.regs.read(5) == 2
+
+
+def test_label_on_same_line_as_instruction():
+    program = parse_assembly(
+        """
+            li r1, 3
+        top:    sub r1, r1, 1
+            bgt r1, top
+            halt
+        """
+    )
+    assert "top" in program.labels
+    state = run_program(program)
+    assert state.regs.read(1) == 0
+
+
+def test_roundtrip_through_disassembler():
+    source = """
+        li      r1, 4
+    loop:
+        sub     r1, r1, 1
+        bgt     r1, loop
+        halt
+    """
+    import re
+
+    first = parse_assembly(source)
+    text = disassemble(first)
+    # Strip PC columns; reparse the remaining assembly.
+    lines = [
+        line if line.endswith(":")
+        else re.sub(r"^\s*\*?\s*0x[0-9a-f]+\s+", "", line)
+        for line in text.splitlines()
+    ]
+    second = parse_assembly("\n".join(lines))
+    assert [i.op for i in second.instructions] == [
+        i.op for i in first.instructions
+    ]
+    assert second.instructions[2].op is Opcode.BGT
+
+
+@pytest.mark.parametrize(
+    "bad,fragment",
+    [
+        ("frobnicate r1, r2", "unknown opcode"),
+        ("ld r1, blah", "bad memory operand"),
+        ("li r1, xyz", "bad immediate"),
+        (".bogus x", "unknown directive"),
+        ("la r1, @missing", "unknown data symbol"),
+    ],
+)
+def test_parse_errors_carry_line_numbers(bad, fragment):
+    with pytest.raises(ParseError, match=fragment):
+        parse_assembly(bad)
+
+
+def test_comments_and_blank_lines_ignored():
+    program = parse_assembly(
+        """
+        # full-line comment
+            li r1, 1   ; trailing
+
+            halt
+        """
+    )
+    assert len(program) == 2
+
+
+def test_parse_fork_instruction():
+    from repro.isa import Opcode
+
+    program = parse_assembly(
+        """
+            fork    0
+            halt
+        """
+    )
+    assert program.instructions[0].op is Opcode.FORK
+    assert program.instructions[0].imm == 0

@@ -1,0 +1,114 @@
+"""Tests for trace collection and backward slicing."""
+
+import pytest
+
+from repro.isa import Assembler
+from repro.slices.builder import (
+    backward_slice,
+    build_static_slice,
+    collect_trace,
+)
+
+
+def simple_program():
+    """li a; li b; add c=a+b; xor junk; cmplt d=c<10; beq d."""
+    asm = Assembler()
+    li_a = asm.li("r1", 3)
+    li_b = asm.li("r2", 4)
+    junk = asm.li("r9", 99)
+    add_c = asm.add("r3", "r1", rb="r2")
+    junk2 = asm.xor("r10", "r9", imm=1)
+    cmp_d = asm.cmplt("r4", "r3", imm=10)
+    asm.label("t")
+    branch = asm.beq("r4", "t2")
+    asm.label("t2")
+    asm.halt()
+    return asm.build(), (li_a, li_b, junk, add_c, junk2, cmp_d, branch)
+
+
+def test_trace_collection_stops_at_halt():
+    program, _ = simple_program()
+    trace = collect_trace(program, program.data)
+    assert trace[-1].inst.op.value == "halt"
+    assert [e.index for e in trace] == list(range(len(trace)))
+
+
+def test_backward_slice_selects_only_contributors():
+    program, insts = simple_program()
+    li_a, li_b, junk, add_c, junk2, cmp_d, branch = insts
+    trace = collect_trace(program, program.data)
+    target_index = next(
+        e.index for e in trace if e.inst.pc == branch.pc
+    )
+    result = backward_slice(trace, target_index)
+    pcs = {trace[i].inst.pc for i in result.indices}
+    assert pcs == {li_a.pc, li_b.pc, add_c.pc, cmp_d.pc}
+    assert junk.pc not in pcs and junk2.pc not in pcs
+    assert result.live_in_regs == frozenset()
+    # chain: li -> add -> cmp -> branch = height 4.
+    assert result.dataflow_height == 4
+
+
+def test_backward_slice_stops_at_fork_and_reports_live_ins():
+    program, insts = simple_program()
+    li_a, li_b, junk, add_c, _junk2, cmp_d, branch = insts
+    trace = collect_trace(program, program.data)
+    target_index = next(e.index for e in trace if e.inst.pc == branch.pc)
+    result = backward_slice(trace, target_index, stop_pc=junk.pc)
+    pcs = {trace[i].inst.pc for i in result.indices}
+    # The walk stops at the fork: the li's become live-ins.
+    assert pcs == {add_c.pc, cmp_d.pc}
+    assert result.live_in_regs == frozenset({1, 2})
+
+
+def test_backward_slice_follows_memory_when_asked():
+    asm = Assembler()
+    addr = asm.data_word("x", 0)
+    li_v = asm.li("r1", 7)
+    asm.li("r2", addr)
+    store = asm.st("r1", "r2")
+    load = asm.ld("r3", "r2")
+    cmp_i = asm.cmplt("r4", "r3", imm=10)
+    asm.label("t")
+    branch = asm.beq("r4", "t")
+    asm.halt()
+    program = asm.build()
+    trace = collect_trace(program, program.data)
+    target = next(e.index for e in trace if e.inst.pc == branch.pc)
+
+    with_mem = backward_slice(trace, target, follow_memory=True)
+    pcs = {trace[i].inst.pc for i in with_mem.indices}
+    assert store.pc in pcs and li_v.pc in pcs
+
+    without = backward_slice(trace, target, follow_memory=False)
+    pcs = {trace[i].inst.pc for i in without.indices}
+    assert store.pc not in pcs
+    assert load.pc in pcs
+
+
+def test_static_slice_unions_instances():
+    asm = Assembler()
+    asm.data_words("vals", [1, 0, 1, 0])
+    asm.li("r1", 4)
+    asm.la("r2", "vals")
+    asm.label("loop")
+    ld = asm.ld("r3", "r2")
+    branch = asm.beq("r3", "skip")
+    asm.label("skip")
+    asm.add("r2", "r2", imm=8)
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "loop")
+    asm.halt()
+    program = asm.build()
+    trace = collect_trace(program, program.data)
+    static = build_static_slice(trace, branch.pc)
+    assert static.instances == 4
+    assert ld.pc in static.pcs
+    assert static.mean_dynamic_size >= 1
+
+
+def test_static_slice_unknown_target_raises():
+    program, _ = simple_program()
+    trace = collect_trace(program, program.data)
+    with pytest.raises(ValueError):
+        build_static_slice(trace, 0xDEAD)

@@ -1,0 +1,142 @@
+"""Property-based tests for the prediction correlator.
+
+Random interleavings of fetch/kill/squash/retire events must never
+violate the correlator's structural invariants:
+
+* a branch entry never holds more slots than the hardware bound;
+* a dead slot never matches;
+* squash exactly undoes every kill/consumption performed by squashed
+  instructions (kills are idempotent under squash+replay);
+* retirement only deallocates slots whose killer has committed.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Assembler
+from repro.slices.correlator import PredictionCorrelator, SlotState
+from repro.slices.spec import (
+    KillKind,
+    KillSpec,
+    PGISpec,
+    SliceHardwareConfig,
+    SliceSpec,
+)
+
+BRANCH_PC = 0x2000
+LOOP_KILL = 0x2100
+SLICE_KILL = 0x2200
+
+
+def make_spec(n_pgis=4):
+    asm = Assembler(base_pc=0x9000)
+    asm.label("entry")
+    pgis = [asm.cmplt(f"r{i + 1}", "r9", imm=0) for i in range(n_pgis)]
+    asm.halt()
+    code = asm.build()
+    return SliceSpec(
+        name="prop",
+        fork_pc=0x1000,
+        code=code,
+        entry_pc=code.pc_of("entry"),
+        live_in_regs=(9,),
+        pgis=tuple(PGISpec(p.pc, BRANCH_PC) for p in pgis),
+        kills=(
+            KillSpec(LOOP_KILL, KillKind.LOOP),
+            KillSpec(SLICE_KILL, KillKind.SLICE),
+        ),
+    )
+
+
+EVENT = st.sampled_from(
+    ["fork", "pgi", "exec", "branch", "loop_kill", "slice_kill",
+     "squash", "retire", "fork_squash"]
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(EVENT, max_size=60), st.randoms(use_true_random=False))
+def test_random_event_streams_preserve_invariants(events, rng):
+    spec = make_spec()
+    config = SliceHardwareConfig(predictions_per_branch=4)
+    correlator = PredictionCorrelator(config)
+    correlator.register_slice(spec)
+
+    vn = 0
+    instances: list[int] = []
+    pending_pgis: dict[int, int] = {}  # instance -> next pgi index
+    empty_slots: list = []
+    live_instances: list[int] = []
+    next_instance = 0
+
+    for event in events:
+        vn += 1
+        if event == "fork":
+            correlator.on_fork(spec, next_instance)
+            instances.append(next_instance)
+            live_instances.append(next_instance)
+            pending_pgis[next_instance] = 0
+            next_instance += 1
+        elif event == "pgi" and live_instances:
+            instance = rng.choice(live_instances)
+            index = pending_pgis[instance]
+            if index < len(spec.pgis):
+                slot = correlator.on_pgi_fetched(
+                    spec, spec.pgis[index], instance
+                )
+                pending_pgis[instance] = index + 1
+                if slot is not None:
+                    empty_slots.append(slot)
+        elif event == "exec" and empty_slots:
+            slot = empty_slots.pop(0)
+            correlator.on_pgi_executed(slot, rng.random() < 0.5)
+        elif event == "branch":
+            match = correlator.on_branch_fetched(BRANCH_PC, vn)
+            if match is not None:
+                assert match.slot.live, "matched a dead/killed slot"
+                if match.direction is None:
+                    correlator.bind_late(match.slot, vn, rng.random() < 0.5)
+        elif event == "loop_kill":
+            correlator.on_kill_fetched(LOOP_KILL, vn)
+        elif event == "slice_kill":
+            correlator.on_kill_fetched(SLICE_KILL, vn)
+        elif event == "squash":
+            correlator.on_squash(rng.randrange(vn + 1))
+        elif event == "retire":
+            correlator.on_retire(rng.randrange(vn + 1))
+        elif event == "fork_squash" and live_instances:
+            instance = live_instances.pop(rng.randrange(len(live_instances)))
+            correlator.on_fork_squashed(instance)
+            empty_slots = [
+                s for s in empty_slots if s.instance_id != instance
+            ]
+
+        # --- invariants, checked after every event -------------------
+        queue = correlator.queue_for(BRANCH_PC)
+        assert len(queue) <= config.predictions_per_branch
+        for slot in queue:
+            assert not slot.dead, "dead slot still in the queue"
+            if slot.killed:
+                assert slot.killer_vn is not None
+            if slot.state is SlotState.LATE:
+                assert slot.consumer_vn is not None
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 4), st.lists(st.booleans(), min_size=1, max_size=4))
+def test_kill_then_squash_is_identity(n_kills, directions):
+    """Applying kills then squashing them all restores every slot."""
+    spec = make_spec(n_pgis=len(directions))
+    correlator = PredictionCorrelator()
+    correlator.register_slice(spec)
+    correlator.on_fork(spec, 0)
+    slots = []
+    for pgi, direction in zip(spec.pgis, directions):
+        slot = correlator.on_pgi_fetched(spec, pgi, 0)
+        correlator.on_pgi_executed(slot, direction)
+        slots.append(slot)
+    before = [(s.state, s.direction, s.killed) for s in slots]
+    for i in range(n_kills):
+        correlator.on_kill_fetched(LOOP_KILL, 100 + i)
+    correlator.on_squash(min_squashed_vn=100)
+    after = [(s.state, s.direction, s.killed) for s in slots]
+    assert before == after

@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example must run and print its story."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+EXPECTED_FRAGMENTS = {
+    "quickstart.py": ["speedup", "predictions"],
+    "heap_insertion_slice.py": ["Figure 5", "optimized slice"],
+    "pointer_chasing_prefetch.py": ["background prefetch", "baseline"],
+    "correlator_walkthrough.py": ["path a b c f b c d f b g", "P2"],
+    "auto_slice_construction.py": ["register-allocated", "automatically"],
+    "extensions_tour.py": ["forks suppressed", "dispatch mispredict"],
+}
+
+
+def test_every_example_has_expectations():
+    assert {p.name for p in EXAMPLES} == set(EXPECTED_FRAGMENTS)
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    output = result.stdout.lower()
+    for fragment in EXPECTED_FRAGMENTS[example.name]:
+        assert fragment.lower() in output, (
+            f"{example.name}: missing {fragment!r}"
+        )

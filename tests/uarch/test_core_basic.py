@@ -1,0 +1,290 @@
+"""Baseline-core tests: correctness of timing, squash, and statistics."""
+
+import pytest
+
+from repro.isa import Assembler
+from repro.uarch import ALL_PERFECT, Core, EIGHT_WIDE, FOUR_WIDE, problem_perfect
+
+
+def straight_line_program(n=200):
+    asm = Assembler()
+    asm.li("r1", 0)
+    for _ in range(n):
+        asm.add("r1", "r1", imm=1)
+    asm.halt()
+    return asm.build()
+
+
+def counted_loop_program(iterations=500, body=4):
+    asm = Assembler()
+    asm.li("r1", iterations)
+    asm.li("r2", 0)
+    asm.label("loop")
+    for _ in range(body):
+        asm.add("r2", "r2", imm=1)
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "loop")
+    asm.halt()
+    return asm.build()
+
+
+def test_straight_line_completes_and_counts():
+    prog = straight_line_program(100)
+    stats = Core(prog, FOUR_WIDE).run()
+    assert stats.committed == 102  # li + 100 adds + halt
+    assert not stats.hit_cycle_limit
+    assert stats.cycles > 0
+
+
+def test_serial_dependence_chain_is_one_ipc_at_best():
+    """All adds depend on the previous one: IPC can't exceed 1."""
+    prog = straight_line_program(400)
+    stats = Core(prog, FOUR_WIDE).run()
+    assert stats.ipc <= 1.05
+
+
+def test_independent_instructions_reach_superscalar_ipc():
+    asm = Assembler()
+    for reg in range(1, 9):
+        asm.li(f"r{reg}", reg)
+    for i in range(400):
+        asm.add(f"r{1 + (i % 8)}", f"r{1 + (i % 8)}", imm=1)
+    asm.halt()
+    stats = Core(asm.build(), FOUR_WIDE).run()
+    assert stats.ipc > 2.5
+
+
+def test_eight_wide_beats_four_wide_on_parallel_code():
+    asm = Assembler()
+    for reg in range(1, 17):
+        asm.li(f"r{reg}", reg)
+    for i in range(800):
+        asm.add(f"r{1 + (i % 16)}", f"r{1 + (i % 16)}", imm=1)
+    asm.halt()
+    prog = asm.build()
+    four = Core(prog, FOUR_WIDE).run()
+    eight = Core(prog, EIGHT_WIDE).run()
+    assert eight.ipc > four.ipc * 1.4
+
+
+def test_loop_branch_is_learned_and_counted():
+    prog = counted_loop_program(iterations=400)
+    stats = Core(prog, FOUR_WIDE).run()
+    assert stats.branches_committed == 400
+    # The loop branch is TTT...N: near-perfect prediction after warmup.
+    assert stats.branch_mispredictions < 20
+    pc = next(iter(stats.branch_pcs))
+    assert stats.branch_pcs[pc].executions == 400
+
+
+def test_unpredictable_branch_causes_mispredictions():
+    """Branch on a pseudo-random data value: predictor near 50%."""
+    import random
+
+    rng = random.Random(11)
+    asm = Assembler()
+    values = asm.data_words("vals", [rng.randrange(2) for _ in range(512)])
+    asm.li("r1", 512)  # counter
+    asm.la("r2", "vals")
+    asm.li("r3", 0)
+    asm.label("loop")
+    asm.ld("r4", "r2")
+    asm.beq("r4", "skip")
+    asm.add("r3", "r3", imm=1)
+    asm.label("skip")
+    asm.add("r2", "r2", imm=8)
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "loop")
+    asm.halt()
+    stats = Core(asm.build(), FOUR_WIDE).run()
+    assert stats.branch_mispredictions > 100  # ~50% of 512
+
+
+def test_mispredictions_cost_cycles():
+    """Same instruction mix; unpredictable direction must run slower."""
+
+    def build(pattern):
+        asm = Assembler()
+        asm.data_words("vals", pattern)
+        asm.li("r1", len(pattern))
+        asm.la("r2", "vals")
+        asm.li("r3", 0)
+        asm.label("loop")
+        asm.ld("r4", "r2")
+        asm.beq("r4", "skip")
+        asm.add("r3", "r3", imm=1)
+        asm.label("skip")
+        asm.add("r2", "r2", imm=8)
+        asm.sub("r1", "r1", imm=1)
+        asm.bgt("r1", "loop")
+        asm.halt()
+        return asm.build()
+
+    import random
+
+    rng = random.Random(5)
+    biased = Core(build([1] * 512), FOUR_WIDE).run()
+    random_pattern = [rng.randrange(2) for _ in range(512)]
+    unbiased = Core(build(random_pattern), FOUR_WIDE).run()
+    assert unbiased.branch_mispredictions > biased.branch_mispredictions + 50
+    assert unbiased.ipc < biased.ipc * 0.8
+
+
+def test_wrong_path_stores_are_rolled_back():
+    """A mispredicted branch guards a store; memory must stay correct."""
+    asm = Assembler()
+    flag_addr = asm.data_word("flag", 0)
+    out_addr = asm.data_word("out", 0)
+    # Alternate the flag so the branch mispredicts sometimes.
+    asm.data_words("vals", [i & 1 for i in range(64)])
+    asm.li("r1", 64)
+    asm.la("r2", "vals")
+    asm.la("r5", "out")
+    asm.li("r6", 0)  # correct-path accumulator
+    asm.li("r7", 999)
+    asm.label("loop")
+    asm.ld("r4", "r2")
+    asm.beq("r4", "skip")
+    asm.st("r7", "r5")  # only stored when r4 != 0
+    asm.add("r6", "r6", imm=1)
+    asm.label("skip")
+    asm.add("r2", "r2", imm=8)
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "loop")
+    asm.st("r6", "r5", 8)  # out+8 = count of odd entries
+    asm.halt()
+    core = Core(asm.build(), FOUR_WIDE)
+    core.run()
+    assert core.memory.load(out_addr + 8) == 32
+
+
+def test_cold_misses_show_up_in_load_stats():
+    asm = Assembler()
+    asm.data_space("arr", 4096)
+    asm.li("r1", 128)
+    asm.la("r2", "arr")
+    asm.label("loop")
+    asm.ld("r3", "r2")
+    asm.add("r2", "r2", imm=256)  # new L1 line every 4 iterations... 256B strides
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "loop")
+    asm.halt()
+    stats = Core(asm.build(), FOUR_WIDE).run()
+    assert stats.loads_committed == 128
+    assert stats.load_misses > 0
+
+
+def test_all_perfect_overlay_removes_pdes():
+    prog = counted_loop_program(iterations=200)
+    stats = Core(prog, FOUR_WIDE, perfect=ALL_PERFECT).run()
+    assert stats.branch_mispredictions == 0
+
+
+def test_all_perfect_is_fastest():
+    import random
+
+    rng = random.Random(3)
+    asm = Assembler()
+    asm.data_words("vals", [rng.randrange(2) for _ in range(256)])
+    asm.data_space("big", 8192)
+    asm.li("r1", 256)
+    asm.la("r2", "vals")
+    asm.la("r5", "big")
+    asm.li("r6", 0)
+    asm.label("loop")
+    asm.ld("r4", "r2")
+    asm.beq("r4", "skip")
+    asm.ld("r7", "r5")
+    asm.add("r6", "r6", rb="r7")
+    asm.label("skip")
+    asm.add("r2", "r2", imm=8)
+    asm.add("r5", "r5", imm=136)
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "loop")
+    asm.halt()
+    prog = asm.build()
+    base = Core(prog, FOUR_WIDE).run()
+    perfect = Core(prog, FOUR_WIDE, perfect=ALL_PERFECT).run()
+    assert perfect.ipc > base.ipc
+
+
+def test_problem_perfect_overlay_targets_specific_pcs():
+    import random
+
+    rng = random.Random(9)
+    asm = Assembler()
+    asm.data_words("vals", [rng.randrange(2) for _ in range(256)])
+    asm.li("r1", 256)
+    asm.la("r2", "vals")
+    asm.li("r3", 0)
+    asm.label("loop")
+    asm.ld("r4", "r2")
+    problem = asm.beq("r4", "skip")
+    asm.add("r3", "r3", imm=1)
+    asm.label("skip")
+    asm.add("r2", "r2", imm=8)
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "loop")
+    asm.halt()
+    prog = asm.build()
+    base = Core(prog, FOUR_WIDE).run()
+    spec = problem_perfect(branch_pcs=[problem.pc], load_pcs=[])
+    fixed = Core(prog, FOUR_WIDE, perfect=spec).run()
+    assert fixed.branch_pcs[problem.pc].events == 0
+    assert base.branch_pcs[problem.pc].events > 50
+    assert fixed.ipc > base.ipc
+
+
+def test_region_limit_stops_run():
+    prog = counted_loop_program(iterations=10_000)
+    stats = Core(prog, FOUR_WIDE, region=5_000).run()
+    assert stats.committed == 5_000
+
+
+def test_call_ret_predicted_by_ras():
+    asm = Assembler()
+    asm.li("r1", 300)
+    asm.label("loop")
+    asm.call("fn")
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "loop")
+    asm.halt()
+    asm.label("fn")
+    asm.add("r2", "r2", imm=1)
+    asm.ret()
+    stats = Core(asm.build(), FOUR_WIDE).run()
+    # returns predicted by RAS; only the loop branch can mispredict.
+    assert stats.branch_mispredictions < 10
+
+
+def test_indirect_jump_table_predicted_after_warmup():
+    asm = Assembler()
+    asm.li("r1", 400)
+    asm.label("loop")
+    asm.li("r5", 0)  # patched to dest pc below
+    asm.jr("r5")
+    asm.label("dest")
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "loop")
+    asm.halt()
+    prog = asm.build()
+    # Patch the li to carry the real target.
+    li_inst = prog.instructions[1]
+    li_inst.imm = prog.pc_of("dest")
+    stats = Core(prog, FOUR_WIDE).run()
+    # Monomorphic indirect: mispredicts a few times, then learns.
+    jr_pc = prog.instructions[2].pc
+    assert stats.branch_pcs[jr_pc].events < 10
+
+
+def test_deadlock_detection_raises():
+    asm = Assembler()
+    asm.br(0x0)  # jumps outside the program on the correct path
+    with pytest.raises(RuntimeError, match="deadlock"):
+        Core(asm.build(), FOUR_WIDE).run()
+
+
+def test_cycle_limit_flag():
+    prog = counted_loop_program(iterations=100_000)
+    stats = Core(prog, FOUR_WIDE).run(max_cycles=500)
+    assert stats.hit_cycle_limit

@@ -1,0 +1,103 @@
+"""Tests for the CPI-stack cycle accounting."""
+
+from repro.isa import Assembler
+from repro.uarch import Core, FOUR_WIDE
+
+
+def accounted(asm_builder, **kw):
+    asm = Assembler()
+    asm_builder(asm)
+    core = Core(asm.build(), FOUR_WIDE, cycle_accounting=True, **kw)
+    stats = core.run()
+    total = sum(stats.cycle_breakdown.values())
+    return stats, {
+        k: v / total for k, v in stats.cycle_breakdown.items()
+    }
+
+
+def test_breakdown_covers_all_cycles():
+    def build(asm):
+        asm.li("r1", 200)
+        asm.label("loop")
+        asm.sub("r1", "r1", imm=1)
+        asm.bgt("r1", "loop")
+        asm.halt()
+
+    stats, _fracs = accounted(build)
+    # The final iteration accounts before committing the region's last
+    # instruction, so the tally can exceed the cycle count by one.
+    assert 0 <= sum(stats.cycle_breakdown.values()) - stats.cycles <= 1
+
+
+def test_parallel_code_is_busy_dominated():
+    def build(asm):
+        for reg in range(1, 9):
+            asm.li(f"r{reg}", reg)
+        for i in range(600):
+            asm.add(f"r{1 + (i % 8)}", f"r{1 + (i % 8)}", imm=1)
+        asm.halt()
+
+    _stats, fracs = accounted(build)
+    assert fracs.get("busy", 0) > 0.5
+
+
+def test_serial_chain_is_execute_dominated():
+    def build(asm):
+        asm.li("r1", 0)
+        for _ in range(600):
+            asm.add("r1", "r1", imm=1)
+        asm.halt()
+
+    _stats, fracs = accounted(build)
+    assert fracs.get("execute", 0) + fracs.get("drain", 0) > 0.5
+
+
+def test_pointer_chase_is_memory_dominated():
+    def build(asm):
+        # Build a scattered chain in the data segment.
+        chain = [0x10000 + 8 * ((i * 7919) % 4096) for i in range(300)]
+        for addr, nxt in zip(chain, chain[1:]):
+            asm._data[addr] = nxt  # direct image injection
+        asm._data[chain[-1]] = 0
+        asm.li("r1", chain[0])
+        asm.label("loop")
+        asm.ld("r1", "r1")
+        asm.bne("r1", "loop")
+        asm.halt()
+
+    _stats, fracs = accounted(build)
+    assert fracs.get("memory", 0) > 0.5
+
+
+def test_unpredictable_branches_show_frontend_cycles():
+    import random
+
+    rng = random.Random(5)
+
+    def build(asm):
+        asm.data_words("vals", [rng.randrange(2) for _ in range(400)])
+        asm.li("r1", 400)
+        asm.la("r2", "vals")
+        asm.label("loop")
+        asm.ld("r3", "r2")
+        asm.beq("r3", "skip")
+        asm.add("r4", "r4", imm=1)
+        asm.label("skip")
+        asm.add("r2", "r2", imm=8)
+        asm.sub("r1", "r1", imm=1)
+        asm.bgt("r1", "loop")
+        asm.halt()
+
+    _stats, fracs = accounted(build)
+    assert fracs.get("frontend", 0) > 0.1
+
+
+def test_accounting_disabled_by_default():
+    def build(asm):
+        asm.li("r1", 1)
+        asm.halt()
+
+    asm = Assembler()
+    build(asm)
+    stats = Core(asm.build(), FOUR_WIDE).run()
+    assert stats.cycle_breakdown == {}

@@ -1,0 +1,107 @@
+"""Tests for explicit fork instructions (Section 4.2's alternative).
+
+"There are two ways of marking a fork point: inserting explicit fork
+instructions or designating an existing instruction as a fork point...
+the hardware can be simplified by the former approach." The FORK
+opcode is architecturally a no-op, so binaries stay correct on
+hardware without slice support; with slice hardware it forks the
+indexed slice-table entry directly, without the fork-PC CAM.
+"""
+
+import dataclasses
+
+from repro.arch import Fault, Memory, ThreadState, execute
+from repro.isa import Assembler, Opcode
+from repro.isa.instruction import Instruction
+from repro.uarch import Core, FOUR_WIDE
+from repro.workloads import vpr
+
+
+def test_fork_is_architecturally_a_nop():
+    state = ThreadState(Memory(), 0)
+    before = state.regs.values()
+    result = execute(Instruction(Opcode.FORK, imm=3, pc=0), state)
+    assert result.fault is Fault.NONE
+    assert result.next_pc == 4
+    assert state.regs.values() == before
+
+
+def test_fork_without_slice_hardware_changes_nothing():
+    asm = Assembler()
+    asm.li("r1", 5)
+    asm.fork(0)
+    asm.add("r2", "r1", imm=1)
+    asm.halt()
+    prog = asm.build()
+    stats = Core(prog, FOUR_WIDE).run()
+    assert stats.committed == 4
+    assert stats.forks_taken == 0
+
+
+def _vpr_with_explicit_fork(scale=0.08):
+    """Rebuild vpr's slice to trigger from an inserted FORK instruction.
+
+    We re-point the slice's fork at a FORK instruction appended to the
+    driver loop by... simpler: reuse the existing fork PC for squash
+    bookkeeping but drive the actual fork through the explicit opcode
+    placed at the same spot in a wrapper program. For this test it is
+    sufficient to exercise the at_index path on a small program.
+    """
+    workload = vpr.build(scale=scale)
+    return workload
+
+
+def test_explicit_fork_drives_the_slice_table():
+    workload = _vpr_with_explicit_fork()
+    spec = workload.slices[0]
+
+    # A wrapper program: FORK 0 placed where the CAM fork point was.
+    # Easiest equivalent: a program that forks explicitly then runs a
+    # heap insertion's worth of work. We reuse the workload program but
+    # replace the CAM trigger by relocating the spec's fork_pc to an
+    # unused address, so only the explicit FORK can fire it.
+    relocated = dataclasses.replace(spec, fork_pc=0xDEAD0)
+    asm = Assembler(base_pc=0xE0000)
+    asm.li("r21", workload.program.addr_of("costs"))
+    asm.fork(0)
+    # Enough driver work for the slice's memory accesses to complete
+    # before the region ends.
+    asm.li("r1", 200)
+    asm.label("spin")
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "spin")
+    asm.halt()
+    driver = asm.build()
+    core = Core(
+        driver,
+        FOUR_WIDE,
+        slices=(relocated,),
+        memory_image=workload.memory_image,
+    )
+    stats = core.run()
+    assert stats.forks_taken == 1
+    assert stats.slice_fetched > 0
+    assert stats.correlator.predictions_generated >= 1
+
+
+def test_fork_index_out_of_range_is_ignored():
+    workload = _vpr_with_explicit_fork()
+    relocated = dataclasses.replace(workload.slices[0], fork_pc=0xDEAD0)
+    asm = Assembler(base_pc=0xE0000)
+    asm.fork(7)  # no such entry
+    asm.halt()
+    core = Core(
+        asm.build(),
+        FOUR_WIDE,
+        slices=(relocated,),
+        memory_image=workload.memory_image,
+    )
+    stats = core.run()
+    assert stats.forks_taken == 0
+
+
+def test_fork_disassembles():
+    from repro.isa import format_instruction
+
+    inst = Instruction(Opcode.FORK, imm=2, pc=0)
+    assert format_instruction(inst) == "fork    2"

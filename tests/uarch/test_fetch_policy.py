@@ -1,0 +1,83 @@
+"""Fetch-policy behavior: past-taken-branch fetch, ICOUNT sharing."""
+
+from repro.isa import Assembler
+from repro.uarch import Core, FOUR_WIDE
+from repro.workloads import vpr
+
+
+def test_fetch_past_taken_branches():
+    """A chain of unconditional branches must not throttle fetch: the
+    front end 'can fetch past taken branches' (Table 1)."""
+    asm = Assembler()
+    # 200 iterations of a 3-instruction loop linked by direct branches.
+    asm.li("r1", 200)
+    asm.label("a")
+    asm.br("b")
+    asm.nop()  # never fetched on the correct path
+    asm.label("b")
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "a")
+    asm.halt()
+    stats = Core(asm.build(), FOUR_WIDE).run()
+    # 3 committed instructions per iteration; with single-branch-per-
+    # cycle fetch this would take >= 2 cycles/iter. Past-taken fetch
+    # sustains better than that.
+    assert stats.committed / stats.cycles > 1.3
+
+
+def test_direct_branches_never_mispredict():
+    asm = Assembler()
+    asm.li("r1", 300)
+    asm.label("loop")
+    asm.br("skip")
+    asm.nop()
+    asm.label("skip")
+    asm.sub("r1", "r1", imm=1)
+    asm.bgt("r1", "loop")
+    asm.halt()
+    stats = Core(asm.build(), FOUR_WIDE).run()
+    assert stats.branch_mispredictions <= 2  # only loop-exit warmup
+
+
+def test_helper_threads_share_fetch_bandwidth():
+    """With slices running, main-thread fetch slows only modestly: the
+    ICOUNT policy biases fetch toward the main thread."""
+    workload = vpr.build(scale=0.08)
+    base = Core(
+        workload.program,
+        FOUR_WIDE,
+        memory_image=workload.memory_image,
+        region=workload.region,
+    ).run()
+    assisted = Core(
+        workload.program,
+        FOUR_WIDE,
+        slices=workload.slices,
+        memory_image=workload.memory_image,
+        region=workload.region,
+    ).run()
+    # Helper-thread fetch is a bounded fraction of total fetch.
+    total = assisted.main_fetched + assisted.slice_fetched
+    assert assisted.slice_fetched / total < 0.35
+    # And the run is faster despite sharing (the whole point).
+    assert assisted.cycles < base.cycles
+
+
+def test_window_fill_throttles_fetch_on_misses():
+    """A pointer chase fills the window and stalls fetch; fetched-but-
+    not-committed work stays bounded by the window size."""
+    asm = Assembler()
+    chain = [0x20000 + 8 * ((i * 6151) % 8192) for i in range(400)]
+    for addr, nxt in zip(chain, chain[1:]):
+        asm._data[addr] = nxt
+    asm._data[chain[-1]] = 0
+    asm.li("r1", chain[0])
+    asm.label("loop")
+    asm.ld("r1", "r1")
+    asm.bne("r1", "loop")
+    asm.halt()
+    core = Core(asm.build(), FOUR_WIDE)
+    stats = core.run()
+    # Fetch can't run unboundedly ahead: total fetched is bounded by
+    # committed + wrong-path work near the window size per redirect.
+    assert stats.main_fetched < stats.committed * 3

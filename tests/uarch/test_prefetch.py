@@ -1,0 +1,96 @@
+"""Tests for the stream prefetcher."""
+
+from repro.uarch.cache import DataHierarchy
+from repro.uarch.config import FOUR_WIDE, PrefetchConfig
+from repro.uarch.prefetch import StreamPrefetcher
+
+
+def make_prefetcher(**overrides):
+    config = PrefetchConfig(**overrides) if overrides else FOUR_WIDE.prefetch
+    hier = DataHierarchy(FOUR_WIDE)
+    pf = StreamPrefetcher(config, hier)
+    pf.attach()
+    return pf, hier
+
+
+def test_sequential_next_line_prefetch_on_first_miss():
+    pf, hier = make_prefetcher()
+    hier.access(0x4000, is_store=False, now=0)  # miss, prefetches 0x4040
+    result = hier.access(0x4040, is_store=False, now=500)
+    assert result.buffer_hit
+    assert not result.counts_as_miss
+
+
+def test_positive_unit_stride_stream_confirms_and_runs_ahead():
+    pf, hier = make_prefetcher()
+    line = FOUR_WIDE.l1d.line_bytes
+    base = 0x10000
+    hier.access(base, is_store=False, now=0)  # allocate tracker
+    hier.access(base + line, is_store=False, now=500)  # confirm stride +1
+    assert pf.streams_confirmed == 1
+    # The next several lines should now be covered.
+    for i in range(2, 2 + FOUR_WIDE.prefetch.stream_depth):
+        result = hier.access(base + i * line, is_store=False, now=500 + 500 * i)
+        assert not result.counts_as_miss, f"line {i} not covered"
+
+
+def test_negative_unit_stride_detected():
+    pf, hier = make_prefetcher()
+    line = FOUR_WIDE.l1d.line_bytes
+    base = 0x40000
+    hier.access(base, is_store=False, now=0)
+    hier.access(base - line, is_store=False, now=500)
+    assert pf.streams_confirmed == 1
+    result = hier.access(base - 2 * line, is_store=False, now=1000)
+    assert not result.counts_as_miss
+
+
+def test_non_unit_stride_is_not_confirmed():
+    pf, hier = make_prefetcher()
+    line = FOUR_WIDE.l1d.line_bytes
+    base = 0x80000
+    hier.access(base, is_store=False)
+    hier.access(base + 7 * line, is_store=False)
+    hier.access(base + 14 * line, is_store=False)
+    assert pf.streams_confirmed == 0
+
+
+def test_stream_table_capacity_is_bounded():
+    pf, hier = make_prefetcher()
+    line = FOUR_WIDE.l1d.line_bytes
+    for i in range(100):
+        hier.access(0x100000 + i * 37 * line, is_store=False)
+    assert len(pf._streams) <= FOUR_WIDE.prefetch.stream_table_entries
+
+
+def test_prefetch_never_targets_negative_lines():
+    pf, hier = make_prefetcher()
+    line = FOUR_WIDE.l1d.line_bytes
+    hier.access(line, is_store=False)
+    hier.access(0, is_store=False)  # stride -1 confirmed at line 0
+    # Must not raise or issue prefetches below address zero.
+    assert pf.prefetches_launched >= 0
+
+
+def test_sequential_prefetch_can_be_disabled():
+    pf, hier = make_prefetcher(sequential_next_line=False)
+    hier.access(0x4000, is_store=False)
+    result = hier.access(0x4040, is_store=False)
+    assert result.counts_as_miss
+
+
+def test_pointer_chase_defeats_stream_prefetcher():
+    """The paper's premise: irregular strides get no prefetch coverage."""
+    pf, hier = make_prefetcher()
+    import random
+
+    rng = random.Random(7)
+    line = FOUR_WIDE.l1d.line_bytes
+    addr = 0x200000
+    covered = 0
+    for _ in range(50):
+        addr += rng.randrange(3, 100) * line  # irregular stride
+        result = hier.access(addr, is_store=False)
+        if not result.counts_as_miss:
+            covered += 1
+    assert covered <= 5

@@ -1,0 +1,88 @@
+"""Unit tests for SMT thread contexts and the ICOUNT policy."""
+
+from repro.arch.memory import Memory
+from repro.uarch.smt import ThreadContext, ThreadKind, icount_order
+from repro.workloads import vpr
+
+
+def make_slice_spec():
+    return vpr.build(scale=0.05).slices[0]
+
+
+def test_activate_main():
+    workload = vpr.build(scale=0.05)
+    ctx = ThreadContext(0)
+    ctx.activate_main(workload.program, Memory(workload.memory_image))
+    assert ctx.is_main
+    assert ctx.active and ctx.can_fetch
+    assert ctx.state.pc == workload.program.entry_pc
+
+
+def test_activate_slice_copies_live_ins():
+    spec = make_slice_spec()
+    ctx = ThreadContext(1)
+    ctx.activate_slice(
+        spec,
+        Memory(),
+        live_in_values={21: 0xBEEF},
+        instance_id=7,
+        fork_vn=100,
+        livein_ready_cycle=5,
+    )
+    assert not ctx.is_main
+    assert ctx.state.pc == spec.entry_pc
+    assert ctx.state.regs.read(21) == 0xBEEF
+    assert ctx.instance_id == 7
+    assert ctx.fork_vn == 100
+
+
+def test_release_returns_context_to_idle_pool():
+    spec = make_slice_spec()
+    ctx = ThreadContext(1)
+    ctx.activate_slice(spec, Memory(), {}, 1, 10, 0)
+    ctx.slice_misses = 3
+    ctx.release()
+    assert not ctx.active
+    assert ctx.spec is None
+    assert ctx.instance_id == -1
+    # Reactivation resets per-instance counters.
+    ctx.activate_slice(spec, Memory(), {}, 2, 20, 0)
+    assert ctx.slice_misses == 0
+
+
+def test_fetch_stall_blocks_can_fetch():
+    workload = vpr.build(scale=0.05)
+    ctx = ThreadContext(0)
+    ctx.activate_main(workload.program, Memory())
+    ctx.fetch_stalled = True
+    assert not ctx.can_fetch
+
+
+def make_thread(thread_id, kind, in_flight):
+    ctx = ThreadContext(thread_id)
+    ctx.kind = kind
+    ctx.active = True
+    ctx.in_flight = in_flight
+    return ctx
+
+
+def test_icount_prefers_main_despite_higher_count():
+    main = make_thread(0, ThreadKind.MAIN, 12)
+    helper = make_thread(1, ThreadKind.SLICE, 5)
+    order = icount_order([helper, main], main_bias=4.0)
+    assert order[0] is main  # 12/4 = 3 < 5
+
+
+def test_icount_yields_when_main_far_ahead():
+    main = make_thread(0, ThreadKind.MAIN, 100)
+    helper = make_thread(1, ThreadKind.SLICE, 3)
+    order = icount_order([main, helper], main_bias=4.0)
+    assert order[0] is helper  # 100/4 = 25 > 3
+
+
+def test_icount_skips_stalled_threads():
+    main = make_thread(0, ThreadKind.MAIN, 0)
+    helper = make_thread(1, ThreadKind.SLICE, 0)
+    helper.fetch_stalled = True
+    order = icount_order([main, helper], main_bias=4.0)
+    assert order == [main]

@@ -1,0 +1,91 @@
+"""Tests for slice-generated indirect-target predictions (TARGET PGIs).
+
+The paper's §7 contrasts its kill-based correlation with Roth et al.'s
+virtual-function-target pre-computation; TARGET-kind PGIs bring that
+complement into this framework: a slice computes an indirect branch's
+target ahead of time and the front end uses it over the cascading
+predictor.
+
+The micro-workload is a bytecode interpreter whose dispatch `jr` hops
+through a jump table on a random opcode stream — the cascading
+predictor gets ~1/k of these right, while a slice that reads the *next*
+opcode one iteration ahead predicts them near-perfectly.
+"""
+
+import pytest
+
+from repro.uarch import Core
+from repro.workloads import dispatch
+
+
+def build_interpreter(ops=600):
+    workload = dispatch.build(scale=ops / 2400)
+    return (
+        workload.program,
+        workload.memory_image,
+        workload.slices[0],
+        next(iter(workload.problem_branch_pcs)),
+        ops,
+    )
+
+
+#: This pattern forks every ~12 instructions — far denser than the
+#: paper's slices (one per 60-130) — so it needs more idle contexts.
+CONFIG = dispatch.RECOMMENDED_CONFIG
+
+
+@pytest.fixture(scope="module")
+def runs():
+    program, image, spec, dispatch_pc, ops = build_interpreter()
+    base = Core(
+        program, CONFIG, memory_image=image, region=ops * 40
+    ).run()
+    assisted = Core(
+        program,
+        CONFIG,
+        slices=(spec,),
+        memory_image=image,
+        region=ops * 40,
+    ).run()
+    return base, assisted, dispatch_pc, ops
+
+
+def test_dispatch_defeats_the_cascading_predictor(runs):
+    base, _assisted, dispatch_pc, ops = runs
+    # Random 4-way dispatch: most dynamic instances mispredict.
+    assert base.branch_pcs[dispatch_pc].rate > 0.5
+
+
+def test_target_slice_removes_indirect_mispredictions(runs):
+    base, assisted, dispatch_pc, _ops = runs
+    base_rate = base.branch_pcs[dispatch_pc].rate
+    assisted_rate = assisted.branch_pcs[dispatch_pc].rate
+    assert assisted_rate < base_rate * 0.7
+    assert assisted.ipc > base.ipc * 1.2
+
+
+def test_target_predictions_are_accurate(runs):
+    _base, assisted, _pc, _ops = runs
+    c = assisted.correlator
+    assert c.value_overrides > 100  # targets ride the value queue
+    judged = c.correct_value_overrides + c.incorrect_value_overrides
+    # Outcome accounting for targets happens via branch commit, so the
+    # direction counters are unused; accuracy shows as removed
+    # mispredictions instead (asserted above) and overrides are real.
+    assert c.value_predictions_generated > 100
+
+
+def test_architectural_results_identical(runs):
+    """Target overrides are microarchitectural only."""
+    program, image, spec, _pc, ops = build_interpreter()
+    plain = Core(program, CONFIG, memory_image=image, region=ops * 40)
+    plain.run()
+    assisted = Core(
+        program, CONFIG, slices=(spec,), memory_image=image,
+        region=ops * 40,
+    )
+    assisted.run()
+    assert (
+        plain._main.state.regs.read(28)
+        == assisted._main.state.regs.read(28)
+    )

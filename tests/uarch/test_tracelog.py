@@ -1,0 +1,81 @@
+"""Tests for the pipeline trace-log utility."""
+
+from repro.isa import Assembler
+from repro.uarch import Core, FOUR_WIDE
+from repro.uarch.tracelog import attach_trace, render_trace
+
+
+def traced_run(build, **kw):
+    asm = Assembler()
+    build(asm)
+    core = Core(asm.build(), FOUR_WIDE)
+    log = attach_trace(core, **kw)
+    core.run()
+    return core, log
+
+
+def test_trace_records_lifecycle():
+    def build(asm):
+        asm.li("r1", 1)
+        asm.add("r2", "r1", imm=1)
+        asm.halt()
+
+    _core, log = traced_run(build)
+    records = log.ordered()
+    assert len(records) == 3
+    first = records[0]
+    assert first.text.startswith("li")
+    assert first.complete_cycle >= first.fetch_cycle
+    assert first.commit_cycle >= first.complete_cycle
+    assert not first.squashed
+
+
+def test_trace_marks_squashed_wrong_path():
+    import random
+
+    rng = random.Random(2)
+
+    def build(asm):
+        asm.data_words("vals", [rng.randrange(2) for _ in range(64)])
+        asm.li("r1", 64)
+        asm.la("r2", "vals")
+        asm.label("loop")
+        asm.ld("r3", "r2")
+        asm.beq("r3", "skip")
+        asm.add("r4", "r4", imm=1)
+        asm.label("skip")
+        asm.add("r2", "r2", imm=8)
+        asm.sub("r1", "r1", imm=1)
+        asm.bgt("r1", "loop")
+        asm.halt()
+
+    _core, log = traced_run(build, max_entries=400)
+    assert any(r.squashed for r in log.records.values())
+    # Squashed records never commit.
+    for record in log.records.values():
+        if record.squashed:
+            assert record.commit_cycle is None
+
+
+def test_trace_truncates_at_limit():
+    def build(asm):
+        asm.li("r1", 100)
+        asm.label("loop")
+        asm.sub("r1", "r1", imm=1)
+        asm.bgt("r1", "loop")
+        asm.halt()
+
+    _core, log = traced_run(build, max_entries=10)
+    assert len(log.records) == 10
+    assert log.truncated
+
+
+def test_render_trace_output():
+    def build(asm):
+        asm.li("r1", 1)
+        asm.halt()
+
+    _core, log = traced_run(build)
+    text = render_trace(log)
+    assert "instruction" in text
+    assert "li" in text

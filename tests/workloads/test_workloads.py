@@ -1,0 +1,103 @@
+"""Cross-workload validity tests.
+
+Every workload must assemble, run functionally to HALT within its
+region budget, and carry consistent problem-instruction annotations.
+Slice-bearing workloads must have slices whose prediction streams
+functionally match the main thread's branch outcomes.
+"""
+
+import pytest
+
+from repro.arch import Fault, Memory, ThreadState, run_functional
+from repro.workloads import registry
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module", params=registry.all_names())
+def workload(request):
+    return registry.build(request.param, scale=SCALE)
+
+
+def run_main(workload, collect_pc=None, max_instructions=3_000_000):
+    state = ThreadState(Memory(workload.memory_image), workload.program.entry_pc)
+    collected = []
+    count = 0
+    halted = False
+    for inst, result in run_functional(
+        workload.program, state, max_instructions
+    ):
+        count += 1
+        if collect_pc is not None and inst.pc == collect_pc:
+            collected.append(result)
+        if result.fault is Fault.HALT:
+            halted = True
+    return state, count, halted, collected
+
+
+def test_program_runs_to_halt_within_region(workload):
+    _state, count, halted, _ = run_main(workload)
+    assert halted, f"{workload.name} did not halt"
+    assert count <= workload.region, (
+        f"{workload.name}: region cap {workload.region} < actual {count}"
+    )
+    assert count > 500, f"{workload.name} too short to be meaningful"
+
+
+def test_no_correct_path_faults(workload):
+    state = ThreadState(
+        Memory(workload.memory_image), workload.program.entry_pc
+    )
+    for inst, result in run_functional(workload.program, state, 3_000_000):
+        assert result.fault in (Fault.NONE, Fault.HALT), (
+            f"{workload.name}: fault {result.fault} at {inst.pc:#x}"
+        )
+        if result.fault is Fault.HALT:
+            break
+
+
+def test_problem_annotations_point_at_real_instructions(workload):
+    for pc in workload.problem_branch_pcs:
+        inst = workload.program.at(pc)
+        assert inst is not None and inst.is_branch
+    for pc in workload.problem_load_pcs:
+        inst = workload.program.at(pc)
+        assert inst is not None and inst.is_mem
+
+
+def test_slices_are_well_formed(workload):
+    for spec in workload.slices:
+        # Fork PC is a real main-program instruction.
+        assert workload.program.at(spec.fork_pc) is not None
+        # Kill PCs are real main-program instructions.
+        for kill in spec.kills:
+            assert workload.program.at(kill.kill_pc) is not None
+        # PGIs target annotated problem branches.
+        for pgi in spec.pgis:
+            assert workload.program.at(pgi.branch_pc) is not None
+        # Covered problem loads are real loads.
+        for slice_pc, main_pc in spec.prefetch_for.items():
+            assert spec.code.at(slice_pc).is_load
+            assert workload.program.at(main_pc).is_load
+        # Slice code is store-free (enforced at build, re-checked here).
+        assert not any(i.is_store for i in spec.code.instructions)
+        # Paper Table 3 scale: slices are small.
+        assert spec.static_size <= 40
+
+
+def test_slice_sizes_follow_paper_rule_of_thumb(workload):
+    """"Typically a slice has fewer instructions than 4 times the
+    number of problem instructions it covers" (Section 3.2)."""
+    for spec in workload.slices:
+        covered = len(spec.pgis) + len(spec.prefetch_for)
+        if covered == 0:
+            continue
+        assert spec.static_size <= 4 * covered + 12, (
+            f"{spec.name}: {spec.static_size} static for {covered} covered"
+        )
+
+
+def test_live_ins_are_few(workload):
+    """"rarely are more than 4 values required" (Section 3.2)."""
+    for spec in workload.slices:
+        assert len(spec.live_in_regs) <= 4
