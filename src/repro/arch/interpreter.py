@@ -6,6 +6,18 @@ it raise — division by zero yields zero, unmapped loads yield zero, and
 null-page accesses are reported as faults rather than raised, because
 the out-of-order core executes instructions functionally at fetch time,
 including down mispredicted paths.
+
+Execution is driven by a precomputed opcode dispatch table: the first
+time a static instruction executes, :func:`_compile` specializes a
+closure for it (operand register indices, immediate, branch target and
+fall-through PC prebound as locals) and caches it on the instruction.
+Subsequent dynamic executions of the same static instruction — the
+simulator's single hottest path — run the closure directly instead of
+re-decoding. Compilation is deliberately lazy: assembly (PC placement,
+label resolution) and the slice optimizer's register renaming all
+mutate instructions *before* their first execution, and
+``Instruction.__copy__`` drops the cache when the optimizer clones an
+already-executed instruction.
 """
 
 from __future__ import annotations
@@ -15,7 +27,7 @@ from dataclasses import dataclass
 from repro.arch.exceptions import NULL_PAGE_LIMIT, Fault
 from repro.arch.memory import to_signed
 from repro.arch.state import ThreadState
-from repro.isa.instruction import Instruction
+from repro.isa.instruction import ZERO_REG, Instruction
 from repro.isa.opcodes import INSTRUCTION_BYTES, Opcode
 
 #: 64-bit mask used for logical shifts.
@@ -53,77 +65,10 @@ def execute(inst: Instruction, state: ThreadState) -> ExecResult:
     wrong path), so this function only *returns* the correct ``next_pc``
     and also assigns it to ``state.pc``.
     """
-    op = inst.op
-    regs = state.regs
-    result = ExecResult(next_pc=inst.pc + INSTRUCTION_BYTES)
-
-    if op in _ALU_OPS:
-        a = regs.read(inst.ra)
-        b = regs.read(inst.rb) if inst.rb is not None else inst.imm
-        value = _ALU_OPS[op](a, b)
-        if not _MIN64 <= value <= _MAX64:
-            value = to_signed(value)
-        result.value = value
-        regs.write(inst.rd, value)
-    elif op is Opcode.LI:
-        result.value = inst.imm
-        regs.write(inst.rd, inst.imm)
-    elif op is Opcode.MOV:
-        result.value = regs.read(inst.ra)
-        regs.write(inst.rd, result.value)
-    elif op in _CMOV_COND:
-        cond = _CMOV_COND[op](regs.read(inst.ra))
-        result.value = regs.read(inst.rb) if cond else regs.read(inst.rd)
-        regs.write(inst.rd, result.value)
-    elif op is Opcode.LD:
-        addr = regs.read(inst.ra) + inst.imm
-        result.addr = addr
-        if addr < NULL_PAGE_LIMIT:
-            result.fault = Fault.NULL_DEREF
-            result.value = 0
-        else:
-            result.value = state.memory.load(addr)
-        regs.write(inst.rd, result.value)
-    elif op is Opcode.ST:
-        addr = regs.read(inst.ra) + inst.imm
-        result.addr = addr
-        result.store_value = regs.read(inst.rd)
-        if addr < NULL_PAGE_LIMIT:
-            result.fault = Fault.NULL_DEREF
-        else:
-            state.memory.store(addr, result.store_value)
-    elif op in _BRANCH_COND:
-        taken = _BRANCH_COND[op](regs.read(inst.ra))
-        result.taken = taken
-        if taken:
-            result.next_pc = inst.target
-    elif op is Opcode.BR:
-        result.taken = True
-        result.next_pc = inst.target
-    elif op is Opcode.CALL:
-        result.taken = True
-        result.value = inst.pc + INSTRUCTION_BYTES
-        regs.write(inst.rd, result.value)
-        result.next_pc = inst.target
-    elif op is Opcode.CALLR:
-        result.taken = True
-        target = regs.read(inst.ra)
-        result.value = inst.pc + INSTRUCTION_BYTES
-        regs.write(inst.rd, result.value)
-        result.next_pc = target
-    elif op in (Opcode.JR, Opcode.RET):
-        result.taken = True
-        result.next_pc = regs.read(inst.ra)
-    elif op is Opcode.HALT:
-        result.fault = Fault.HALT
-        result.next_pc = inst.pc  # spin; the core stops the thread
-    elif op in (Opcode.NOP, Opcode.FORK):
-        pass  # FORK is architecturally a no-op (Section 4.2)
-    else:  # pragma: no cover - all opcodes are handled above
-        raise NotImplementedError(f"opcode {op}")
-
-    state.pc = result.next_pc
-    return result
+    fn = inst._exec
+    if fn is None:
+        fn = inst._exec = _compile(inst)
+    return fn(state)
 
 
 def _div(a: int, b: int) -> int:
@@ -168,6 +113,287 @@ _BRANCH_COND = {
     Opcode.BLE: lambda a: a <= 0,
     Opcode.BGT: lambda a: a > 0,
 }
+
+
+# ----------------------------------------------------------------------
+# Per-category closure factories. Each prebinds the instruction's
+# operands and returns a ``run(state) -> ExecResult`` closure with
+# semantics identical to the pre-dispatch-table interpreter (register
+# writes wrap to signed 64-bit; r31 writes vanish).
+# ----------------------------------------------------------------------
+
+
+def _make_alu(inst: Instruction):
+    fn = _ALU_OPS[inst.op]
+    rd, ra, rb, imm = inst.rd, inst.ra, inst.rb, inst.imm
+    next_pc = inst.pc + INSTRUCTION_BYTES
+    dead = rd == ZERO_REG
+    if rb is None:
+
+        def run(state: ThreadState) -> ExecResult:
+            regs = state.regs
+            r = regs._regs
+            value = fn(r[ra], imm)
+            if value < _MIN64 or value > _MAX64:
+                value = to_signed(value)
+            if not dead:
+                if regs.journaling:
+                    regs._journal.append((rd, r[rd]))
+                r[rd] = value
+            state.pc = next_pc
+            return ExecResult(value=value, next_pc=next_pc)
+
+    else:
+
+        def run(state: ThreadState) -> ExecResult:
+            regs = state.regs
+            r = regs._regs
+            value = fn(r[ra], r[rb])
+            if value < _MIN64 or value > _MAX64:
+                value = to_signed(value)
+            if not dead:
+                if regs.journaling:
+                    regs._journal.append((rd, r[rd]))
+                r[rd] = value
+            state.pc = next_pc
+            return ExecResult(value=value, next_pc=next_pc)
+
+    return run
+
+
+def _make_li(inst: Instruction):
+    rd, imm = inst.rd, inst.imm
+    stored = to_signed(imm)
+    next_pc = inst.pc + INSTRUCTION_BYTES
+    dead = rd == ZERO_REG
+
+    def run(state: ThreadState) -> ExecResult:
+        if not dead:
+            regs = state.regs
+            r = regs._regs
+            if regs.journaling:
+                regs._journal.append((rd, r[rd]))
+            r[rd] = stored
+        state.pc = next_pc
+        return ExecResult(value=imm, next_pc=next_pc)
+
+    return run
+
+
+def _make_mov(inst: Instruction):
+    rd, ra = inst.rd, inst.ra
+    next_pc = inst.pc + INSTRUCTION_BYTES
+    dead = rd == ZERO_REG
+
+    def run(state: ThreadState) -> ExecResult:
+        regs = state.regs
+        r = regs._regs
+        value = r[ra]
+        if not dead:
+            if regs.journaling:
+                regs._journal.append((rd, r[rd]))
+            r[rd] = value
+        state.pc = next_pc
+        return ExecResult(value=value, next_pc=next_pc)
+
+    return run
+
+
+def _make_cmov(inst: Instruction):
+    cond = _CMOV_COND[inst.op]
+    rd, ra, rb = inst.rd, inst.ra, inst.rb
+    next_pc = inst.pc + INSTRUCTION_BYTES
+    dead = rd == ZERO_REG
+
+    def run(state: ThreadState) -> ExecResult:
+        regs = state.regs
+        r = regs._regs
+        value = r[rb] if cond(r[ra]) else r[rd]
+        if not dead:
+            if regs.journaling:
+                regs._journal.append((rd, r[rd]))
+            r[rd] = value
+        state.pc = next_pc
+        return ExecResult(value=value, next_pc=next_pc)
+
+    return run
+
+
+def _make_load(inst: Instruction):
+    rd, ra, imm = inst.rd, inst.ra, inst.imm
+    next_pc = inst.pc + INSTRUCTION_BYTES
+    dead = rd == ZERO_REG
+
+    def run(state: ThreadState) -> ExecResult:
+        regs = state.regs
+        r = regs._regs
+        addr = r[ra] + imm
+        if addr < NULL_PAGE_LIMIT:
+            if not dead:
+                if regs.journaling:
+                    regs._journal.append((rd, r[rd]))
+                r[rd] = 0
+            state.pc = next_pc
+            return ExecResult(
+                value=0, addr=addr, next_pc=next_pc, fault=Fault.NULL_DEREF
+            )
+        value = state.memory.load(addr)
+        if not dead:
+            if regs.journaling:
+                regs._journal.append((rd, r[rd]))
+            r[rd] = value
+        state.pc = next_pc
+        return ExecResult(value=value, addr=addr, next_pc=next_pc)
+
+    return run
+
+
+def _make_store(inst: Instruction):
+    rd, ra, imm = inst.rd, inst.ra, inst.imm
+    next_pc = inst.pc + INSTRUCTION_BYTES
+
+    def run(state: ThreadState) -> ExecResult:
+        addr = state.regs._regs[ra] + imm
+        store_value = state.regs._regs[rd]
+        if addr < NULL_PAGE_LIMIT:
+            state.pc = next_pc
+            return ExecResult(
+                addr=addr,
+                store_value=store_value,
+                next_pc=next_pc,
+                fault=Fault.NULL_DEREF,
+            )
+        state.memory.store(addr, store_value)
+        state.pc = next_pc
+        return ExecResult(
+            addr=addr, store_value=store_value, next_pc=next_pc
+        )
+
+    return run
+
+
+def _make_cond_branch(inst: Instruction):
+    cond = _BRANCH_COND[inst.op]
+    ra = inst.ra
+    target = inst.target
+    fallthrough = inst.pc + INSTRUCTION_BYTES
+
+    def run(state: ThreadState) -> ExecResult:
+        taken = cond(state.regs._regs[ra])
+        next_pc = target if taken else fallthrough
+        state.pc = next_pc
+        return ExecResult(taken=taken, next_pc=next_pc)
+
+    return run
+
+
+def _make_br(inst: Instruction):
+    target = inst.target
+
+    def run(state: ThreadState) -> ExecResult:
+        state.pc = target
+        return ExecResult(taken=True, next_pc=target)
+
+    return run
+
+
+def _make_call(inst: Instruction):
+    rd = inst.rd
+    target = inst.target
+    link = inst.pc + INSTRUCTION_BYTES
+    dead = rd == ZERO_REG
+
+    def run(state: ThreadState) -> ExecResult:
+        if not dead:
+            regs = state.regs
+            r = regs._regs
+            if regs.journaling:
+                regs._journal.append((rd, r[rd]))
+            r[rd] = link
+        state.pc = target
+        return ExecResult(value=link, taken=True, next_pc=target)
+
+    return run
+
+
+def _make_callr(inst: Instruction):
+    rd, ra = inst.rd, inst.ra
+    link = inst.pc + INSTRUCTION_BYTES
+    dead = rd == ZERO_REG
+
+    def run(state: ThreadState) -> ExecResult:
+        regs = state.regs
+        r = regs._regs
+        target = r[ra]
+        if not dead:
+            if regs.journaling:
+                regs._journal.append((rd, r[rd]))
+            r[rd] = link
+        state.pc = target
+        return ExecResult(value=link, taken=True, next_pc=target)
+
+    return run
+
+
+def _make_jr(inst: Instruction):
+    ra = inst.ra
+
+    def run(state: ThreadState) -> ExecResult:
+        target = state.regs._regs[ra]
+        state.pc = target
+        return ExecResult(taken=True, next_pc=target)
+
+    return run
+
+
+def _make_halt(inst: Instruction):
+    pc = inst.pc  # spin; the core stops the thread
+
+    def run(state: ThreadState) -> ExecResult:
+        state.pc = pc
+        return ExecResult(next_pc=pc, fault=Fault.HALT)
+
+    return run
+
+
+def _make_nop(inst: Instruction):
+    next_pc = inst.pc + INSTRUCTION_BYTES
+
+    def run(state: ThreadState) -> ExecResult:
+        state.pc = next_pc
+        return ExecResult(next_pc=next_pc)
+
+    return run
+
+
+#: Opcode -> closure factory. FORK is architecturally a no-op
+#: (Section 4.2); the core special-cases it at fetch.
+_DISPATCH = {
+    **{op: _make_alu for op in _ALU_OPS},
+    **{op: _make_cmov for op in _CMOV_COND},
+    **{op: _make_cond_branch for op in _BRANCH_COND},
+    Opcode.LI: _make_li,
+    Opcode.MOV: _make_mov,
+    Opcode.LD: _make_load,
+    Opcode.ST: _make_store,
+    Opcode.BR: _make_br,
+    Opcode.CALL: _make_call,
+    Opcode.CALLR: _make_callr,
+    Opcode.JR: _make_jr,
+    Opcode.RET: _make_jr,
+    Opcode.HALT: _make_halt,
+    Opcode.NOP: _make_nop,
+    Opcode.FORK: _make_nop,
+}
+
+
+def _compile(inst: Instruction):
+    """Specialize an executor closure for one static instruction."""
+    try:
+        factory = _DISPATCH[inst.op]
+    except KeyError:  # pragma: no cover - all opcodes are handled above
+        raise NotImplementedError(f"opcode {inst.op}") from None
+    return factory(inst)
 
 
 def run_functional(

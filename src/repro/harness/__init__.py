@@ -1,5 +1,7 @@
 """Experiment harness: runners, experiment drivers, and text reports."""
 
+from repro.harness.cache import RunCache
+from repro.harness.parallel import RunRequest, execute_request, run_matrix
 from repro.harness.runner import (
     PerfectSweepResult,
     TripleResult,
@@ -13,8 +15,12 @@ from repro.harness.runner import (
 
 __all__ = [
     "PerfectSweepResult",
+    "RunCache",
+    "RunRequest",
     "TripleResult",
     "covered_problem_spec",
+    "execute_request",
+    "run_matrix",
     "run_baseline",
     "run_perfect",
     "run_perfect_sweep",

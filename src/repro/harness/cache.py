@@ -1,0 +1,159 @@
+"""Content-addressed on-disk cache for simulation runs.
+
+Every paper experiment is a pure function of its
+:class:`~repro.harness.parallel.RunRequest` — the simulator is
+deterministic (see ``tests/harness/test_determinism.py``) — so a run's
+:class:`~repro.uarch.stats.RunStats` can be cached on disk and replayed
+for free. Keys are content-addressed:
+
+``key = sha256(schema version + source-tree hash + canonical request)``
+
+where the *source-tree hash* digests every ``.py`` file under
+``src/repro/``. Any simulator change therefore invalidates the whole
+cache cleanly, while re-rendering a table after an unrelated edit (docs,
+tests, benchmarks) is a pure cache hit.
+
+Entries are pickle files under ``.repro_cache/<key[:2]>/<key>.pkl``
+(override the root with ``REPRO_CACHE_DIR``). A corrupted or
+truncated entry is deleted and treated as a miss — the run is simply
+re-executed. Escape hatches: the ``--no-cache`` CLI flag and
+``repro cache clear``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+from repro.uarch.stats import RunStats
+
+#: Bump when the cache payload layout changes; old entries become
+#: misses instead of unpickling into the wrong shape.
+SCHEMA_VERSION = 1
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_source_hash_cache: str | None = None
+
+
+def source_tree_hash() -> str:
+    """Digest of every Python source file under ``src/repro/``.
+
+    Computed once per process: the source tree cannot change underneath
+    a running experiment in any way the cache should honor.
+    """
+    global _source_hash_cache
+    if _source_hash_cache is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _source_hash_cache = digest.hexdigest()
+    return _source_hash_cache
+
+
+def fingerprint(request, source_hash: str | None = None) -> str:
+    """Content-addressed key for *request* (a ``RunRequest``)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "source": source_hash if source_hash is not None else source_tree_hash(),
+        "request": dataclasses.asdict(request),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class RunCache:
+    """On-disk run cache with hit/miss accounting.
+
+    A disabled cache (``enabled=False``) never reads or writes but
+    still exists as an object, so call sites need no branching.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        enabled: bool = True,
+    ):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, request) -> RunStats | None:
+        """Return the cached stats for *request*, or ``None`` on a miss.
+
+        A corrupted entry (truncated pickle, wrong schema, wrong
+        payload type) is deleted and counted as a miss.
+        """
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path(fingerprint(request))
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            stats = payload["stats"]
+            if payload["schema"] != SCHEMA_VERSION or not isinstance(
+                stats, RunStats
+            ):
+                raise ValueError("stale or foreign cache payload")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Unreadable entry: recover by re-running, not crashing.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, request, stats: RunStats) -> None:
+        """Store *stats* for *request* (atomic rename, last writer wins)."""
+        if not self.enabled:
+            return
+        path = self._path(fingerprint(request))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "request": request,
+            "stats": stats,
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+
+    def clear(self) -> int:
+        """Delete every cache entry; return the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

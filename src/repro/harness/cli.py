@@ -3,9 +3,15 @@
 Usage::
 
     python -m repro table2              # Table 2 at the default scale
-    python -m repro figure11 --scale 1.0
-    python -m repro table4 --out results.txt
+    python -m repro figure11 --scale 1.0 --jobs 4
+    python -m repro table4 --out results.txt --no-cache
     python -m repro all --scale 0.2
+    python -m repro cache clear         # drop the on-disk run cache
+
+Simulations fan out over ``--jobs`` worker processes (default:
+``REPRO_JOBS`` env or the CPU count) and are memoized in the
+content-addressed run cache under ``.repro_cache/`` (see
+``repro/harness/cache.py``); ``--no-cache`` forces fresh runs.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import sys
 import time
 
 from repro.harness import experiments
+from repro.harness.cache import RunCache
 
 EXPERIMENTS = {
     "table1": experiments.experiment_table1,
@@ -25,6 +32,9 @@ EXPERIMENTS = {
     "figure1": experiments.experiment_figure1,
     "figure11": experiments.experiment_figure11,
 }
+
+#: Experiments that run simulations (and therefore accept jobs/cache).
+_MATRIX_EXPERIMENTS = frozenset({"table2", "table4", "figure1", "figure11"})
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,14 +47,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="which table/figure to regenerate",
+        choices=[*EXPERIMENTS, "all", "cache"],
+        help="which table/figure to regenerate, or 'cache' maintenance",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="cache action: 'clear' (only with the 'cache' command)",
     )
     parser.add_argument(
         "--scale",
         type=float,
         default=None,
         help="workload scale (default: REPRO_SCALE env or 0.35; 1.0 = full)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_JOBS env or CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the on-disk run cache (always simulate afresh)",
     )
     parser.add_argument(
         "--out",
@@ -55,10 +82,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_experiment(name: str, scale: float | None) -> str:
+def run_experiment(
+    name: str,
+    scale: float | None,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+) -> str:
     func = EXPERIMENTS[name]
     if name == "table1":
         _data, text = func()
+    elif name in _MATRIX_EXPERIMENTS:
+        _data, text = func(scale=scale, jobs=jobs, cache=cache)
     else:
         _data, text = func(scale=scale)
     return text
@@ -66,11 +100,28 @@ def run_experiment(name: str, scale: float | None) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "cache":
+        if args.action != "clear":
+            print(
+                f"unknown cache action {args.action!r}; try: repro cache clear",
+                file=sys.stderr,
+            )
+            return 2
+        removed = RunCache().clear()
+        print(f"removed {removed} cached run(s)")
+        return 0
+    if args.action is not None:
+        print(
+            f"unexpected argument {args.action!r} after {args.experiment!r}",
+            file=sys.stderr,
+        )
+        return 2
+    cache = RunCache(enabled=not args.no_cache)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     blocks = []
     for name in names:
         start = time.time()
-        text = run_experiment(name, args.scale)
+        text = run_experiment(name, args.scale, jobs=args.jobs, cache=cache)
         elapsed = time.time() - start
         blocks.append(text)
         print(text)

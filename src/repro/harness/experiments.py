@@ -1,11 +1,14 @@
 """Experiment drivers: one entry point per table/figure in the paper.
 
-Each function builds the workloads, runs the required configurations,
-and returns ``(data, rendered_text)``. The benches in ``benchmarks/``
-call these; so can users, e.g.::
+Each function builds the required :class:`RunRequest` matrix, executes
+it through :func:`~repro.harness.parallel.run_matrix` (parallel across
+``--jobs`` / ``REPRO_JOBS`` workers, memoized by the on-disk
+:class:`~repro.harness.cache.RunCache`), and returns
+``(data, rendered_text)``. The benches in ``benchmarks/`` call these;
+so can users, e.g.::
 
     from repro.harness.experiments import experiment_figure11
-    results, text = experiment_figure11(scale=0.2)
+    results, text = experiment_figure11(scale=0.2, jobs=4)
     print(text)
 
 ``scale`` scales workload working sets and run lengths; 1.0 is the
@@ -20,13 +23,13 @@ import os
 from repro.analysis.characterize import characterize_run, characterize_slice
 from repro.analysis.problem import classify_problem_instructions
 from repro.harness import report
+from repro.harness.cache import RunCache
+from repro.harness.parallel import CONFIG_PRESETS, RunRequest, run_matrix
 from repro.harness.runner import (
     PerfectSweepResult,
     TripleResult,
-    run_baseline,
     run_perfect_sweep,
     run_triple,
-    run_with_slices,
 )
 from repro.uarch.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
 from repro.workloads import registry
@@ -38,6 +41,11 @@ TABLE4_BENCHMARKS = ("bzip2", "eon", "gap", "gzip", "mcf", "perl", "twolf", "vpr
 def default_scale() -> float:
     """Benchmark scale; override with the REPRO_SCALE env variable."""
     return float(os.environ.get("REPRO_SCALE", "0.35"))
+
+
+def _is_preset(config: MachineConfig) -> bool:
+    """A request can only name a preset; modified configs run directly."""
+    return CONFIG_PRESETS.get(config.name) == config
 
 
 def experiment_table1() -> tuple[list[MachineConfig], str]:
@@ -59,28 +67,97 @@ def experiment_workload_mix(scale: float | None = None):
     return rows, render_mix_table(rows)
 
 
-def experiment_table2(scale: float | None = None):
+def experiment_table2(
+    scale: float | None = None,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+):
     """Table 2: problem-instruction coverage across all benchmarks."""
     scale = scale if scale is not None else default_scale()
-    rows = []
-    for name in registry.all_names():
-        workload = registry.build(name, scale)
-        stats = run_baseline(workload, FOUR_WIDE)
-        classification = classify_problem_instructions(stats)
-        rows.append((name, classification.coverage()))
+    names = registry.all_names()
+    stats = run_matrix(
+        [RunRequest(name, scale, mode="base") for name in names],
+        jobs=jobs,
+        cache=cache,
+    )
+    rows = [
+        (name, classify_problem_instructions(s).coverage())
+        for name, s in zip(names, stats)
+    ]
     return rows, report.render_table2(rows)
 
 
 def experiment_figure1(
-    scale: float | None = None, configs=(FOUR_WIDE, EIGHT_WIDE)
+    scale: float | None = None,
+    configs=(FOUR_WIDE, EIGHT_WIDE),
+    jobs: int | None = None,
+    cache: RunCache | None = None,
 ):
-    """Figure 1: baseline vs problem-perfect vs all-perfect IPC."""
+    """Figure 1: baseline vs problem-perfect vs all-perfect IPC.
+
+    Two matrix phases: the baselines run first (they feed the problem-
+    instruction profiler), then the per-instruction-perfect and
+    all-perfect overlays run from the profiled PC sets.
+    """
     scale = scale if scale is not None else default_scale()
+    pairs = [
+        (name, config)
+        for name in registry.all_names()
+        for config in configs
+    ]
+    if not all(_is_preset(config) for _name, config in pairs):
+        results = [
+            run_perfect_sweep(registry.build(name, scale), config)
+            for name, config in pairs
+        ]
+        return results, report.render_figure1(results)
+
+    base_stats = run_matrix(
+        [
+            RunRequest(name, scale, mode="base", config=config.name)
+            for name, config in pairs
+        ],
+        jobs=jobs,
+        cache=cache,
+    )
+    classifications = [classify_problem_instructions(s) for s in base_stats]
+    perfect_requests = []
+    for (name, config), cls in zip(pairs, classifications):
+        perfect_requests.append(
+            RunRequest(
+                name,
+                scale,
+                mode="perfect",
+                config=config.name,
+                perfect_branch_pcs=tuple(cls.branch_pcs),
+                perfect_load_pcs=tuple(cls.load_pcs),
+            )
+        )
+        perfect_requests.append(
+            RunRequest(
+                name,
+                scale,
+                mode="perfect",
+                config=config.name,
+                all_branches=True,
+                all_loads=True,
+            )
+        )
+    perfect_stats = run_matrix(perfect_requests, jobs=jobs, cache=cache)
+
+    workloads = {name: registry.build(name, scale) for name in registry.all_names()}
     results: list[PerfectSweepResult] = []
-    for name in registry.all_names():
-        workload = registry.build(name, scale)
-        for config in configs:
-            results.append(run_perfect_sweep(workload, config))
+    for i, ((name, config), cls) in enumerate(zip(pairs, classifications)):
+        results.append(
+            PerfectSweepResult(
+                workload=workloads[name],
+                config=config,
+                base=base_stats[i],
+                problem_perfect=perfect_stats[2 * i],
+                all_perfect=perfect_stats[2 * i + 1],
+                classification=cls,
+            )
+        )
     return results, report.render_figure1(results)
 
 
@@ -96,14 +173,36 @@ def experiment_table3(scale: float | None = None):
 
 
 def experiment_figure11(
-    scale: float | None = None, config: MachineConfig = FOUR_WIDE
+    scale: float | None = None,
+    config: MachineConfig = FOUR_WIDE,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
 ):
     """Figure 11: slice speedup vs constrained limit study."""
     scale = scale if scale is not None else default_scale()
-    results: list[TripleResult] = []
-    for name in registry.all_names():
-        workload = registry.build(name, scale)
-        results.append(run_triple(workload, config))
+    names = registry.all_names()
+    if not _is_preset(config):
+        results = [
+            run_triple(registry.build(name, scale), config) for name in names
+        ]
+        return results, report.render_figure11(results)
+
+    requests = [
+        RunRequest(name, scale, mode=mode, config=config.name)
+        for name in names
+        for mode in ("base", "slice", "limit")
+    ]
+    stats = run_matrix(requests, jobs=jobs, cache=cache)
+    results = [
+        TripleResult(
+            workload=registry.build(name, scale),
+            config=config,
+            base=stats[3 * i],
+            assisted=stats[3 * i + 1],
+            limit=stats[3 * i + 2],
+        )
+        for i, name in enumerate(names)
+    ]
     return results, report.render_figure11(results)
 
 
@@ -111,14 +210,36 @@ def experiment_table4(
     scale: float | None = None,
     config: MachineConfig = FOUR_WIDE,
     benchmarks=TABLE4_BENCHMARKS,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
 ):
     """Table 4: detailed with/without-slices characterization."""
     scale = scale if scale is not None else default_scale()
+    if _is_preset(config):
+        requests = [
+            RunRequest(name, scale, mode=mode, config=config.name)
+            for name in benchmarks
+            for mode in ("base", "slice")
+        ]
+        stats = run_matrix(requests, jobs=jobs, cache=cache)
+        pair_of = {
+            name: (stats[2 * i], stats[2 * i + 1])
+            for i, name in enumerate(benchmarks)
+        }
+    else:
+        from repro.harness.runner import run_baseline, run_with_slices
+
+        pair_of = {}
+        for name in benchmarks:
+            workload = registry.build(name, scale)
+            pair_of[name] = (
+                run_baseline(workload, config),
+                run_with_slices(workload, config),
+            )
     rows = []
     for name in benchmarks:
         workload = registry.build(name, scale)
-        base = run_baseline(workload, config)
-        assisted = run_with_slices(workload, config)
+        base, assisted = pair_of[name]
         covered = len(
             {pc for spec in workload.slices for pc in spec.covered_branch_pcs}
         )

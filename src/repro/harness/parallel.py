@@ -1,0 +1,181 @@
+"""Parallel, cached execution of experiment run matrices.
+
+Every paper experiment reduces to a list of independent simulations.
+This module gives the harness one entry point for all of them:
+
+* :class:`RunRequest` — a declarative, picklable description of one
+  simulation (workload name, scale, machine preset, mode, overrides).
+* :func:`execute_request` — materialize and run one request (also the
+  process-pool worker).
+* :func:`run_matrix` — map requests to :class:`RunStats`, in input
+  order, deduplicating identical requests, consulting the
+  :class:`~repro.harness.cache.RunCache`, and fanning fresh runs out
+  over a process pool (``--jobs`` / ``REPRO_JOBS`` / ``os.cpu_count()``).
+
+The simulator is deterministic, so parallel and cached execution return
+bit-identical stats to sequential fresh runs (asserted by
+``tests/harness/test_determinism.py`` and ``tests/harness/test_cache.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.harness.cache import RunCache
+from repro.uarch.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
+from repro.uarch.perfect import PerfectSpec
+from repro.uarch.stats import RunStats
+from repro.workloads import registry
+
+#: Machine presets addressable by name from a request.
+CONFIG_PRESETS: dict[str, MachineConfig] = {
+    FOUR_WIDE.name: FOUR_WIDE,
+    EIGHT_WIDE.name: EIGHT_WIDE,
+}
+
+#: Run modes (mirroring the Section 6 experiment arms).
+MODES = ("base", "slice", "limit", "perfect")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation, described declaratively.
+
+    Hashable (for in-matrix deduplication), picklable (for the process
+    pool), and JSON-serializable via ``dataclasses.asdict`` (for the
+    cache fingerprint).
+    """
+
+    workload: str
+    scale: float
+    #: ``base`` | ``slice`` | ``limit`` | ``perfect``.
+    mode: str = "base"
+    #: Machine preset name (``4-wide`` / ``8-wide``).
+    config: str = FOUR_WIDE.name
+    #: ``(dotted.path, value)`` pairs applied to the preset with
+    #: ``dataclasses.replace``, e.g. ``(("memory_latency", 400),)`` or
+    #: ``(("slice_hw.predictions_per_branch", 4),)``.
+    overrides: tuple[tuple[str, object], ...] = ()
+    #: ``slice`` mode: dedicated execution resources for helper threads.
+    dedicated: bool = False
+    #: ``perfect`` mode: the idealized static PCs (sorted for stable
+    #: fingerprints) or the all-instructions flags.
+    perfect_branch_pcs: tuple[int, ...] = ()
+    perfect_load_pcs: tuple[int, ...] = ()
+    all_branches: bool = False
+    all_loads: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; known: {MODES}")
+        if self.config not in CONFIG_PRESETS:
+            raise ValueError(
+                f"unknown config {self.config!r}; "
+                f"known: {tuple(CONFIG_PRESETS)}"
+            )
+        # Normalize so equal requests fingerprint and hash equally.
+        object.__setattr__(
+            self, "perfect_branch_pcs", tuple(sorted(self.perfect_branch_pcs))
+        )
+        object.__setattr__(
+            self, "perfect_load_pcs", tuple(sorted(self.perfect_load_pcs))
+        )
+        object.__setattr__(
+            self, "overrides", tuple((str(p), v) for p, v in self.overrides)
+        )
+
+    def resolve_config(self) -> MachineConfig:
+        """Materialize the machine configuration for this request."""
+        config = CONFIG_PRESETS[self.config]
+        for path, value in self.overrides:
+            config = _apply_override(config, path, value)
+        return config
+
+
+def _apply_override(config, path: str, value):
+    """Replace the (possibly nested) field at dotted *path*."""
+    head, _, rest = path.partition(".")
+    if rest:
+        value = _apply_override(getattr(config, head), rest, value)
+    return dataclasses.replace(config, **{head: value})
+
+
+def execute_request(request: RunRequest) -> RunStats:
+    """Build and run one request. Top-level so the pool can pickle it."""
+    from repro.harness.runner import (
+        covered_problem_spec,
+        run_baseline,
+        run_perfect,
+        run_with_slices,
+    )
+
+    workload = registry.build(request.workload, scale=request.scale)
+    config = request.resolve_config()
+    mode = request.mode
+    if mode == "base":
+        return run_baseline(workload, config)
+    if mode == "slice":
+        return run_with_slices(workload, config, dedicated=request.dedicated)
+    if mode == "limit":
+        return run_perfect(workload, covered_problem_spec(workload), config)
+    # mode == "perfect"
+    spec = PerfectSpec(
+        branch_pcs=frozenset(request.perfect_branch_pcs),
+        load_pcs=frozenset(request.perfect_load_pcs),
+        all_branches=request.all_branches,
+        all_loads=request.all_loads,
+    )
+    return run_perfect(workload, spec, config)
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit arg, else ``REPRO_JOBS``, else CPU count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    return max(1, jobs)
+
+
+def run_matrix(
+    requests,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
+) -> list[RunStats]:
+    """Execute *requests*, returning stats in input order.
+
+    Identical requests are simulated once. Cached results are reused
+    (pass a disabled :class:`RunCache` to opt out); fresh runs go to a
+    process pool when more than one is needed and ``jobs > 1``.
+    """
+    requests = list(requests)
+    if cache is None:
+        cache = RunCache()
+
+    by_request: dict[RunRequest, list[int]] = {}
+    for index, request in enumerate(requests):
+        by_request.setdefault(request, []).append(index)
+
+    results: list[RunStats | None] = [None] * len(requests)
+    pending: list[RunRequest] = []
+    for request, indices in by_request.items():
+        stats = cache.get(request)
+        if stats is None:
+            pending.append(request)
+        else:
+            for index in indices:
+                results[index] = stats
+    if pending:
+        workers = min(resolve_jobs(jobs), len(pending))
+        if workers > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(execute_request, pending))
+        else:
+            fresh = [execute_request(request) for request in pending]
+        for request, stats in zip(pending, fresh):
+            cache.put(request, stats)
+            for index in by_request[request]:
+                results[index] = stats
+    return results

@@ -126,7 +126,12 @@ class PerfectSweepResult:
     base: RunStats
     problem_perfect: RunStats
     all_perfect: RunStats
-    classification: ProblemClassification = field(repr=False, default=None)
+    #: The profiled problem set behind ``problem_perfect``. ``None``
+    #: only when a caller assembles a result without profiling; the
+    #: drivers in this package always supply it.
+    classification: ProblemClassification | None = field(
+        repr=False, default=None
+    )
 
 
 def run_perfect_sweep(

@@ -5,6 +5,13 @@ how its conclusions scale ("programs and processors with low base IPCs
 are more likely to benefit", §6.3). These sweeps make those arguments
 quantitative on our simulator: each varies one machine parameter and
 re-runs the baseline/slice pair, reporting how the slice benefit moves.
+
+Each sweep is expressed as a list of :class:`RunRequest` descriptors
+with a single ``overrides`` entry and executed through
+:func:`~repro.harness.parallel.run_matrix`, so sweep points run in
+parallel and repeat renders hit the on-disk cache. A workload built
+outside the registry (or a non-preset config) falls back to direct
+sequential simulation.
 """
 
 from __future__ import annotations
@@ -12,9 +19,12 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
+from repro.harness.cache import RunCache
+from repro.harness.parallel import CONFIG_PRESETS, RunRequest, run_matrix
 from repro.harness.runner import run_baseline, run_with_slices
 from repro.uarch.config import FOUR_WIDE, MachineConfig
 from repro.uarch.stats import RunStats
+from repro.workloads import registry
 from repro.workloads.base import Workload
 
 
@@ -31,68 +41,103 @@ class SweepPoint:
         return self.assisted.ipc / self.base.ipc - 1.0
 
 
-def _measure(workload: Workload, config: MachineConfig, value: int) -> SweepPoint:
-    return SweepPoint(
-        value=value,
-        base=run_baseline(workload, config),
-        assisted=run_with_slices(workload, config),
+def _requestable(workload: Workload, config: MachineConfig) -> bool:
+    """True when (workload, config) can round-trip through a RunRequest."""
+    return (
+        workload.name in registry.WORKLOAD_BUILDERS
+        and CONFIG_PRESETS.get(config.name) == config
     )
+
+
+def _sweep(
+    workload: Workload,
+    config: MachineConfig,
+    override_path: str,
+    values: tuple[int, ...],
+    jobs: int | None,
+    cache: RunCache | None,
+) -> list[SweepPoint]:
+    """Run the base/assisted pair at each override value."""
+    if _requestable(workload, config):
+        requests = []
+        for value in values:
+            overrides = ((override_path, value),)
+            for mode in ("base", "slice"):
+                requests.append(
+                    RunRequest(
+                        workload=workload.name,
+                        scale=workload.scale,
+                        mode=mode,
+                        config=config.name,
+                        overrides=overrides,
+                    )
+                )
+        stats = run_matrix(requests, jobs=jobs, cache=cache)
+        return [
+            SweepPoint(value=value, base=stats[2 * i], assisted=stats[2 * i + 1])
+            for i, value in enumerate(values)
+        ]
+    points = []
+    for value in values:
+        varied = _apply(config, override_path, value)
+        points.append(
+            SweepPoint(
+                value=value,
+                base=run_baseline(workload, varied),
+                assisted=run_with_slices(workload, varied),
+            )
+        )
+    return points
+
+
+def _apply(config, path: str, value):
+    head, _, rest = path.partition(".")
+    if rest:
+        value = _apply(getattr(config, head), rest, value)
+    return dataclasses.replace(config, **{head: value})
 
 
 def sweep_memory_latency(
     workload: Workload,
     latencies: tuple[int, ...] = (50, 100, 200, 400),
     config: MachineConfig = FOUR_WIDE,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
 ) -> list[SweepPoint]:
     """Scale main-memory latency: prefetch-driven slice benefit should
     grow with the latency the slice tolerates."""
-    return [
-        _measure(
-            workload,
-            dataclasses.replace(config, memory_latency=latency),
-            latency,
-        )
-        for latency in latencies
-    ]
+    return _sweep(workload, config, "memory_latency", latencies, jobs, cache)
 
 
 def sweep_window_size(
     workload: Workload,
     windows: tuple[int, ...] = (32, 64, 128, 256),
     config: MachineConfig = FOUR_WIDE,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
 ) -> list[SweepPoint]:
     """Scale the instruction window: a bigger window already tolerates
     more latency on its own, moving the baseline."""
-    return [
-        _measure(
-            workload,
-            dataclasses.replace(config, window_entries=window),
-            window,
-        )
-        for window in windows
-    ]
+    return _sweep(workload, config, "window_entries", windows, jobs, cache)
 
 
 def sweep_prediction_slots(
     workload: Workload,
     slot_counts: tuple[int, ...] = (2, 4, 8, 16),
     config: MachineConfig = FOUR_WIDE,
+    jobs: int | None = None,
+    cache: RunCache | None = None,
 ) -> list[SweepPoint]:
     """Scale the correlator's per-branch prediction slots (Figure 10
     provisions 8): too few slots starve loop slices."""
-    points = []
-    for slots in slot_counts:
-        slice_hw = dataclasses.replace(
-            config.slice_hw, predictions_per_branch=slots
-        )
-        points.append(
-            _measure(
-                workload,
-                dataclasses.replace(config, slice_hw=slice_hw),
-                slots,
-            )
-        )
-    return points
+    return _sweep(
+        workload,
+        config,
+        "slice_hw.predictions_per_branch",
+        slot_counts,
+        jobs,
+        cache,
+    )
 
 
 def render_sweep(

@@ -71,6 +71,14 @@ class Instruction:
     ``pc`` is assigned when the instruction is placed into a program.
     ``comment`` is carried through to the disassembler for readability
     (the paper's figures annotate every instruction this way).
+
+    Decode products that depend only on ``op`` (class, latency, the
+    ``is_*`` flags) are precomputed at construction: ``op`` is never
+    mutated afterwards, and these are read on every fetch of the
+    dynamic-instruction hot path. Operand-dependent caches (the source
+    register tuple and the compiled executor) are filled lazily and
+    reset by ``__copy__`` — the slice optimizer renames registers on
+    ``copy.copy``-ed instructions before they ever execute.
     """
 
     op: Opcode
@@ -83,47 +91,60 @@ class Instruction:
     comment: str = ""
     #: Unresolved label for the target, kept for diagnostics.
     target_label: str | None = field(default=None, repr=False)
+    # Precomputed decode products (derived from ``op`` only).
+    op_class: OpClass = field(init=False, repr=False, compare=False)
+    latency: int = field(init=False, repr=False, compare=False)
+    is_branch: bool = field(init=False, repr=False, compare=False)
+    is_conditional: bool = field(init=False, repr=False, compare=False)
+    is_indirect: bool = field(init=False, repr=False, compare=False)
+    is_mem: bool = field(init=False, repr=False, compare=False)
+    is_load: bool = field(init=False, repr=False, compare=False)
+    is_store: bool = field(init=False, repr=False, compare=False)
+    _op_writes: bool = field(init=False, repr=False, compare=False)
+    #: Lazy caches (operand-dependent; reset on copy).
+    _sources: tuple[int, ...] | None = field(
+        init=False, repr=False, compare=False
+    )
+    _unique_sources: tuple[int, ...] | None = field(
+        init=False, repr=False, compare=False
+    )
+    #: Compiled executor closure (see :mod:`repro.arch.interpreter`).
+    _exec: object = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        op = self.op
+        self.op_class = op_class(op)
+        self.latency = base_latency(op)
+        self.is_branch = op in CONTROL_OPS
+        self.is_conditional = op in CONDITIONAL_BRANCHES
+        self.is_indirect = op in INDIRECT_BRANCHES
+        self.is_mem = op in MEM_OPS
+        self.is_load = op is Opcode.LD
+        self.is_store = op is Opcode.ST
+        self._op_writes = op in WRITES_DEST
+        self._sources = None
+        self._unique_sources = None
+        self._exec = None
+
+    def __copy__(self) -> "Instruction":
+        """Copy with operand-dependent caches reset (the optimizer
+        mutates registers/targets on copies before they execute)."""
+        return Instruction(
+            op=self.op,
+            rd=self.rd,
+            ra=self.ra,
+            rb=self.rb,
+            imm=self.imm,
+            target=self.target,
+            pc=self.pc,
+            comment=self.comment,
+            target_label=self.target_label,
+        )
 
     @property
     def writes_dest(self) -> bool:
         """Whether this instruction writes ``rd``."""
-        return self.op in WRITES_DEST and self.rd is not None
-
-    @property
-    def is_branch(self) -> bool:
-        """Whether this instruction is any control transfer."""
-        return self.op in CONTROL_OPS
-
-    @property
-    def is_conditional(self) -> bool:
-        """Whether this is a conditional direction branch."""
-        return self.op in CONDITIONAL_BRANCHES
-
-    @property
-    def is_indirect(self) -> bool:
-        """Whether this transfers control through a register."""
-        return self.op in INDIRECT_BRANCHES
-
-    @property
-    def is_mem(self) -> bool:
-        """Whether this is a load or store."""
-        return self.op in MEM_OPS
-
-    @property
-    def is_load(self) -> bool:
-        return self.op is Opcode.LD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op is Opcode.ST
-
-    @property
-    def op_class(self) -> OpClass:
-        return op_class(self.op)
-
-    @property
-    def latency(self) -> int:
-        return base_latency(self.op)
+        return self._op_writes and self.rd is not None
 
     def source_regs(self) -> tuple[int, ...]:
         """Return the register indices this instruction reads.
@@ -131,6 +152,9 @@ class Instruction:
         The zero register is excluded: it is always ready and carries no
         dependence.
         """
+        cached = self._sources
+        if cached is not None:
+            return cached
         sources = []
         if self.ra is not None and self.ra != ZERO_REG:
             sources.append(self.ra)
@@ -139,7 +163,20 @@ class Instruction:
         # Conditional moves and stores read their "destination" operand.
         if self.op in _READS_RD and self.rd is not None and self.rd != ZERO_REG:
             sources.append(self.rd)
-        return tuple(sources)
+        self._sources = result = tuple(sources)
+        return result
+
+    def unique_source_regs(self) -> tuple[int, ...]:
+        """Like :meth:`source_regs` but with duplicates removed (the
+        dependence-tracking view: one wakeup per distinct register)."""
+        cached = self._unique_sources
+        if cached is not None:
+            return cached
+        sources = self.source_regs()
+        if len(sources) > 1:
+            sources = tuple(dict.fromkeys(sources))
+        self._unique_sources = sources
+        return sources
 
 
 _READS_RD = frozenset(

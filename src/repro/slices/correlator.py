@@ -165,6 +165,16 @@ class PredictionCorrelator:
         self._instances: dict[int, _Instance] = {}
         self._skip_events: list[tuple[int, int, int]] = []  # (vn, instance, pc)
         self._finish_events: list[tuple[int, int]] = []  # (vn, instance)
+        #: Slots with the kill bit set, awaiting killer retirement —
+        #: lets :meth:`on_retire` skip the full branch-queue scan on the
+        #: (common) cycles where nothing was killed. A squash that
+        #: clears the kill bit leaves the slot here; it is lazily
+        #: dropped at the next scan.
+        self._killed_pending: list[PredictionSlot] = []
+        #: Set on any transition that could make an instance
+        #: collectable (a slot died / an instance finished); cleared
+        #: when :meth:`_gc_instances` runs.
+        self._gc_dirty = False
         #: Optional callback ``(slice_name, instance_id, consumed_any)``
         #: invoked when an instance is garbage-collected — i.e. when its
         #: usefulness is finally known (used by confidence gating).
@@ -261,12 +271,14 @@ class PredictionCorrelator:
             # and it is restored intact if the kill is squashed.
             slot.killed = True
             slot.killer_vn = instance.finish_vn
+            self._killed_pending.append(slot)
             self.stats.blocked_after_finish += 1
         else:
             debts = instance.kill_debt.get(pgi.branch_pc)
             if debts:
                 slot.killed = True
                 slot.killer_vn = debts.pop(0)
+                self._killed_pending.append(slot)
         entry.slots.append(slot)
         instance.slots.append(slot)
         return slot
@@ -473,25 +485,34 @@ class PredictionCorrelator:
 
     def on_retire(self, vn: int) -> None:
         """Commit watermark: deallocate slots whose killer has retired."""
-        dirty_pcs = set()
-        for entry in self._entries.values():
-            for slot in entry.slots:
-                if (
-                    slot.killed
-                    and not slot.dead
-                    and slot.killer_vn is not None
-                    and slot.killer_vn <= vn
-                ):
+        pending = self._killed_pending
+        if pending:
+            dirty_pcs = set()
+            keep = []
+            for slot in pending:
+                if slot.dead or not slot.killed:
+                    continue  # already deallocated / kill was squashed
+                if slot.killer_vn is not None and slot.killer_vn <= vn:
                     slot.dead = True
                     dirty_pcs.add(slot.branch_pc)
-        for pc in dirty_pcs:
-            self._entries[pc].compact()
-        self._skip_events = [e for e in self._skip_events if e[0] > vn]
-        self._global_skip_events = [
-            e for e in self._global_skip_events if e[0] > vn
-        ]
-        self._finish_events = [e for e in self._finish_events if e[0] > vn]
-        self._gc_instances()
+                else:
+                    keep.append(slot)
+            self._killed_pending = keep
+            if dirty_pcs:
+                for pc in dirty_pcs:
+                    self._entries[pc].compact()
+                self._gc_dirty = True
+        if self._skip_events:
+            self._skip_events = [e for e in self._skip_events if e[0] > vn]
+        if self._global_skip_events:
+            self._global_skip_events = [
+                e for e in self._global_skip_events if e[0] > vn
+            ]
+        if self._finish_events:
+            self._finish_events = [e for e in self._finish_events if e[0] > vn]
+        if self._gc_dirty:
+            self._gc_dirty = False
+            self._gc_instances()
 
     def record_override_outcome(self, slot: PredictionSlot, correct: bool) -> None:
         """Accuracy accounting for a consumed FULL prediction."""
@@ -528,6 +549,7 @@ class PredictionCorrelator:
                 if slot.live and slot.instance_id == instance.instance_id:
                     slot.killed = True
                     slot.killer_vn = vn
+                    self._killed_pending.append(slot)
                     killed += 1
                     break
             else:
@@ -540,6 +562,7 @@ class PredictionCorrelator:
             instance.finished = True
             instance.finish_vn = vn
             self._finish_events.append((vn, instance.instance_id))
+            self._gc_dirty = True
         return killed
 
     def _kill_instance(self, instance: _Instance, vn: int) -> int:
@@ -548,11 +571,13 @@ class PredictionCorrelator:
         for slot in instance.live_slots():
             slot.killed = True
             slot.killer_vn = vn
+            self._killed_pending.append(slot)
             killed += 1
         if not instance.finished:
             instance.finished = True
             instance.finish_vn = vn
             self._finish_events.append((vn, instance.instance_id))
+            self._gc_dirty = True
         return killed
 
     def _slice_done_generating(self, instance: _Instance) -> bool:

@@ -17,6 +17,7 @@ also CAMed against the correlator's kill and branch-queue entries.
 
 from __future__ import annotations
 
+import gc
 import heapq
 from collections import deque
 from itertools import count as _counter
@@ -96,6 +97,11 @@ class Core:
         if fork_confidence is not None:
             self.correlator.instance_retired_listener = self._on_instance_retired
         self._slices_enabled = bool(slices)
+        #: Fetch-path CAM views: live references to the slice table's
+        #: fork-PC map and the correlator's kill map (dict membership is
+        #: checked on every main-thread fetch).
+        self._fork_pc_map = self.slice_table._by_fork_pc
+        self._kill_pc_map = self.correlator._kill_map
         #: Loads covered by VALUE-kind PGIs (the value-prediction
         #: extension from the paper's conclusion).
         self._value_load_pcs = {
@@ -139,25 +145,46 @@ class Core:
     # ==================================================================
 
     def run(self, max_cycles: int = 50_000_000) -> RunStats:
-        """Simulate until the region commits (or *max_cycles*)."""
-        while not self._done:
-            if self.cycle >= max_cycles:
-                self.stats.hit_cycle_limit = True
-                break
-            self._process_completions()
-            if self.cycle_accounting:
-                self._account_cycle()
-            self._commit()
-            if self._done:
-                break
-            self._fetch()
-            self._issue()
-            self.cycle += 1
-            if self._is_deadlocked():
-                raise RuntimeError(
-                    f"core deadlock at cycle {self.cycle}: main thread "
-                    f"stalled at pc={self._main.state.pc:#x} with nothing in flight"
-                )
+        """Simulate until the region commits (or *max_cycles*).
+
+        The cyclic-garbage collector is paused for the duration of the
+        loop: the window churns through short-lived entry/result objects
+        whose periodic generation scans cost ~20% of simulation time.
+        Entries break their reference cycles when they die (commit or
+        squash clears ``waiters``/``prev_writer``), so plain reference
+        counting reclaims the steady state; one collection at the end
+        sweeps whatever remains.
+        """
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            process_completions = self._process_completions
+            commit = self._commit
+            fetch = self._fetch
+            issue = self._issue
+            accounting = self.cycle_accounting
+            while not self._done:
+                if self.cycle >= max_cycles:
+                    self.stats.hit_cycle_limit = True
+                    break
+                process_completions()
+                if accounting:
+                    self._account_cycle()
+                commit()
+                if self._done:
+                    break
+                fetch()
+                issue()
+                self.cycle += 1
+                if self._is_deadlocked():
+                    raise RuntimeError(
+                        f"core deadlock at cycle {self.cycle}: main thread "
+                        f"stalled at pc={self._main.state.pc:#x} with nothing in flight"
+                    )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         self.stats.cycles = self.cycle - self._measure_start_cycle
         self.stats.correlator = self.correlator.stats
         self.stats.hierarchy = self.hierarchy.stats.snapshot()
@@ -211,12 +238,16 @@ class Core:
 
     def _process_completions(self) -> None:
         completions = self._completions
-        while completions and completions[0][0] <= self.cycle:
-            _, _, entry = heapq.heappop(completions)
+        if not completions:
+            return
+        cycle = self.cycle
+        heappop = heapq.heappop
+        while completions and completions[0][0] <= cycle:
+            _, _, entry = heappop(completions)
             if entry.squashed:
                 continue
             entry.completed = True
-            entry.completion_cycle = self.cycle
+            entry.completion_cycle = cycle
             for waiter in entry.waiters:
                 if waiter.squashed or waiter.completed:
                     continue
@@ -364,6 +395,11 @@ class Core:
                     ctx.last_writer.pop(reg, None)
                 else:
                     ctx.last_writer[reg] = previous
+        # Break reference cycles so refcounting reclaims the entry while
+        # the GC is paused (see Core.run): a squashed entry never
+        # completes, so its waiter list is dead weight.
+        victim.prev_writer = None
+        victim.waiters.clear()
 
     def _on_instance_retired(
         self, slice_name: str, instance_id: int, consumed_any: bool
@@ -381,6 +417,8 @@ class Core:
             if not victim.squashed:
                 victim.squashed = True
                 self._window_count -= 1
+            victim.prev_writer = None
+            victim.waiters.clear()
         self._livein_producers.pop(ctx.thread_id, None)
         ctx.release()
 
@@ -391,23 +429,29 @@ class Core:
     def _commit(self) -> None:
         budget = self.config.width
         watermark = None
-        ordered = [self._main] + [
-            t for t in self.threads if t.active and not t.is_main
-        ]
+        main = self._main
+        others = [t for t in self.threads if t.active and not t.is_main]
+        ordered = [main] + others if others else (main,)
         for ctx in ordered:
-            while ctx.rob:
-                head = ctx.rob[0]
+            rob = ctx.rob
+            is_main = ctx.is_main
+            while rob:
+                head = rob[0]
                 if head.squashed:
-                    ctx.rob.popleft()
+                    rob.popleft()
                     continue
                 if not head.completed or budget <= 0:
                     break
-                ctx.rob.popleft()
+                rob.popleft()
                 head.committed = True
+                # A committed entry can never be squashed; drop its
+                # rename-rollback link so refcounting can reclaim the
+                # chain while the GC is paused (see Core.run).
+                head.prev_writer = None
                 self._window_count -= 1
                 ctx.in_flight -= 1
                 budget -= 1
-                if ctx.is_main:
+                if is_main:
                     watermark = head.vn
                     self._commit_main(head)
                     if self._done:
@@ -415,7 +459,7 @@ class Core:
                 else:
                     ctx.retired += 1
                     self.stats.slice_retired += 1
-            if not ctx.is_main and ctx.active and ctx.fetch_stalled and not ctx.rob:
+            if not is_main and ctx.active and ctx.fetch_stalled and not rob:
                 self.stats.slices_completed += 1
                 if self.fork_confidence is not None:
                     if ctx.spec.pgis:
@@ -502,27 +546,27 @@ class Core:
 
     def _fetch(self) -> None:
         budget = self.config.width
+        window_limit = self.config.window_entries
+        fetch_one = self._fetch_one
         # With dedicated slice resources (the Section 6.3 ablation),
         # helper threads draw on their own fetch budget instead of
         # stealing main-thread slots.
         slice_budget = (
             self.config.width if self.dedicated_slice_resources else None
         )
-        for ctx in icount_order(
-            [t for t in self.threads if t.active], self.config.icount_main_bias
-        ):
+        for ctx in icount_order(self.threads, self.config.icount_main_bias):
             uses_shared = ctx.is_main or slice_budget is None
             while True:
-                if self._window_count >= self.config.window_entries:
+                if self._window_count >= window_limit:
                     return
-                if not ctx.can_fetch:
+                if not ctx.active or ctx.fetch_stalled:
                     break
                 if uses_shared:
                     if budget <= 0:
                         break
                 elif slice_budget <= 0:
                     break
-                if not self._fetch_one(ctx):
+                if not fetch_one(ctx):
                     break
                 if uses_shared:
                     budget -= 1
@@ -532,31 +576,40 @@ class Core:
                 break
 
     def _fetch_one(self, ctx: ThreadContext) -> bool:
-        inst = ctx.program.at(ctx.state.pc)
+        state = ctx.state
+        inst = ctx.prog_by_pc.get(state.pc)
         if inst is None:
             ctx.fetch_stalled = True
             return False
         vn = self._next_vn
-        self._next_vn += 1
+        self._next_vn = vn + 1
+        stats = self.stats
 
         if ctx.is_main:
-            self.stats.main_fetched += 1
+            stats.main_fetched += 1
             if self._slices_enabled:
-                if self.correlator.is_kill_pc(inst.pc):
-                    self.correlator.on_kill_fetched(inst.pc, vn)
+                pc = inst.pc
+                if pc in self._kill_pc_map:
+                    self.correlator.on_kill_fetched(pc, vn)
                 if inst.op is Opcode.FORK:
                     # Explicit fork instruction (Section 4.2 alternative).
                     spec = self.slice_table.at_index(inst.imm or 0)
                     if spec is not None:
                         self._try_fork(spec, ctx, vn)
                 else:
-                    for spec in self.slice_table.match(inst.pc):
-                        self._try_fork(spec, ctx, vn)
+                    specs = self._fork_pc_map.get(pc)
+                    if specs:
+                        for spec in specs:
+                            self._try_fork(spec, ctx, vn)
         else:
             ctx.fetched += 1
-            self.stats.slice_fetched += 1
+            stats.slice_fetched += 1
 
-        result = execute(inst, ctx.state)
+        fn = inst._exec
+        if fn is None:
+            result = execute(inst, state)
+        else:
+            result = fn(state)
         entry = WindowEntry(inst, ctx.thread_id, vn, self.cycle, result)
         self._window_count += 1
         ctx.rob.append(entry)
@@ -711,84 +764,91 @@ class Core:
     def _dispatch(self, ctx: ThreadContext, entry: WindowEntry) -> None:
         inst = entry.inst
         pending = 0
-        seen: set[int] = set()
+        last_writer = ctx.last_writer
         livein_producers = (
             None if ctx.is_main else self._livein_producers.get(ctx.thread_id)
         )
-        for reg in inst.source_regs():
-            if reg in seen:
-                continue
-            seen.add(reg)
-            producer = ctx.last_writer.get(reg)
+        for reg in inst.unique_source_regs():
+            producer = last_writer.get(reg)
             if producer is None and livein_producers:
                 producer = livein_producers.get(reg)
             if producer is not None and not producer.completed and not producer.squashed:
                 pending += 1
                 producer.waiters.append(entry)
-        if inst.writes_dest:
-            entry.prev_writer = (inst.rd, ctx.last_writer.get(inst.rd))
-            ctx.last_writer[inst.rd] = entry
+        if inst._op_writes and inst.rd is not None:
+            rd = inst.rd
+            entry.prev_writer = (rd, last_writer.get(rd))
+            last_writer[rd] = entry
         entry.pending_deps = pending
         if pending == 0:
             self._make_ready(entry)
 
     def _make_ready(self, entry: WindowEntry) -> None:
         earliest = entry.fetch_cycle + self.config.frontend_stages
-        if earliest < self.cycle:
-            earliest = self.cycle
+        cycle = self.cycle
+        if earliest < cycle:
+            earliest = cycle
         entry.dispatched_ready = True
         heapq.heappush(self._ready, (earliest, next(self._seq), entry))
 
     def _issue(self) -> None:
+        ready = self._ready
+        if not ready:
+            return
+        cycle = self.cycle
+        if ready[0][0] > cycle:
+            return
         config = self.config
         budget = config.width
         simple = config.simple_alus
         complex_units = config.complex_alus
         mem_ports = config.load_store_ports
         deferred: list[tuple[int, int, WindowEntry]] = []
-        ready = self._ready
+        completions = self._completions
+        seq_counter = self._seq
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        dedicated = self.dedicated_slice_resources
+        main_thread_id = self._main.thread_id
+        next_cycle = cycle + 1
         while ready and budget > 0:
             earliest, seq, entry = ready[0]
-            if earliest > self.cycle:
+            if earliest > cycle:
                 break
-            heapq.heappop(ready)
+            heappop(ready)
             if entry.squashed or entry.completed:
                 continue
-            if (
-                self.dedicated_slice_resources
-                and entry.thread_id != self._main.thread_id
-            ):
+            if dedicated and entry.thread_id != main_thread_id:
                 # Dedicated slice execution resources: no FU contention.
                 latency = self._execution_latency(entry)
-                heapq.heappush(
-                    self._completions,
-                    (self.cycle + latency, next(self._seq), entry),
+                heappush(
+                    completions, (cycle + latency, next(seq_counter), entry)
                 )
                 continue
-            op_class = entry.inst.op_class
+            inst = entry.inst
+            op_class = inst.op_class
             if op_class is OpClass.MEM:
                 if mem_ports <= 0:
-                    deferred.append((self.cycle + 1, seq, entry))
+                    deferred.append((next_cycle, seq, entry))
                     continue
                 mem_ports -= 1
+                latency = self._execution_latency(entry)
             elif op_class is OpClass.COMPLEX:
                 if complex_units <= 0:
-                    deferred.append((self.cycle + 1, seq, entry))
+                    deferred.append((next_cycle, seq, entry))
                     continue
                 complex_units -= 1
+                latency = inst.latency
             else:
                 if simple <= 0:
-                    deferred.append((self.cycle + 1, seq, entry))
+                    deferred.append((next_cycle, seq, entry))
                     continue
                 simple -= 1
+                latency = inst.latency
             budget -= 1
-            latency = self._execution_latency(entry)
-            heapq.heappush(
-                self._completions,
-                (self.cycle + latency, next(self._seq), entry),
-            )
+            heappush(completions, (cycle + latency, next(seq_counter), entry))
         for item in deferred:
-            heapq.heappush(ready, item)
+            heappush(ready, item)
 
     def _execution_latency(self, entry: WindowEntry) -> int:
         inst = entry.inst

@@ -29,8 +29,10 @@ class ThreadContext:
 
     __slots__ = (
         "thread_id",
-        "kind",
+        "_kind",
+        "is_main",
         "program",
+        "prog_by_pc",
         "state",
         "active",
         "fetch_stalled",
@@ -49,8 +51,14 @@ class ThreadContext:
 
     def __init__(self, thread_id: int):
         self.thread_id = thread_id
-        self.kind = ThreadKind.SLICE
+        self._kind = ThreadKind.SLICE
+        #: Cached ``kind is ThreadKind.MAIN`` — read on every fetch,
+        #: dispatch, and commit of the hot loop; kept in sync by the
+        #: ``kind`` setter.
+        self.is_main = False
         self.program: Program | None = None
+        #: Cached ``program._by_pc`` mapping for fetch-path lookups.
+        self.prog_by_pc: dict[int, object] | None = None
         self.state: ThreadState | None = None
         self.active = False
         #: Fetch blocked (wrong path ran off the program / slice done);
@@ -73,9 +81,19 @@ class ThreadContext:
 
     # ------------------------------------------------------------------
 
+    @property
+    def kind(self) -> ThreadKind:
+        return self._kind
+
+    @kind.setter
+    def kind(self, value: ThreadKind) -> None:
+        self._kind = value
+        self.is_main = value is ThreadKind.MAIN
+
     def activate_main(self, program: Program, memory: Memory) -> None:
         self.kind = ThreadKind.MAIN
         self.program = program
+        self.prog_by_pc = program._by_pc
         self.state = ThreadState(memory, program.entry_pc, journaling=True)
         self.active = True
 
@@ -91,6 +109,7 @@ class ThreadContext:
         """Fork a slice into this context (Section 4.3 register copy)."""
         self.kind = ThreadKind.SLICE
         self.program = spec.code
+        self.prog_by_pc = spec.code._by_pc
         # Helper threads perform no stores, so they need no journaling.
         self.state = ThreadState(memory, spec.entry_pc, journaling=False)
         self.state.regs.load_values(live_in_values)
@@ -120,10 +139,6 @@ class ThreadContext:
         self.last_writer.clear()
 
     @property
-    def is_main(self) -> bool:
-        return self.kind is ThreadKind.MAIN
-
-    @property
     def can_fetch(self) -> bool:
         return self.active and not self.fetch_stalled
 
@@ -136,10 +151,13 @@ def icount_order(
     The main thread's count is divided by *main_bias* so it wins ties
     and keeps priority until it is well ahead of the helpers.
     """
+    fetchable = [t for t in threads if t.active and not t.fetch_stalled]
+    if len(fetchable) <= 1:
+        return fetchable
 
     def key(thread: ThreadContext) -> float:
         if thread.is_main:
             return thread.in_flight / main_bias
         return float(thread.in_flight)
 
-    return sorted((t for t in threads if t.can_fetch), key=key)
+    return sorted(fetchable, key=key)

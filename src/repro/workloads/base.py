@@ -42,6 +42,9 @@ class Workload:
     #: Paper-documented qualitative expectation, used in EXPERIMENTS.md
     #: ("large speedup", "no speedup: high base IPC", ...).
     expectation: str = ""
+    #: Build scale recorded by the registry, so a built workload can be
+    #: turned back into a declarative ``RunRequest``.
+    scale: float = 1.0
 
     def __post_init__(self) -> None:
         for spec in self.slices:

@@ -60,7 +60,9 @@ def build(name: str, scale: float = 1.0) -> Workload:
     except KeyError:
         known = ", ".join(WORKLOAD_BUILDERS)
         raise KeyError(f"unknown workload {name!r}; known: {known}") from None
-    return builder(scale=scale)
+    workload = builder(scale=scale)
+    workload.scale = scale
+    return workload
 
 
 def all_names() -> tuple[str, ...]:

@@ -1,0 +1,77 @@
+"""Tests for the content-addressed run cache."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.harness import cache as cache_mod
+from repro.harness.cache import RunCache, fingerprint
+from repro.harness.parallel import RunRequest, execute_request, run_matrix
+
+REQUEST = RunRequest(workload="gzip", scale=0.05, mode="base")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(tmp_path / "cache")
+
+
+def test_hit_returns_identical_stats(cache):
+    """Cached stats equal fresh stats, field for field."""
+    fresh = execute_request(REQUEST)
+    cache.put(REQUEST, fresh)
+    cached = cache.get(REQUEST)
+    assert cached is not None
+    assert dataclasses.asdict(cached) == dataclasses.asdict(fresh)
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_miss_then_hit_counters(cache):
+    assert cache.get(REQUEST) is None
+    cache.put(REQUEST, execute_request(REQUEST))
+    assert cache.get(REQUEST) is not None
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_source_hash_change_invalidates(cache, monkeypatch):
+    """Any simulator-source change must turn hits back into misses."""
+    cache.put(REQUEST, execute_request(REQUEST))
+    assert cache.get(REQUEST) is not None
+    monkeypatch.setattr(cache_mod, "_source_hash_cache", "0" * 64)
+    assert cache.get(REQUEST) is None
+
+
+def test_different_requests_different_keys():
+    slice_request = dataclasses.replace(REQUEST, mode="slice")
+    assert fingerprint(REQUEST) != fingerprint(slice_request)
+    scaled = dataclasses.replace(REQUEST, scale=0.06)
+    assert fingerprint(REQUEST) != fingerprint(scaled)
+
+
+def test_corrupted_entry_recovers_by_rerunning(cache):
+    """A truncated/garbage entry is deleted and treated as a miss."""
+    stats = execute_request(REQUEST)
+    cache.put(REQUEST, stats)
+    path = cache._path(fingerprint(REQUEST))
+    path.write_bytes(b"not a pickle")
+    assert cache.get(REQUEST) is None
+    assert not path.exists()
+    # The full matrix path falls back to re-running, not crashing.
+    cache.put(REQUEST, stats)
+    path.write_bytes(pickle.dumps({"schema": -1, "stats": object()}))
+    (result,) = run_matrix([REQUEST], jobs=1, cache=cache)
+    assert dataclasses.asdict(result) == dataclasses.asdict(stats)
+
+
+def test_disabled_cache_never_reads_or_writes(tmp_path):
+    cache = RunCache(tmp_path / "cache", enabled=False)
+    cache.put(REQUEST, execute_request(REQUEST))
+    assert not (tmp_path / "cache").exists()
+    assert cache.get(REQUEST) is None
+
+
+def test_clear_removes_entries(cache):
+    cache.put(REQUEST, execute_request(REQUEST))
+    assert cache.clear() == 1
+    assert cache.get(REQUEST) is None

@@ -1,0 +1,39 @@
+"""Determinism regression tests.
+
+The run cache and the process pool both rely on one invariant: a
+simulation is a pure function of its request. Two fresh ``Core.run()``
+invocations — and one executed in a ``multiprocessing`` child — must
+produce field-for-field identical :class:`RunStats`.
+"""
+
+import dataclasses
+import multiprocessing
+
+from repro.harness.parallel import RunRequest, execute_request
+from repro.uarch.stats import RunStats
+
+REQUEST = RunRequest(workload="vpr", scale=0.05, mode="slice")
+
+
+def assert_stats_identical(a: RunStats, b: RunStats) -> None:
+    """Field-by-field comparison with a readable failure message."""
+    for field in dataclasses.fields(RunStats):
+        va, vb = getattr(a, field.name), getattr(b, field.name)
+        assert va == vb, f"RunStats.{field.name} differs: {va!r} != {vb!r}"
+
+
+def test_two_fresh_runs_identical():
+    assert_stats_identical(execute_request(REQUEST), execute_request(REQUEST))
+
+
+def test_run_in_subprocess_identical():
+    here = execute_request(REQUEST)
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        there = pool.apply(execute_request, (REQUEST,))
+    assert_stats_identical(here, there)
+
+
+def test_base_mode_deterministic_too():
+    request = RunRequest(workload="mcf", scale=0.05, mode="base")
+    assert_stats_identical(execute_request(request), execute_request(request))

@@ -1,0 +1,90 @@
+"""Tests for the parallel run-matrix executor."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.cache import RunCache
+from repro.harness.parallel import (
+    RunRequest,
+    execute_request,
+    resolve_jobs,
+    run_matrix,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(tmp_path / "cache")
+
+
+def test_request_validates_mode_and_config():
+    with pytest.raises(ValueError):
+        RunRequest(workload="vpr", scale=0.05, mode="bogus")
+    with pytest.raises(ValueError):
+        RunRequest(workload="vpr", scale=0.05, config="16-wide")
+
+
+def test_request_normalizes_pc_order():
+    a = RunRequest(
+        workload="vpr", scale=0.05, mode="perfect", perfect_branch_pcs=(8, 4)
+    )
+    b = RunRequest(
+        workload="vpr", scale=0.05, mode="perfect", perfect_branch_pcs=(4, 8)
+    )
+    assert a == b
+
+
+def test_overrides_resolve_nested_config():
+    request = RunRequest(
+        workload="vpr",
+        scale=0.05,
+        overrides=(
+            ("memory_latency", 400),
+            ("slice_hw.predictions_per_branch", 4),
+        ),
+    )
+    config = request.resolve_config()
+    assert config.memory_latency == 400
+    assert config.slice_hw.predictions_per_branch == 4
+
+
+def test_resolve_jobs_precedence(monkeypatch):
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs() == 5
+    monkeypatch.delenv("REPRO_JOBS")
+    assert resolve_jobs() >= 1
+
+
+def test_matrix_returns_input_order_and_dedups(cache):
+    base = RunRequest(workload="vpr", scale=0.05, mode="base")
+    assisted = RunRequest(workload="vpr", scale=0.05, mode="slice")
+    results = run_matrix([base, assisted, base], jobs=1, cache=cache)
+    assert len(results) == 3
+    # Duplicate requests share one simulation (and one cache entry).
+    assert results[0] is results[2]
+    assert results[0].committed == results[1].committed
+    assert results[1].ipc > results[0].ipc  # vpr slices help
+    assert cache.misses == 2 and cache.hits == 0
+
+
+def test_parallel_results_match_sequential(cache):
+    """jobs=2 through real worker processes == in-process execution."""
+    requests = [
+        RunRequest(workload="vpr", scale=0.05, mode="base"),
+        RunRequest(workload="vpr", scale=0.05, mode="slice"),
+        RunRequest(workload="gzip", scale=0.05, mode="base"),
+    ]
+    parallel = run_matrix(requests, jobs=2, cache=RunCache(enabled=False))
+    sequential = [execute_request(r) for r in requests]
+    for p, s in zip(parallel, sequential):
+        assert dataclasses.asdict(p) == dataclasses.asdict(s)
+
+
+def test_warm_cache_short_circuits(cache):
+    request = RunRequest(workload="vpr", scale=0.05, mode="base")
+    (cold,) = run_matrix([request], jobs=1, cache=cache)
+    (warm,) = run_matrix([request], jobs=1, cache=cache)
+    assert cache.hits == 1
+    assert dataclasses.asdict(cold) == dataclasses.asdict(warm)

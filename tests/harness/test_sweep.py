@@ -30,6 +30,28 @@ def test_prediction_slot_sweep_runs():
         assert p.assisted.committed == p.base.committed
 
 
+def test_sweep_results_cacheable(tmp_path):
+    """A repeated sweep is served from the cache with identical points."""
+    from repro.harness.cache import RunCache
+
+    workload = registry.build("vpr", scale=0.05)
+    cache = RunCache(tmp_path / "cache")
+    first = sweep_memory_latency(workload, (50, 200), cache=cache)
+    assert cache.hits == 0 and cache.misses == 4
+    second = sweep_memory_latency(workload, (50, 200), cache=cache)
+    assert cache.hits == 4
+    for a, b in zip(first, second):
+        assert (a.base.ipc, a.assisted.ipc) == (b.base.ipc, b.assisted.ipc)
+
+
+def test_sweep_falls_back_for_unregistered_workload():
+    """Workloads built outside the registry still sweep (sequentially)."""
+    workload = registry.build("vpr", scale=0.05)
+    workload.name = "hand-rolled"
+    points = sweep_window_size(workload, (64,))
+    assert points[0].base.committed > 0
+
+
 def test_render_sweep_format():
     workload = registry.build("vpr", scale=0.05)
     points = sweep_window_size(workload, (64,))
