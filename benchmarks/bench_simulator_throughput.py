@@ -1,13 +1,25 @@
 """Simulator self-benchmark: simulated instructions per wall second.
 
 Not a paper experiment — this tracks the simulator's own performance so
-model changes that slow it down are visible. pytest-benchmark runs the
-measurement natively (multiple rounds, statistics). Alongside the text
-result, a machine-readable ``BENCH_throughput.json`` records the rate,
-the run shape, and the run-cache hit/miss behavior so the performance
-trajectory is trackable across PRs.
+model changes that slow it down are visible. Two regimes are measured:
+
+* **balanced** — slice-assisted vpr at the default machine: fetch,
+  issue, and commit are all busy most cycles, so this tracks the cost
+  of the per-cycle work itself (the regime PR 1 optimized).
+* **memory-bound** — mcf (slices off) on a far-memory machine (small
+  window, multi-thousand-cycle miss latency): nearly every cycle is
+  idle miss-wait, the regime the event-driven skipping loop targets.
+  Measured in both modes (skipping vs. stepping, interleaved, best-of-N
+  so transient machine noise cancels) to report the speedup honestly.
+
+Alongside the text results, a machine-readable
+``BENCH_throughput.json`` records both rates, the skip statistics, the
+run-cache hit/miss behavior, and the regression floors that CI enforces
+(see ``.github/workflows/ci.yml``). Each bench merges its section into
+the JSON so they can run (or be re-run) independently.
 """
 
+import dataclasses
 import json
 import time
 
@@ -18,6 +30,39 @@ from repro.harness.parallel import RunRequest, run_matrix
 from repro.uarch.core import Core
 from repro.uarch.config import FOUR_WIDE
 from repro.workloads import registry
+
+#: Conservative regression floors (simulated instructions / wall
+#: second) committed with the JSON; CI fails a PR whose fresh rates
+#: fall below the *committed* floors. Set well under locally measured
+#: rates (~70k balanced, ~45k memory-bound) to absorb machine variance
+#: while still catching order-of-magnitude regressions.
+BALANCED_FLOOR = 15_000
+MEMORY_BOUND_FLOOR = 18_000
+
+#: The far-memory machine for the memory-bound regime: a small window
+#: bounds the wrong-path churn a miss can trigger, and a ~1µs-class
+#: miss latency (3000 cycles at a few GHz — remote/disaggregated
+#: memory) makes idle miss-wait dominate the simulated time.
+MEMORY_BOUND = {
+    "workload": "mcf",
+    "mode": "base",
+    "scale": 0.2,
+    "memory_latency": 3000,
+    "window_entries": 32,
+}
+
+
+def _merge_results(section: str | None, payload: dict) -> None:
+    """Merge *payload* into ``BENCH_throughput.json`` (under *section*,
+    or at top level when ``None``), preserving the other bench's data."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_throughput.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    if section is None:
+        data.update(payload)
+    else:
+        data[section] = payload
+    path.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def bench_simulator_throughput(benchmark, publish, tmp_path):
@@ -56,26 +101,94 @@ def bench_simulator_throughput(benchmark, publish, tmp_path):
         f"{stats.committed} committed instructions per run; "
         f"~{rate:,.0f} simulated instructions/second",
     )
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_throughput.json").write_text(
-        json.dumps(
-            {
-                "instructions_per_second": round(rate),
-                "committed_per_run": stats.committed,
-                "runs": rounds,
-                "mean_seconds_per_run": mean,
-                "cache": {
-                    "hits": cache.hits,
-                    "misses": cache.misses,
-                },
+    _merge_results(
+        None,
+        {
+            "instructions_per_second": round(rate),
+            "committed_per_run": stats.committed,
+            "runs": rounds,
+            "mean_seconds_per_run": mean,
+            "floor_instructions_per_second": BALANCED_FLOOR,
+            "cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
             },
-            indent=2,
-        )
-        + "\n"
+        },
     )
     assert cache.hits == 1 and cache.misses == 1
     assert stats.committed > 5_000
-    # Floor reflecting the optimized core (closure-compiled executors,
-    # GC pause, slotted hot structures): ~2x the seed simulator, with
-    # headroom for slow CI machines. The seed guard was 3,000.
-    assert rate > 12_000
+    assert rate > BALANCED_FLOOR
+
+
+def bench_simulator_throughput_memory_bound(publish):
+    """Skip-vs-step on the far-memory regime (the tentpole's target)."""
+    workload = registry.build(
+        MEMORY_BOUND["workload"], scale=MEMORY_BOUND["scale"]
+    )
+    config = dataclasses.replace(
+        FOUR_WIDE,
+        memory_latency=MEMORY_BOUND["memory_latency"],
+        window_entries=MEMORY_BOUND["window_entries"],
+    )
+
+    def run(event_driven: bool):
+        core = Core(
+            workload.program,
+            config,
+            memory_image=workload.memory_image,
+            region=workload.region,
+            event_driven=event_driven,
+        )
+        start = time.perf_counter()
+        stats = core.run()
+        return stats, time.perf_counter() - start
+
+    # Interleave the two modes and keep each mode's best round:
+    # machine noise only ever slows a round down, so best-of-N
+    # converges on the true cost and the interleaving keeps transient
+    # load from biasing one mode.
+    rounds = 5
+    best_skip = best_step = None
+    skip_stats = None
+    for _ in range(rounds):
+        stats, elapsed = run(event_driven=True)
+        if best_skip is None or elapsed < best_skip:
+            best_skip, skip_stats = elapsed, stats
+        _, elapsed = run(event_driven=False)
+        if best_step is None or elapsed < best_step:
+            best_step = elapsed
+
+    skip_rate = skip_stats.committed / best_skip
+    step_rate = skip_stats.committed / best_step
+    speedup = best_step / best_skip
+
+    publish(
+        "simulator_throughput_memory_bound",
+        "Simulator throughput, memory-bound regime "
+        f"(base {MEMORY_BOUND['workload']}, scale {MEMORY_BOUND['scale']}, "
+        f"{MEMORY_BOUND['memory_latency']}-cycle misses, "
+        f"{MEMORY_BOUND['window_entries']}-entry window)\n\n"
+        f"event-driven: ~{skip_rate:,.0f} inst/s; "
+        f"stepping: ~{step_rate:,.0f} inst/s; "
+        f"speedup {speedup:.2f}x\n"
+        f"{skip_stats.cycles_skipped:,} of {skip_stats.cycles:,} cycles "
+        f"skipped in {skip_stats.skip_events:,} jumps",
+    )
+    _merge_results(
+        "memory_bound",
+        {
+            **MEMORY_BOUND,
+            "instructions_per_second": round(skip_rate),
+            "stepping_instructions_per_second": round(step_rate),
+            "speedup_vs_stepping": round(speedup, 2),
+            "committed_per_run": skip_stats.committed,
+            "cycles": skip_stats.cycles,
+            "cycles_skipped": skip_stats.cycles_skipped,
+            "skip_events": skip_stats.skip_events,
+            "best_of_rounds": rounds,
+            "floor_instructions_per_second": MEMORY_BOUND_FLOOR,
+        },
+    )
+    assert skip_stats.cycles_skipped > skip_stats.cycles // 2
+    assert speedup > 2.0
+    assert skip_rate > MEMORY_BOUND_FLOOR

@@ -17,6 +17,7 @@ content-addressed run cache under ``.repro_cache/`` (see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -74,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore the on-disk run cache (always simulate afresh)",
     )
     parser.add_argument(
+        "--no-skip",
+        action="store_true",
+        help=(
+            "disable event-driven cycle skipping in the core loop "
+            "(step every cycle; slower, for differential testing)"
+        ),
+    )
+    parser.add_argument(
         "--out",
         type=argparse.FileType("w"),
         default=None,
@@ -100,6 +109,11 @@ def run_experiment(
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.no_skip:
+        # Experiments build RunRequests deep inside the drivers; the env
+        # flag flips their event_driven default (and is inherited by
+        # pool workers), keeping every construction site untouched.
+        os.environ["REPRO_NO_SKIP"] = "1"
     if args.experiment == "cache":
         if args.action != "clear":
             print(

@@ -22,7 +22,16 @@ from __future__ import annotations
 import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+
+def _default_event_driven() -> bool:
+    """Request default for the core's cycle-skipping loop.
+
+    ``REPRO_NO_SKIP`` (set by the ``--no-skip`` CLI flag) flips the
+    default to the classic stepping loop for differential testing.
+    """
+    return not os.environ.get("REPRO_NO_SKIP")
 
 from repro.harness.cache import RunCache
 from repro.uarch.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
@@ -67,6 +76,10 @@ class RunRequest:
     perfect_load_pcs: tuple[int, ...] = ()
     all_branches: bool = False
     all_loads: bool = False
+    #: Event-driven cycle skipping in the core loop. Stats are
+    #: identical either way (bar the skip counters), but the modes are
+    #: fingerprinted separately so cached skip counters stay honest.
+    event_driven: bool = field(default_factory=_default_event_driven)
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -115,12 +128,23 @@ def execute_request(request: RunRequest) -> RunStats:
     workload = registry.build(request.workload, scale=request.scale)
     config = request.resolve_config()
     mode = request.mode
+    event_driven = request.event_driven
     if mode == "base":
-        return run_baseline(workload, config)
+        return run_baseline(workload, config, event_driven=event_driven)
     if mode == "slice":
-        return run_with_slices(workload, config, dedicated=request.dedicated)
+        return run_with_slices(
+            workload,
+            config,
+            dedicated=request.dedicated,
+            event_driven=event_driven,
+        )
     if mode == "limit":
-        return run_perfect(workload, covered_problem_spec(workload), config)
+        return run_perfect(
+            workload,
+            covered_problem_spec(workload),
+            config,
+            event_driven=event_driven,
+        )
     # mode == "perfect"
     spec = PerfectSpec(
         branch_pcs=frozenset(request.perfect_branch_pcs),
@@ -128,7 +152,7 @@ def execute_request(request: RunRequest) -> RunStats:
         all_branches=request.all_branches,
         all_loads=request.all_loads,
     )
-    return run_perfect(workload, spec, config)
+    return run_perfect(workload, spec, config, event_driven=event_driven)
 
 
 def resolve_jobs(jobs: int | None = None) -> int:

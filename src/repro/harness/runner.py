@@ -26,7 +26,9 @@ from repro.workloads.base import Workload
 
 
 def run_baseline(
-    workload: Workload, config: MachineConfig = FOUR_WIDE
+    workload: Workload,
+    config: MachineConfig = FOUR_WIDE,
+    event_driven: bool = True,
 ) -> RunStats:
     """Run the Table 1 machine with no slice hardware."""
     return Core(
@@ -35,6 +37,7 @@ def run_baseline(
         memory_image=workload.memory_image,
         region=workload.region,
         workload_name=workload.name,
+        event_driven=event_driven,
     ).run()
 
 
@@ -43,6 +46,7 @@ def run_with_slices(
     config: MachineConfig = FOUR_WIDE,
     dedicated: bool = False,
     slices=None,
+    event_driven: bool = True,
 ) -> RunStats:
     """Run with the workload's speculative slices loaded."""
     return Core(
@@ -53,6 +57,7 @@ def run_with_slices(
         region=workload.region,
         dedicated_slice_resources=dedicated,
         workload_name=workload.name,
+        event_driven=event_driven,
     ).run()
 
 
@@ -60,6 +65,7 @@ def run_perfect(
     workload: Workload,
     perfect: PerfectSpec,
     config: MachineConfig = FOUR_WIDE,
+    event_driven: bool = True,
 ) -> RunStats:
     """Run with a per-static-instruction perfect overlay."""
     return Core(
@@ -69,6 +75,7 @@ def run_perfect(
         memory_image=workload.memory_image,
         region=workload.region,
         workload_name=workload.name,
+        event_driven=event_driven,
     ).run()
 
 

@@ -315,6 +315,34 @@ class DataHierarchy:
         self.buffer.insert(addr, from_prefetch=True)
         self._arrival[self.l1.line_of(addr)] = now + fill_latency
 
+    def next_fill_arrival(self, now: int) -> int | None:
+        """Earliest cycle after *now* at which an in-flight fill lands.
+
+        Exposes pending-fill timing to the event-driven core's
+        next-event computation instead of leaving it buried in the
+        latencies of already-scheduled completions. Arrivals at or
+        before *now* are pruned as a side effect — the same lazy
+        expiry :meth:`_pending_extra` performs per line — so the
+        tracking map cannot grow without bound between demand accesses.
+        """
+        arrival = self._arrival
+        if not arrival:
+            return None
+        best = None
+        expired = None
+        for line, cycle in arrival.items():
+            if cycle <= now:
+                if expired is None:
+                    expired = [line]
+                else:
+                    expired.append(line)
+            elif best is None or cycle < best:
+                best = cycle
+        if expired is not None:
+            for line in expired:
+                del arrival[line]
+        return best
+
     def would_miss(self, addr: int) -> bool:
         """Non-destructive check: would a load of *addr* miss the L1?"""
         return not (self.l1.probe(addr) or self.buffer.contains(addr))

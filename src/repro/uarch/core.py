@@ -36,7 +36,7 @@ from repro.uarch.confidence import ForkConfidenceEstimator
 from repro.uarch.config import FOUR_WIDE, MachineConfig
 from repro.uarch.perfect import NO_PERFECT, PerfectSpec
 from repro.uarch.prefetch import StreamPrefetcher
-from repro.uarch.smt import ThreadContext, ThreadKind, icount_order
+from repro.uarch.smt import ThreadContext, ThreadKind, any_fetchable, icount_order
 from repro.uarch.stats import RunStats
 from repro.uarch.window import WindowEntry
 
@@ -58,6 +58,7 @@ class Core:
         direction_predictor=None,
         cycle_accounting: bool = False,
         workload_name: str = "",
+        event_driven: bool = True,
     ):
         self.program = program
         self.config = config
@@ -76,6 +77,12 @@ class Core:
         #: retires the instance and its usefulness is finally known.
         self._instance_missed: dict[int, bool] = {}
         self.cycle_accounting = cycle_accounting
+        #: Event-driven cycle skipping: when the machine is provably
+        #: idle (nothing fetchable, issuable, or committable), jump
+        #: straight to the next wake-up event instead of stepping every
+        #: cycle. ``False`` preserves the classic stepping loop (the
+        #: ``--no-skip`` escape hatch); both produce identical stats.
+        self.event_driven = event_driven
 
         self.memory = Memory(
             memory_image if memory_image is not None else program.data
@@ -164,6 +171,8 @@ class Core:
             fetch = self._fetch
             issue = self._issue
             accounting = self.cycle_accounting
+            skipping = self.event_driven
+            skip_target = self._skip_target
             while not self._done:
                 if self.cycle >= max_cycles:
                     self.stats.hit_cycle_limit = True
@@ -174,14 +183,24 @@ class Core:
                 commit()
                 if self._done:
                     break
-                fetch()
+                fetched = fetch()
                 issue()
-                self.cycle += 1
+                next_cycle = self.cycle + 1
+                # Only probe for a skip on cycles where fetch made no
+                # progress: a fetching front end blocks skipping anyway,
+                # and stepping is always correct, so a missed probe
+                # costs at most one stepped cycle at a stall's onset.
+                if skipping and not fetched:
+                    target = skip_target(max_cycles)
+                    if target > next_cycle:
+                        if accounting:
+                            self._account_span(next_cycle, target)
+                        self.stats.cycles_skipped += target - next_cycle
+                        self.stats.skip_events += 1
+                        next_cycle = target
+                self.cycle = next_cycle
                 if self._is_deadlocked():
-                    raise RuntimeError(
-                        f"core deadlock at cycle {self.cycle}: main thread "
-                        f"stalled at pc={self._main.state.pc:#x} with nothing in flight"
-                    )
+                    raise RuntimeError(self._deadlock_message())
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -190,15 +209,24 @@ class Core:
         self.stats.hierarchy = self.hierarchy.stats.snapshot()
         return self.stats
 
+    def _main_rob_head(self) -> WindowEntry | None:
+        """Oldest live main-thread ROB entry.
+
+        Squashed heads are drained eagerly (commit performs the exact
+        same pops, so the order is immaterial), making this O(1)
+        amortized instead of the previous per-cycle linear rescan of
+        the ROB for the first unsquashed entry.
+        """
+        rob = self._main.rob
+        while rob and rob[0].squashed:
+            rob.popleft()
+        return rob[0] if rob else None
+
     def _account_cycle(self) -> None:
         """Attribute this cycle for the CPI stack (main-thread view)."""
         breakdown = self.stats.cycle_breakdown
         rob = self._main.rob
-        head = None
-        for entry in rob:
-            if not entry.squashed:
-                head = entry
-                break
+        head = self._main_rob_head()
         if head is None:
             kind = "frontend"
         elif (
@@ -225,12 +253,132 @@ class Core:
             kind = "execute"
         breakdown[kind] = breakdown.get(kind, 0) + 1
 
+    def _account_span(self, start: int, end: int) -> None:
+        """Bulk CPI attribution for the skipped cycles ``[start, end)``.
+
+        Bit-identical to stepping :meth:`_account_cycle` through the
+        span: while cycles are skipped no completion, commit, fetch, or
+        issue occurs, so the main ROB head is frozen and the per-cycle
+        classification can only flip once — at the cycle the head
+        leaves the front end (``fetch_cycle + frontend_stages``). The
+        head is never completed here (commit drained every completed
+        head before the skip was taken), so the busy/drain buckets
+        cannot appear inside a span.
+        """
+        breakdown = self.stats.cycle_breakdown
+        span = end - start
+        head = self._main_rob_head()
+        if head is None:
+            breakdown["frontend"] = breakdown.get("frontend", 0) + span
+            return
+        boundary = head.fetch_cycle + self.config.frontend_stages
+        frontend = boundary - start
+        if frontend > span:
+            frontend = span
+        if frontend > 0:
+            breakdown["frontend"] = breakdown.get("frontend", 0) + frontend
+        else:
+            frontend = 0
+        rest = span - frontend
+        if rest:
+            kind = "memory" if head.inst.is_load else "execute"
+            breakdown[kind] = breakdown.get(kind, 0) + rest
+
+    # ==================================================================
+    # Event-driven cycle skipping
+    # ==================================================================
+
+    def _next_event_cycle(self) -> int | None:
+        """Earliest future cycle at which any machine state can change.
+
+        Aggregates every wake-up source: the completion heap's head
+        (execution results, branch resolutions, squashes), the ready
+        heap's head (instructions still traversing the front end or
+        deferred by structural hazards), and the data hierarchy's
+        earliest in-flight fill arrival. Returns ``None`` when nothing
+        at all is pending.
+        """
+        target = None
+        completions = self._completions
+        if completions:
+            target = completions[0][0]
+        ready = self._ready
+        if ready:
+            arrival = ready[0][0]
+            if target is None or arrival < target:
+                target = arrival
+        fill = self.hierarchy.next_fill_arrival(self.cycle)
+        if fill is not None and (target is None or fill < target):
+            target = fill
+        return target
+
+    def _skip_target(self, max_cycles: int) -> int:
+        """Next cycle the loop must actually simulate (``>= cycle+1``).
+
+        Returns ``cycle + 1`` (no skip) whenever anything could happen
+        next cycle: an event fires immediately, a thread can fetch into
+        a non-full window, or a completed (or squashed) ROB head is
+        waiting on commit bandwidth. Otherwise jumps to the next event,
+        clamped to *max_cycles* so the cycle-limit path is identical to
+        stepping.
+
+        Unlike :meth:`_next_event_cycle`, in-flight cache fills are
+        deliberately *not* wake-up events here: no core-visible state
+        changes when a fill lands — a fill is only observed by a later
+        demand access, and every access cycle is preserved exactly by
+        the completion/ready/fetch conditions — so waking for them
+        would only fragment skips (and scan the arrival map) for no
+        semantic effect.
+        """
+        step = self.cycle + 1
+        target = None
+        completions = self._completions
+        if completions:
+            target = completions[0][0]
+        ready = self._ready
+        if ready:
+            arrival = ready[0][0]
+            if target is None or arrival < target:
+                target = arrival
+        if target is not None and target <= step:
+            return step
+        if self._window_count < self.config.window_entries and any_fetchable(
+            self.threads
+        ):
+            return step
+        for ctx in self.threads:
+            if ctx.active:
+                rob = ctx.rob
+                if rob and (rob[0].completed or rob[0].squashed):
+                    return step
+        if target is None:
+            # Nothing in flight and nothing fetchable: either a genuine
+            # deadlock (the caller's check raises on the next cycle) or
+            # a spin straight to the cycle ceiling.
+            return step if self._is_deadlocked() else max_cycles
+        return target if target < max_cycles else max_cycles
+
     def _is_deadlocked(self) -> bool:
+        """O(1) liveness check: any pending event or fetchable thread
+        short-circuits before the per-thread ROB scan."""
         if self._ready or self._completions:
             return False
-        if any(t.active and t.can_fetch for t in self.threads):
+        if any_fetchable(self.threads):
             return False
         return all(not t.rob for t in self.threads if t.active)
+
+    def _deadlock_message(self) -> str:
+        """Diagnostic for a deadlocked core, including the computed
+        next-event state (what the event-driven loop would wait on)."""
+        fetchable = [t.thread_id for t in self.threads if t.can_fetch]
+        return (
+            f"core deadlock at cycle {self.cycle}: main thread stalled at "
+            f"pc={self._main.state.pc:#x} with nothing in flight "
+            f"(next_event_cycle={self._next_event_cycle()!r}, "
+            f"ready={len(self._ready)}, completions={len(self._completions)}, "
+            f"fetchable_threads={fetchable}, "
+            f"window={self._window_count}/{self.config.window_entries})"
+        )
 
     # ==================================================================
     # Completion / branch resolution
@@ -544,10 +692,13 @@ class Core:
     # Fetch
     # ==================================================================
 
-    def _fetch(self) -> None:
+    def _fetch(self) -> bool:
+        """Fetch this cycle; returns True if any instruction was fetched
+        (the event-driven loop only probes for a skip on empty cycles)."""
         budget = self.config.width
         window_limit = self.config.window_entries
         fetch_one = self._fetch_one
+        fetched = False
         # With dedicated slice resources (the Section 6.3 ablation),
         # helper threads draw on their own fetch budget instead of
         # stealing main-thread slots.
@@ -558,7 +709,7 @@ class Core:
             uses_shared = ctx.is_main or slice_budget is None
             while True:
                 if self._window_count >= window_limit:
-                    return
+                    return fetched
                 if not ctx.active or ctx.fetch_stalled:
                     break
                 if uses_shared:
@@ -568,12 +719,14 @@ class Core:
                     break
                 if not fetch_one(ctx):
                     break
+                fetched = True
                 if uses_shared:
                     budget -= 1
                 else:
                     slice_budget -= 1
             if budget <= 0 and slice_budget is None:
                 break
+        return fetched
 
     def _fetch_one(self, ctx: ThreadContext) -> bool:
         state = ctx.state

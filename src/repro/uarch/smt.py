@@ -143,6 +143,20 @@ class ThreadContext:
         return self.active and not self.fetch_stalled
 
 
+def any_fetchable(threads: list[ThreadContext]) -> bool:
+    """True while any context can fetch this cycle.
+
+    The event-driven core may not skip cycles while this holds: a
+    fetchable thread performs work every cycle, so fetch stalls (and
+    their release by a squash) are the per-thread wake-up condition
+    aggregated into :meth:`Core._next_event_cycle`'s skip decision.
+    """
+    for thread in threads:
+        if thread.active and not thread.fetch_stalled:
+            return True
+    return False
+
+
 def icount_order(
     threads: list[ThreadContext], main_bias: float
 ) -> list[ThreadContext]:

@@ -12,6 +12,11 @@ from dataclasses import dataclass, field
 
 from repro.slices.correlator import CorrelatorStats
 
+#: Fields describing how the simulation ran rather than what the
+#: simulated machine did. Differential tests (event-driven skipping vs
+#: cycle stepping) compare every field *except* these.
+SIMULATOR_META_FIELDS = frozenset({"cycles_skipped", "skip_events"})
+
 
 @dataclass
 class PcCounter:
@@ -67,6 +72,13 @@ class RunStats:
     hierarchy: dict[str, int] = field(default_factory=dict)
     #: True when the run hit its cycle ceiling before committing the region.
     hit_cycle_limit: bool = False
+    #: Idle cycles the event-driven loop jumped over instead of
+    #: stepping, and how many jumps it made. These are *simulator
+    #: mechanics*, not simulated-machine state: they are the only
+    #: fields allowed to differ between ``event_driven=True`` and
+    #: ``False`` runs (see :data:`SIMULATOR_META_FIELDS`).
+    cycles_skipped: int = 0
+    skip_events: int = 0
     #: Optional cycle accounting (fill with Core(cycle_accounting=True)):
     #: cycles attributed to commit-slot activity at the main thread's
     #: ROB head: "busy" (full commit width used), "memory" (head waits

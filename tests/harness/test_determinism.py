@@ -9,15 +9,23 @@ produce field-for-field identical :class:`RunStats`.
 import dataclasses
 import multiprocessing
 
+import pytest
+
 from repro.harness.parallel import RunRequest, execute_request
-from repro.uarch.stats import RunStats
+from repro.uarch.stats import SIMULATOR_META_FIELDS, RunStats
+from repro.workloads import registry
+from repro.workloads.registry import SLICE_BENCHMARKS
 
 REQUEST = RunRequest(workload="vpr", scale=0.05, mode="slice")
 
 
-def assert_stats_identical(a: RunStats, b: RunStats) -> None:
+def assert_stats_identical(
+    a: RunStats, b: RunStats, ignore: frozenset = frozenset()
+) -> None:
     """Field-by-field comparison with a readable failure message."""
     for field in dataclasses.fields(RunStats):
+        if field.name in ignore:
+            continue
         va, vb = getattr(a, field.name), getattr(b, field.name)
         assert va == vb, f"RunStats.{field.name} differs: {va!r} != {vb!r}"
 
@@ -37,3 +45,19 @@ def test_run_in_subprocess_identical():
 def test_base_mode_deterministic_too():
     request = RunRequest(workload="mcf", scale=0.05, mode="base")
     assert_stats_identical(execute_request(request), execute_request(request))
+
+
+@pytest.mark.parametrize("workload", registry.all_names())
+def test_event_driven_matches_stepping(workload):
+    """The event-driven loop is an optimization, not a model change:
+    on every registered workload it must produce the same RunStats as
+    per-cycle stepping, bar the skip counters themselves."""
+    mode = "slice" if workload in SLICE_BENCHMARKS else "base"
+    skipped = execute_request(
+        RunRequest(workload=workload, scale=0.05, mode=mode, event_driven=True)
+    )
+    stepped = execute_request(
+        RunRequest(workload=workload, scale=0.05, mode=mode, event_driven=False)
+    )
+    assert_stats_identical(skipped, stepped, ignore=SIMULATOR_META_FIELDS)
+    assert stepped.cycles_skipped == 0 and stepped.skip_events == 0
