@@ -106,6 +106,11 @@ class RunCharacterization:
     prefetches_performed: int
     load_misses_remaining: int
     slice_ipc: float
+    #: Containment kills (runaway fuse / architectural fault): nonzero
+    #: values mean slices misbehaved and were contained, not that the
+    #: run misbehaved.
+    slices_killed_fuse: int = 0
+    slices_killed_fault: int = 0
 
     @property
     def speedup(self) -> float:
@@ -172,4 +177,6 @@ def characterize_run(
         prefetches_performed=assisted.hierarchy.get("slice_prefetches", 0),
         load_misses_remaining=assisted.load_misses,
         slice_ipc=assisted.ipc,
+        slices_killed_fuse=assisted.slices_killed_fuse,
+        slices_killed_fault=assisted.slices_killed_fault,
     )

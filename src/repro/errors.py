@@ -1,0 +1,97 @@
+"""Typed exception taxonomy for the simulator and harness.
+
+The paper's containment contract (Sections 2, 4) says a speculative
+slice is a *pure* helper: a slice that faults, scribbles, or runs away
+must never affect architectural correctness. The harness extends that
+contract to the process level: one crashed or hung worker must never
+take down a whole experiment matrix. Every failure mode that crosses a
+layer boundary therefore has a typed exception here, so callers can
+tell a simulated-machine bug (:class:`DeadlockError`) from harness
+infrastructure trouble (:class:`WorkerCrashError`,
+:class:`RunTimeoutError`) from storage rot
+(:class:`CacheCorruptionError`) — and react per kind instead of
+matching on strings.
+
+All exceptions are picklable (they cross the process-pool boundary) and
+reconstruct their extra attributes through ``__reduce__``.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every typed repro error."""
+
+
+class DeadlockError(SimulationError, RuntimeError):
+    """The simulated machine can make no further progress.
+
+    Carries the cycle of detection and the core's next-event diagnostic
+    (what the event-driven loop would have waited on), so the CLI can
+    report the machine state without a traceback. Also a
+    :class:`RuntimeError` for callers that predate the taxonomy.
+    """
+
+    def __init__(self, message: str, cycle: int | None = None):
+        super().__init__(message)
+        self.cycle = cycle
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.cycle))
+
+
+class SliceRunawayError(SimulationError):
+    """A helper thread exceeded its per-activation instruction fuse.
+
+    Only raised in strict-containment debugging
+    (``Core(strict_slices=True)``); the production containment path
+    kills the slice silently and counts it in
+    ``RunStats.slices_killed_fuse``.
+    """
+
+    def __init__(self, message: str, slice_name: str = "", fetched: int = 0):
+        super().__init__(message)
+        self.slice_name = slice_name
+        self.fetched = fetched
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.slice_name, self.fetched))
+
+
+class CacheCorruptionError(SimulationError):
+    """A run-cache entry failed checksum or schema validation.
+
+    Raised internally by :class:`~repro.harness.cache.RunCache` decode
+    and caught by its quarantine path; surfaces to callers only through
+    the quarantine counter and warning log.
+    """
+
+    def __init__(self, message: str, path: str = ""):
+        super().__init__(message)
+        self.path = path
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.path))
+
+
+class WorkerCrashError(SimulationError):
+    """A process-pool worker died (or its pool broke) mid-request."""
+
+    def __init__(self, message: str, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.attempts))
+
+
+class RunTimeoutError(SimulationError):
+    """One matrix request exceeded its per-request wall-clock budget."""
+
+    def __init__(self, message: str, timeout: float = 0.0, attempts: int = 0):
+        super().__init__(message)
+        self.timeout = timeout
+        self.attempts = attempts
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.timeout, self.attempts))

@@ -1,7 +1,14 @@
 """Experiment harness: runners, experiment drivers, and text reports."""
 
 from repro.harness.cache import RunCache
-from repro.harness.parallel import RunRequest, execute_request, run_matrix
+from repro.harness.faults import FaultKind, FaultPlan
+from repro.harness.parallel import (
+    MatrixReport,
+    RequestOutcome,
+    RunRequest,
+    execute_request,
+    run_matrix,
+)
 from repro.harness.runner import (
     PerfectSweepResult,
     TripleResult,
@@ -14,7 +21,11 @@ from repro.harness.runner import (
 )
 
 __all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "MatrixReport",
     "PerfectSweepResult",
+    "RequestOutcome",
     "RunCache",
     "RunRequest",
     "TripleResult",

@@ -12,6 +12,14 @@ Simulations fan out over ``--jobs`` worker processes (default:
 ``REPRO_JOBS`` env or the CPU count) and are memoized in the
 content-addressed run cache under ``.repro_cache/`` (see
 ``repro/harness/cache.py``); ``--no-cache`` forces fresh runs.
+
+Long sweeps survive partial failure: ``--timeout`` bounds each
+request's wall clock, ``--retries`` re-runs crashed/hung/flaky
+requests with backoff, and ``--on-error skip`` finishes the matrix
+around a request that exhausted its retries (the run then exits with
+code 3 and lists the holes). A simulated-machine deadlock exits with
+code 2 and the core's next-event diagnostic instead of a traceback.
+Env mirrors: ``REPRO_TIMEOUT`` / ``REPRO_RETRIES`` / ``REPRO_ON_ERROR``.
 """
 
 from __future__ import annotations
@@ -21,8 +29,14 @@ import os
 import sys
 import time
 
+from repro.errors import DeadlockError
 from repro.harness import experiments
 from repro.harness.cache import RunCache
+from repro.harness.parallel import (
+    ON_ERROR_POLICIES,
+    reset_skipped_log,
+    skipped_outcomes,
+)
 
 EXPERIMENTS = {
     "table1": experiments.experiment_table1,
@@ -75,6 +89,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore the on-disk run cache (always simulate afresh)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request wall-clock budget; a simulation over budget is "
+            "terminated and retried (default: REPRO_TIMEOUT env or none)"
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "extra attempts per request after a crash/timeout/transient "
+            "failure (default: REPRO_RETRIES env or 0)"
+        ),
+    )
+    parser.add_argument(
+        "--on-error",
+        choices=ON_ERROR_POLICIES,
+        default=None,
+        help=(
+            "what to do when a request exhausts its retries: 'raise' "
+            "aborts the experiment (default), 'skip' records the failure, "
+            "finishes the matrix, and exits with code 3"
+        ),
+    )
+    parser.add_argument(
         "--no-skip",
         action="store_true",
         help=(
@@ -114,6 +158,14 @@ def main(argv: list[str] | None = None) -> int:
         # flag flips their event_driven default (and is inherited by
         # pool workers), keeping every construction site untouched.
         os.environ["REPRO_NO_SKIP"] = "1"
+    # Resilience knobs travel to every nested run_matrix call the same
+    # way: experiments never thread them explicitly.
+    if args.timeout is not None:
+        os.environ["REPRO_TIMEOUT"] = str(args.timeout)
+    if args.retries is not None:
+        os.environ["REPRO_RETRIES"] = str(args.retries)
+    if args.on_error is not None:
+        os.environ["REPRO_ON_ERROR"] = args.on_error
     if args.experiment == "cache":
         if args.action != "clear":
             print(
@@ -132,10 +184,17 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     cache = RunCache(enabled=not args.no_cache)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    reset_skipped_log()
     blocks = []
     for name in names:
         start = time.time()
-        text = run_experiment(name, args.scale, jobs=args.jobs, cache=cache)
+        try:
+            text = run_experiment(name, args.scale, jobs=args.jobs, cache=cache)
+        except DeadlockError as exc:
+            # A simulated-machine deadlock is a diagnosis, not a crash:
+            # report the machine state, no traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         elapsed = time.time() - start
         blocks.append(text)
         print(text)
@@ -143,6 +202,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.out is not None:
         args.out.write("\n\n".join(blocks) + "\n")
         args.out.close()
+    skipped = skipped_outcomes()
+    if skipped:
+        # --on-error skip let the matrices finish, but the output has
+        # holes: say where, and fail the invocation.
+        print(
+            f"warning: {len(skipped)} request(s) skipped after exhausting "
+            "retries; results above are partial:",
+            file=sys.stderr,
+        )
+        for outcome in skipped:
+            request = outcome.request
+            print(
+                f"  {request.workload}/{request.mode} "
+                f"(scale {request.scale}, {request.config}): "
+                f"{outcome.attempts} attempt(s), last error: {outcome.error}",
+                file=sys.stderr,
+            )
+        return 3
     return 0
 
 

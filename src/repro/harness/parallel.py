@@ -1,4 +1,4 @@
-"""Parallel, cached execution of experiment run matrices.
+"""Parallel, fault-tolerant execution of experiment run matrices.
 
 Every paper experiment reduces to a list of independent simulations.
 This module gives the harness one entry point for all of them:
@@ -15,14 +15,41 @@ This module gives the harness one entry point for all of them:
 The simulator is deterministic, so parallel and cached execution return
 bit-identical stats to sequential fresh runs (asserted by
 ``tests/harness/test_determinism.py`` and ``tests/harness/test_cache.py``).
+
+**Failure model.** A large matrix must survive partial failure: one
+OOM-killed worker or one wedged simulation must not discard hours of
+sibling results. :func:`run_matrix` therefore supports per-request
+wall-clock timeouts (``timeout=`` / ``REPRO_TIMEOUT``), bounded retries
+with exponential backoff and deterministic jitter (``retries=`` /
+``REPRO_RETRIES``), and broken-pool recovery: when a worker dies the
+pool is respawned and in-flight requests are requeued; when a request
+times out its workers are terminated and innocent in-flight siblings
+are requeued *without* being charged an attempt. The ``on_error``
+policy decides the endgame for a request that exhausts its retries:
+``"raise"`` (default) propagates the typed error; ``"skip"`` records
+the failure and completes the rest of the matrix. Per-request
+outcome/attempts/latency accounting is returned as a
+:class:`MatrixReport` (``return_report=True``); the plain list form
+substitutes empty placeholder stats for skipped requests so partial
+renders survive. Deterministic fault injection for all of the above
+lives in :mod:`repro.harness.faults`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+
+from repro.errors import RunTimeoutError, SimulationError, WorkerCrashError
+
+log = logging.getLogger(__name__)
 
 
 def _default_event_driven() -> bool:
@@ -47,6 +74,9 @@ CONFIG_PRESETS: dict[str, MachineConfig] = {
 
 #: Run modes (mirroring the Section 6 experiment arms).
 MODES = ("base", "slice", "limit", "perfect")
+
+#: ``on_error`` policies for requests that exhaust their retries.
+ON_ERROR_POLICIES = ("raise", "skip")
 
 
 @dataclass(frozen=True)
@@ -155,6 +185,13 @@ def execute_request(request: RunRequest) -> RunStats:
     return run_perfect(workload, spec, config, event_driven=event_driven)
 
 
+def _pool_entry(request: RunRequest, attempt: int, fault_plan) -> RunStats:
+    """Pool worker: apply any planned fault, then run the request."""
+    if fault_plan is not None:
+        fault_plan.perturb(request, attempt)
+    return execute_request(request)
+
+
 def resolve_jobs(jobs: int | None = None) -> int:
     """Worker count: explicit arg, else ``REPRO_JOBS``, else CPU count."""
     if jobs is None:
@@ -163,43 +200,506 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return max(1, jobs)
 
 
+def _resolve_timeout(timeout: float | None) -> float | None:
+    """Per-request timeout: explicit arg, else ``REPRO_TIMEOUT`` env."""
+    if timeout is not None:
+        return timeout if timeout > 0 else None
+    env = os.environ.get("REPRO_TIMEOUT")
+    if env:
+        value = float(env)
+        return value if value > 0 else None
+    return None
+
+
+def _resolve_retries(retries: int | None) -> int:
+    """Retry budget: explicit arg, else ``REPRO_RETRIES`` env, else 0."""
+    if retries is None:
+        env = os.environ.get("REPRO_RETRIES")
+        retries = int(env) if env else 0
+    return max(0, retries)
+
+
+def _resolve_on_error(on_error: str | None) -> str:
+    if on_error is None:
+        on_error = os.environ.get("REPRO_ON_ERROR", "raise")
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"unknown on_error {on_error!r}; known: {ON_ERROR_POLICIES}"
+        )
+    return on_error
+
+
+def _backoff_delay(base: float, request: RunRequest, attempt: int) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    The jitter is drawn from the request identity and attempt number,
+    so two workers retrying different requests desynchronize without
+    any nondeterminism entering the harness.
+    """
+    if base <= 0:
+        return 0.0
+    digest = hashlib.sha256(f"{attempt}:{request!r}".encode()).digest()
+    jitter = int.from_bytes(digest[:4], "big") / 2**32
+    return min(base * (2 ** max(attempt - 1, 0)) * (1.0 + jitter), 30.0)
+
+
+@dataclass
+class RequestOutcome:
+    """How one (deduplicated) request fared in a matrix."""
+
+    request: RunRequest
+    #: ``"ok"`` (fresh run), ``"cached"`` (cache hit), or ``"skipped"``
+    #: (failed after exhausting retries under ``on_error="skip"``).
+    status: str
+    stats: RunStats | None
+    #: Execution attempts consumed (0 for pure cache hits).
+    attempts: int = 0
+    #: Message of the last error seen, for skipped / retried requests.
+    error: str | None = None
+    #: Wall-clock seconds from first submission to resolution.
+    latency: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+
+@dataclass
+class MatrixReport:
+    """Per-request accounting for one :func:`run_matrix` call.
+
+    ``outcomes`` holds one entry per *input* request, in input order
+    (duplicates share the underlying outcome object of their first
+    occurrence).
+    """
+
+    outcomes: list[RequestOutcome] = field(default_factory=list)
+    #: Times the process pool was torn down and respawned (worker
+    #: crashes and timeout terminations).
+    pool_respawns: int = 0
+    #: Retry attempts beyond each request's first execution attempt.
+    retries: int = 0
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    @property
+    def skipped(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "skipped")
+
+    @property
+    def cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(o.attempts for o in _unique_outcomes(self.outcomes))
+
+    def stats_list(self) -> list[RunStats]:
+        """Input-order stats; skipped requests yield empty placeholder
+        :class:`RunStats` so downstream renderers survive partial
+        matrices (the skip is still visible here and in the CLI exit
+        code)."""
+        return [
+            o.stats
+            if o.stats is not None
+            else RunStats(
+                config_name=o.request.config, workload_name=o.request.workload
+            )
+            for o in self.outcomes
+        ]
+
+
+def _unique_outcomes(outcomes):
+    seen = set()
+    for outcome in outcomes:
+        if id(outcome) not in seen:
+            seen.add(id(outcome))
+            yield outcome
+
+
+#: Skipped outcomes across every ``run_matrix`` call since the last
+#: :func:`reset_skipped_log` — the CLI uses this to exit nonzero when
+#: an experiment completed with holes in it.
+_skipped_log: list[RequestOutcome] = []
+
+
+def reset_skipped_log() -> None:
+    _skipped_log.clear()
+
+
+def skipped_outcomes() -> list[RequestOutcome]:
+    return list(_skipped_log)
+
+
 def run_matrix(
     requests,
     jobs: int | None = None,
     cache: RunCache | None = None,
-) -> list[RunStats]:
+    *,
+    timeout: float | None = None,
+    retries: int | None = None,
+    on_error: str | None = None,
+    backoff_base: float = 0.05,
+    fault_plan=None,
+    return_report: bool = False,
+):
     """Execute *requests*, returning stats in input order.
 
     Identical requests are simulated once. Cached results are reused
     (pass a disabled :class:`RunCache` to opt out); fresh runs go to a
-    process pool when more than one is needed and ``jobs > 1``.
+    process pool when more than one worker is useful (or whenever a
+    ``timeout`` is set — in-process execution cannot be preempted).
+
+    Resilience knobs (see the module docstring for the failure model):
+
+    * ``timeout`` — per-request wall-clock budget in seconds
+      (``REPRO_TIMEOUT`` env; ``None`` = unbounded).
+    * ``retries`` — extra attempts per request after a crash, timeout,
+      or transient error (``REPRO_RETRIES`` env; default 0).
+    * ``on_error`` — ``"raise"`` (default, ``REPRO_ON_ERROR`` env) or
+      ``"skip"``.
+    * ``fault_plan`` — a :class:`~repro.harness.faults.FaultPlan` for
+      deterministic fault injection (tests only).
+    * ``return_report`` — return the full :class:`MatrixReport` instead
+      of the plain stats list.
     """
     requests = list(requests)
     if cache is None:
         cache = RunCache()
+    timeout = _resolve_timeout(timeout)
+    retries = _resolve_retries(retries)
+    on_error = _resolve_on_error(on_error)
+
+    if fault_plan is not None:
+        fault_plan.corrupt_cache_entries(cache, requests)
 
     by_request: dict[RunRequest, list[int]] = {}
     for index, request in enumerate(requests):
         by_request.setdefault(request, []).append(index)
 
-    results: list[RunStats | None] = [None] * len(requests)
+    resolved: dict[RunRequest, RequestOutcome] = {}
     pending: list[RunRequest] = []
-    for request, indices in by_request.items():
+    for request in by_request:
         stats = cache.get(request)
         if stats is None:
             pending.append(request)
         else:
-            for index in indices:
-                results[index] = stats
+            resolved[request] = RequestOutcome(request, "cached", stats)
+
+    report = MatrixReport()
     if pending:
         workers = min(resolve_jobs(jobs), len(pending))
-        if workers > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(execute_request, pending))
+        use_pool = workers > 1 or timeout is not None
+        if use_pool:
+            executed = _execute_pooled(
+                pending,
+                workers,
+                timeout=timeout,
+                retries=retries,
+                on_error=on_error,
+                backoff_base=backoff_base,
+                fault_plan=fault_plan,
+                report=report,
+            )
         else:
-            fresh = [execute_request(request) for request in pending]
-        for request, stats in zip(pending, fresh):
-            cache.put(request, stats)
-            for index in by_request[request]:
-                results[index] = stats
-    return results
+            executed = _execute_inline(
+                pending,
+                retries=retries,
+                on_error=on_error,
+                backoff_base=backoff_base,
+                fault_plan=fault_plan,
+                report=report,
+            )
+        for request, outcome in executed.items():
+            if outcome.status == "ok":
+                cache.put(request, outcome.stats)
+            else:
+                _skipped_log.append(outcome)
+            resolved[request] = outcome
+
+    report.outcomes = [resolved[request] for request in requests]
+    if return_report:
+        return report
+    return report.stats_list()
+
+
+def _execute_inline(
+    pending,
+    retries: int,
+    on_error: str,
+    backoff_base: float,
+    fault_plan,
+    report: MatrixReport,
+) -> dict[RunRequest, RequestOutcome]:
+    """Sequential in-process execution with retry/backoff.
+
+    Used when one worker suffices and no timeout is requested (an
+    in-process simulation cannot be preempted). Injected crashes are
+    surfaced as :class:`WorkerCrashError` instead of killing the
+    harness process.
+    """
+    outcomes: dict[RunRequest, RequestOutcome] = {}
+    for request in pending:
+        start = time.monotonic()
+        error: Exception | None = None
+        for attempt in range(retries + 1):
+            if attempt:
+                report.retries += 1
+                time.sleep(_backoff_delay(backoff_base, request, attempt))
+            try:
+                if fault_plan is not None:
+                    fault_plan.perturb(request, attempt, in_process=True)
+                stats = execute_request(request)
+            except Exception as exc:  # noqa: BLE001 — retry boundary
+                error = exc
+                log.warning(
+                    "request %s/%s attempt %d failed: %s",
+                    request.workload,
+                    request.mode,
+                    attempt + 1,
+                    exc,
+                )
+                continue
+            outcomes[request] = RequestOutcome(
+                request,
+                "ok",
+                stats,
+                attempts=attempt + 1,
+                latency=time.monotonic() - start,
+            )
+            break
+        else:
+            outcomes[request] = _finalize_failure(
+                request,
+                error,
+                attempts=retries + 1,
+                latency=time.monotonic() - start,
+                on_error=on_error,
+            )
+    return outcomes
+
+
+def _finalize_failure(
+    request: RunRequest,
+    error: Exception | None,
+    attempts: int,
+    latency: float,
+    on_error: str,
+) -> RequestOutcome:
+    """A request exhausted its retries: raise or record the skip."""
+    if on_error == "raise":
+        raise error if error is not None else SimulationError(
+            f"request {request} failed with no recorded error"
+        )
+    log.warning(
+        "skipping request %s/%s after %d attempt(s): %s",
+        request.workload,
+        request.mode,
+        attempts,
+        error,
+    )
+    return RequestOutcome(
+        request,
+        "skipped",
+        None,
+        attempts=attempts,
+        error=str(error) if error is not None else None,
+        latency=latency,
+    )
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers and abandon it.
+
+    ``shutdown`` alone never interrupts a running task, so a hung or
+    runaway worker would leak past any timeout; terminating the
+    processes is the only preemption Python offers.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - platform-specific races
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _execute_pooled(
+    pending,
+    workers: int,
+    timeout: float | None,
+    retries: int,
+    on_error: str,
+    backoff_base: float,
+    fault_plan,
+    report: MatrixReport,
+) -> dict[RunRequest, RequestOutcome]:
+    """Pool execution with timeouts, retries, and broken-pool recovery.
+
+    Invariants:
+
+    * Every submission charges the request one attempt. A request whose
+      attempt is *aborted through no fault of its own* (its pool was
+      torn down because a sibling timed out) is refunded the attempt
+      and simply requeued, so collateral damage never consumes retry
+      budget. A broken pool cannot attribute the crash, so there every
+      in-flight request is charged (this is what bounds respawn loops).
+    * The loop terminates: each iteration either resolves a request,
+      charges an attempt (bounded by ``(retries + 1)`` per request), or
+      performs a refund that is paid for by a charged timeout/crash.
+    """
+    outcomes: dict[RunRequest, RequestOutcome] = {}
+    attempts: dict[RunRequest, int] = {request: 0 for request in pending}
+    first_submit: dict[RunRequest, float] = {}
+    last_error: dict[RunRequest, Exception] = {}
+    not_before: dict[RunRequest, float] = {}
+    queue = deque(pending)
+    pool = ProcessPoolExecutor(max_workers=workers)
+    running: dict[object, tuple[RunRequest, float | None]] = {}
+
+    def fail_or_requeue(request: RunRequest, error: Exception) -> None:
+        """One attempt failed for real: retry with backoff or finalize."""
+        last_error[request] = error
+        if attempts[request] <= retries:
+            report.retries += 1
+            delay = _backoff_delay(backoff_base, request, attempts[request])
+            not_before[request] = time.monotonic() + delay
+            queue.append(request)
+            log.warning(
+                "request %s/%s attempt %d failed (%s); retrying in %.2fs",
+                request.workload,
+                request.mode,
+                attempts[request],
+                error,
+                delay,
+            )
+        else:
+            outcomes[request] = _finalize_failure(
+                request,
+                error,
+                attempts=attempts[request],
+                latency=time.monotonic() - first_submit[request],
+                on_error=on_error,
+            )
+
+    try:
+        while queue or running:
+            now = time.monotonic()
+            # Submit every eligible queued request (the pool itself
+            # bounds concurrency to `workers`).
+            blocked_until: float | None = None
+            for _ in range(len(queue)):
+                request = queue.popleft()
+                eligible_at = not_before.get(request, 0.0)
+                if eligible_at > now:
+                    queue.append(request)
+                    if blocked_until is None or eligible_at < blocked_until:
+                        blocked_until = eligible_at
+                    continue
+                attempts[request] += 1
+                first_submit.setdefault(request, now)
+                try:
+                    future = pool.submit(
+                        _pool_entry, request, attempts[request] - 1, fault_plan
+                    )
+                except RuntimeError as exc:
+                    # Pool broke between iterations; recover below.
+                    attempts[request] -= 1
+                    queue.append(request)
+                    log.warning("submit failed (%s); respawning pool", exc)
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    report.pool_respawns += 1
+                    break
+                deadline = now + timeout if timeout is not None else None
+                running[future] = (request, deadline)
+            if not running:
+                if blocked_until is not None:
+                    time.sleep(max(0.0, blocked_until - time.monotonic()))
+                continue
+
+            # Wake on the first completion or the earliest deadline.
+            wait_for = None
+            deadlines = [d for _, d in running.values() if d is not None]
+            if deadlines:
+                wait_for = max(0.0, min(deadlines) - time.monotonic())
+            if blocked_until is not None:
+                until = max(0.0, blocked_until - time.monotonic())
+                wait_for = until if wait_for is None else min(wait_for, until)
+            done, _ = wait(
+                list(running), timeout=wait_for, return_when=FIRST_COMPLETED
+            )
+
+            pool_broken = False
+            for future in done:
+                request, _deadline = running.pop(future)
+                try:
+                    stats = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    fail_or_requeue(
+                        request,
+                        WorkerCrashError(
+                            "worker process died mid-request "
+                            f"(attempt {attempts[request]})",
+                            attempts=attempts[request],
+                        ),
+                    )
+                except Exception as exc:  # noqa: BLE001 — retry boundary
+                    fail_or_requeue(request, exc)
+                else:
+                    outcomes[request] = RequestOutcome(
+                        request,
+                        "ok",
+                        stats,
+                        attempts=attempts[request],
+                        latency=time.monotonic() - first_submit[request],
+                    )
+
+            now = time.monotonic()
+            timed_out = [
+                future
+                for future, (_, deadline) in running.items()
+                if deadline is not None and deadline <= now
+            ]
+            if timed_out:
+                for future in timed_out:
+                    request, _deadline = running.pop(future)
+                    fail_or_requeue(
+                        request,
+                        RunTimeoutError(
+                            f"request exceeded {timeout:.1f}s "
+                            f"(attempt {attempts[request]})",
+                            timeout=timeout,
+                            attempts=attempts[request],
+                        ),
+                    )
+            if pool_broken or timed_out:
+                # The pool is unusable (broken) or must be preempted
+                # (timeout): tear it down and requeue the survivors.
+                for future in list(running):
+                    request, _deadline = running.pop(future)
+                    if pool_broken:
+                        # Cannot attribute the crash: charge everyone
+                        # (bounds the respawn loop), retry or finalize.
+                        fail_or_requeue(
+                            request,
+                            WorkerCrashError(
+                                "process pool broke while request was "
+                                f"in flight (attempt {attempts[request]})",
+                                attempts=attempts[request],
+                            ),
+                        )
+                    else:
+                        # Innocent victim of a sibling's timeout:
+                        # refund the attempt and requeue.
+                        attempts[request] -= 1
+                        queue.append(request)
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers)
+                report.pool_respawns += 1
+    finally:
+        _kill_pool(pool)
+    return outcomes

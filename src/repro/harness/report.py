@@ -141,6 +141,11 @@ def render_table4(rows: list[RunCharacterization]) -> str:
     add("Fork points", "{}", lambda r: r.fork_points)
     add("Fork points squashed", "{}", lambda r: r.forks_squashed)
     add("Fork points ignored", "{}", lambda r: r.forks_ignored)
+    add(
+        "Slices killed (fuse/fault)",
+        "{}",
+        lambda r: f"{r.slices_killed_fuse}/{r.slices_killed_fault}",
+    )
     add("Problem branches covered", "{}", lambda r: r.problem_branches_covered)
     add("Predictions generated", "{}", lambda r: r.predictions_generated)
     add("Mispredictions removed", "{}", lambda r: r.mispredictions_removed)

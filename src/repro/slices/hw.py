@@ -13,6 +13,29 @@ from __future__ import annotations
 from repro.slices.spec import PGISpec, SliceSpec
 
 
+def is_statically_bounded(spec: SliceSpec) -> bool:
+    """Static containment check: can this slice provably terminate?
+
+    A slice is statically bounded when every backward control transfer
+    in its code is covered by the spec's iteration cap
+    (``max_iterations`` on ``loop_back_pc``). Unbounded slices are
+    still legal — linked-list walks terminate dynamically on a null
+    dereference (§3.2) — but they run purely on the dynamic
+    containment fuse (``slice_hw.max_slice_insts``), so the slice
+    table flags them at load time for reporting and strict-mode
+    diagnostics.
+    """
+    for inst in spec.code.instructions:
+        if not inst.is_branch or inst.target is None:
+            continue
+        if inst.target > inst.pc:
+            continue  # forward edge: cannot loop by itself
+        if inst.pc == spec.loop_back_pc and spec.max_iterations is not None:
+            continue  # the declared, capped loop back-edge
+        return False
+    return True
+
+
 class SliceTableFullError(Exception):
     """Raised when loading more slices than the table has entries."""
 
@@ -30,6 +53,10 @@ class SliceTable:
         self._by_fork_pc: dict[int, list[SliceSpec]] = {}
         self._in_order: list[SliceSpec] = []
         self._count = 0
+        #: Names of loaded slices that rely solely on the dynamic
+        #: instruction fuse for termination (see
+        #: :func:`is_statically_bounded`).
+        self.unbounded_slices: set[str] = set()
 
     def load(self, spec: SliceSpec) -> None:
         """Install one slice; raises if the table is full."""
@@ -40,6 +67,8 @@ class SliceTable:
         self._by_fork_pc.setdefault(spec.fork_pc, []).append(spec)
         self._in_order.append(spec)
         self._count += 1
+        if not is_statically_bounded(spec):
+            self.unbounded_slices.add(spec.name)
 
     def match(self, pc: int) -> list[SliceSpec]:
         """Return the slices whose fork PC equals the fetched *pc*."""

@@ -50,6 +50,14 @@ class SliceHardwareConfig:
     pgi_table_entries: int = 64
     branch_queue_entries: int = 64
     predictions_per_branch: int = 8
+    #: Per-activation instruction fuse: a helper thread that fetches
+    #: this many instructions in one activation is killed and counted
+    #: (``RunStats.slices_killed_fuse``) rather than allowed to run
+    #: away — the hardware backstop behind the paper's §3.2 software
+    #: bounds (loop iteration caps, null-pointer termination). Sized
+    #: well above any legitimate slice (the largest shipped slice
+    #: fetches ~1K instructions per activation); ``None`` disables it.
+    max_slice_insts: int | None = 4096
 
 
 class KillKind(enum.Enum):

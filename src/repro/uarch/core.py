@@ -24,6 +24,7 @@ from itertools import count as _counter
 
 from repro.arch.exceptions import Fault
 from repro.arch.interpreter import execute
+from repro.errors import DeadlockError, SliceRunawayError
 from repro.arch.memory import Memory
 from repro.isa.opcodes import INSTRUCTION_BYTES, OpClass, Opcode
 from repro.isa.program import Program
@@ -59,6 +60,7 @@ class Core:
         cycle_accounting: bool = False,
         workload_name: str = "",
         event_driven: bool = True,
+        strict_slices: bool = False,
     ):
         self.program = program
         self.config = config
@@ -83,6 +85,11 @@ class Core:
         #: cycle. ``False`` preserves the classic stepping loop (the
         #: ``--no-skip`` escape hatch); both produce identical stats.
         self.event_driven = event_driven
+        #: Debug mode for slice authors: raise
+        #: :class:`~repro.errors.SliceRunawayError` when a helper
+        #: thread blows its instruction fuse instead of silently
+        #: containing it.
+        self.strict_slices = strict_slices
 
         self.memory = Memory(
             memory_image if memory_image is not None else program.data
@@ -200,7 +207,9 @@ class Core:
                         next_cycle = target
                 self.cycle = next_cycle
                 if self._is_deadlocked():
-                    raise RuntimeError(self._deadlock_message())
+                    raise DeadlockError(
+                        self._deadlock_message(), cycle=self.cycle
+                    )
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -559,6 +568,24 @@ class Core:
         if self.fork_confidence is not None:
             self.fork_confidence.update(slice_name, consumed_any or missed)
 
+    def _kill_runaway_slice(self, ctx: ThreadContext) -> None:
+        """Containment fuse (§3.2 backstop): a helper activation that
+        fetched ``slice_hw.max_slice_insts`` instructions is a runaway.
+        Kill it — squash its window entries, discard its pending
+        predictions, free the context — and count the event. The main
+        thread only ever observes the freed resources."""
+        self.stats.slices_killed_fuse += 1
+        if self.strict_slices:
+            raise SliceRunawayError(
+                f"slice {ctx.spec.name!r} blew its instruction fuse "
+                f"({ctx.fetched} fetched, fuse "
+                f"{self.config.slice_hw.max_slice_insts}) at cycle "
+                f"{self.cycle}",
+                slice_name=ctx.spec.name,
+                fetched=ctx.fetched,
+            )
+        self._release_slice_context(ctx)
+
     def _release_slice_context(self, ctx: ThreadContext) -> None:
         """Free a helper thread's window entries and return its context."""
         for victim in ctx.rob:
@@ -729,6 +756,11 @@ class Core:
         return fetched
 
     def _fetch_one(self, ctx: ThreadContext) -> bool:
+        if not ctx.is_main and ctx.fuse_blown(
+            self.config.slice_hw.max_slice_insts
+        ):
+            self._kill_runaway_slice(ctx)
+            return False
         state = ctx.state
         inst = ctx.prog_by_pc.get(state.pc)
         if inst is None:
@@ -801,8 +833,12 @@ class Core:
                 )
                 entry.pgi_slot = (slot, pgi)
             if result.fault is Fault.NULL_DEREF:
-                # Exceptions terminate slices (Section 3.2).
+                # Exceptions terminate slices (Section 3.2): the fault
+                # is quarantined to the helper context — fetch stops,
+                # in-flight work drains, nothing reaches the main
+                # thread. Counted so containment is observable.
                 ctx.fetch_stalled = True
+                self.stats.slices_killed_fault += 1
         if result.fault is Fault.HALT:
             ctx.fetch_stalled = True
 

@@ -142,6 +142,21 @@ class ThreadContext:
     def can_fetch(self) -> bool:
         return self.active and not self.fetch_stalled
 
+    def fuse_blown(self, max_slice_insts: int | None) -> bool:
+        """Containment check: has this helper-thread activation used up
+        its per-activation instruction fuse?
+
+        Checked before every helper fetch; a blown fuse means the slice
+        is a runaway (infinite loop, unbounded recurrence) and must be
+        killed before it can monopolize fetch bandwidth and window
+        slots. Main-thread contexts never blow the fuse.
+        """
+        return (
+            max_slice_insts is not None
+            and not self.is_main
+            and self.fetched >= max_slice_insts
+        )
+
 
 def any_fetchable(threads: list[ThreadContext]) -> bool:
     """True while any context can fetch this cycle.

@@ -64,6 +64,13 @@ class RunStats:
     #: Fork requests suppressed by confidence gating (Section 6.3).
     forks_gated: int = 0
     slices_completed: int = 0
+    #: Containment kills: helper threads terminated by the
+    #: per-activation instruction fuse (``slice_hw.max_slice_insts``)
+    #: and helper threads terminated by an architectural fault
+    #: (null-pointer dereference, §3.2). Both are contained events —
+    #: the main thread never observes them except as freed resources.
+    slices_killed_fuse: int = 0
+    slices_killed_fault: int = 0
     #: Per-static-PC branch behavior (conditional + indirect).
     branch_pcs: dict[int, PcCounter] = field(default_factory=dict)
     #: Per-static-PC memory behavior (loads and stores).

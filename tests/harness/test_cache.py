@@ -75,3 +75,82 @@ def test_clear_removes_entries(cache):
     cache.put(REQUEST, execute_request(REQUEST))
     assert cache.clear() == 1
     assert cache.get(REQUEST) is None
+
+
+# ---------------------------------------------------------------------------
+# Corruption taxonomy: every flavor of rot is quarantined (moved to
+# corrupt/, counted, warned) and falls back to a fresh identical run.
+# ---------------------------------------------------------------------------
+
+
+def _corrupt_dir(cache):
+    return cache.root / cache_mod.CORRUPT_SUBDIR
+
+
+def _assert_quarantined_and_recovers(cache, path, expected):
+    assert cache.get(REQUEST) is None  # corrupt -> miss
+    assert cache.corruptions == 1
+    assert not path.exists()
+    assert (_corrupt_dir(cache) / path.name).exists()
+    # The matrix path falls back to a fresh, bit-identical run and
+    # repopulates the cache.
+    (result,) = run_matrix([REQUEST], jobs=1, cache=cache)
+    assert dataclasses.asdict(result) == dataclasses.asdict(expected)
+    assert cache.get(REQUEST) is not None
+    assert cache.corruptions == 1  # no new corruption
+
+
+def test_truncated_entry_is_quarantined(cache, caplog):
+    stats = execute_request(REQUEST)
+    cache.put(REQUEST, stats)
+    path = cache._path(fingerprint(REQUEST))
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with caplog.at_level("WARNING", logger="repro.harness.cache"):
+        _assert_quarantined_and_recovers(cache, path, stats)
+    assert any("quarantined" in r.message for r in caplog.records)
+
+
+def test_bit_flipped_entry_fails_checksum(cache):
+    """A single flipped byte in the payload blob trips the checksum."""
+    stats = execute_request(REQUEST)
+    cache.put(REQUEST, stats)
+    path = cache._path(fingerprint(REQUEST))
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    _assert_quarantined_and_recovers(cache, path, stats)
+
+
+def test_foreign_schema_entry_is_quarantined(cache):
+    stats = execute_request(REQUEST)
+    cache.put(REQUEST, stats)
+    path = cache._path(fingerprint(REQUEST))
+    path.write_bytes(
+        pickle.dumps({"schema": 99, "sha256": "0" * 64, "blob": b"x"})
+    )
+    _assert_quarantined_and_recovers(cache, path, stats)
+
+
+def test_non_runstats_payload_is_quarantined(cache):
+    """A checksum-valid payload holding the wrong object type is still
+    rejected: the checksum proves integrity, not provenance."""
+    import hashlib
+
+    cache.put(REQUEST, execute_request(REQUEST))
+    path = cache._path(fingerprint(REQUEST))
+    blob = pickle.dumps({"request": REQUEST, "stats": {"ipc": 2.0}})
+    digest = hashlib.sha256(blob).hexdigest().encode()
+    path.write_bytes(cache_mod._MAGIC + digest + b"\n" + blob)
+    assert cache.get(REQUEST) is None
+    assert cache.corruptions == 1
+
+
+def test_clear_sweeps_quarantine_too(cache):
+    cache.put(REQUEST, execute_request(REQUEST))
+    path = cache._path(fingerprint(REQUEST))
+    path.write_bytes(b"rot")
+    assert cache.get(REQUEST) is None
+    cache.put(REQUEST, execute_request(REQUEST))
+    # One live entry + one quarantined entry.
+    assert cache.clear() == 2

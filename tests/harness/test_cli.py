@@ -1,10 +1,16 @@
 """Tests for the command-line interface."""
 
 import io
+import os
 
 import pytest
 
+from repro.errors import DeadlockError
+from repro.harness import cli
+from repro.harness.cache import RunCache
 from repro.harness.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.harness.faults import FaultKind, FaultPlan
+from repro.harness.parallel import RunRequest, run_matrix
 
 
 def test_parser_accepts_all_experiments():
@@ -31,3 +37,74 @@ def test_main_table3_prints_and_writes(tmp_path, capsys):
     captured = capsys.readouterr()
     assert "Table 3" in captured.out
     assert "vpr" in out.read_text()
+
+
+def test_parser_accepts_resilience_flags():
+    args = build_parser().parse_args(
+        ["table4", "--timeout", "12.5", "--retries", "3", "--on-error", "skip"]
+    )
+    assert args.timeout == 12.5
+    assert args.retries == 3
+    assert args.on_error == "skip"
+
+
+def test_parser_rejects_unknown_on_error():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["table4", "--on-error", "explode"])
+
+
+def test_resilience_flags_mirror_to_env(monkeypatch):
+    """The flags travel to nested run_matrix calls via env mirrors."""
+    for key in ("REPRO_TIMEOUT", "REPRO_RETRIES", "REPRO_ON_ERROR"):
+        monkeypatch.setenv(key, "stale")  # registers teardown restore
+        monkeypatch.delenv(key)
+    code = main(
+        ["table1", "--timeout", "7", "--retries", "2", "--on-error", "skip"]
+    )
+    assert code == 0
+    assert os.environ["REPRO_TIMEOUT"] == "7.0"
+    assert os.environ["REPRO_RETRIES"] == "2"
+    assert os.environ["REPRO_ON_ERROR"] == "skip"
+
+
+def test_deadlock_exits_2_without_traceback(monkeypatch, capsys):
+    def deadlocking(scale=None):
+        raise DeadlockError(
+            "simulated machine deadlock at cycle 42 "
+            "(next_event_cycle=none)",
+            cycle=42,
+        )
+
+    monkeypatch.setitem(cli.EXPERIMENTS, "table3", deadlocking)
+    code = main(["table3"])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "deadlock" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_skipped_requests_exit_3_and_list_holes(monkeypatch, capsys):
+    """--on-error skip finishes the run but the CLI reports the holes
+    and exits nonzero."""
+    request = RunRequest(workload="gzip", scale=0.05, mode="base")
+    plan = FaultPlan.targeting({(request, 0): FaultKind.FLAKY})
+
+    def holey(scale=None):
+        run_matrix(
+            [request],
+            jobs=1,
+            cache=RunCache(enabled=False),
+            retries=0,
+            on_error="skip",
+            fault_plan=plan,
+        )
+        return {}, "Table 3 (partial)"
+
+    monkeypatch.setitem(cli.EXPERIMENTS, "table3", holey)
+    code = main(["table3"])
+    assert code == 3
+    captured = capsys.readouterr()
+    assert "Table 3 (partial)" in captured.out
+    assert "skipped" in captured.err
+    assert "gzip/base" in captured.err
+    assert "injected transient failure" in captured.err
