@@ -1,0 +1,86 @@
+"""Interpreter microbenchmark: raw functional ``execute()`` throughput.
+
+The simulator's floor is the speed of the functional executor itself —
+every fetched instruction (right path or wrong) runs through either a
+per-instruction compiled closure (:func:`repro.arch.interpreter.execute`)
+or a fused basic-block segment. This bench measures both tiers in
+isolation, with no out-of-order machinery around them, so per-cycle
+scheduling costs can be separated from raw execution costs when a
+throughput regression shows up.
+
+The workload is vpr's real instruction stream (entry block onward),
+executed architecturally: the same straight-line code the fused tier
+compiles in anger. Results merge into ``BENCH_throughput.json`` under
+``interpreter`` next to the whole-simulator regimes.
+"""
+
+import time
+
+from conftest import RESULTS_DIR  # noqa: F401  (shared results dir)
+
+from bench_simulator_throughput import _merge_results
+
+from repro.arch.interpreter import execute
+from repro.arch.memory import Memory
+from repro.arch.state import ThreadState
+from repro.workloads import registry
+
+#: Floor for the per-instruction tier (executions / wall second). The
+#: closure tier measures ~1.5M exec/s locally; a third of that still
+#: catches anything that reintroduces per-execution decode.
+INTERPRETER_FLOOR = 500_000
+
+
+def _functional_run(workload, budget):
+    """Execute *budget* instructions of *workload* architecturally,
+    following correct paths (branches included), timing only the
+    ``execute`` calls' loop."""
+    program = workload.program
+    memory = Memory()
+    for addr, value in workload.memory_image.items():
+        memory.store(addr, value)
+    memory.commit()
+    state = ThreadState(memory, entry_pc=program.entry_pc)
+    executed = 0
+    start = time.perf_counter()
+    while executed < budget and not state.halted:
+        inst = program.at(state.pc)
+        if inst is None:
+            break
+        execute(inst, state)
+        executed += 1
+    return executed, time.perf_counter() - start
+
+
+def bench_interpreter_throughput(publish):
+    workload = registry.build("vpr", scale=0.2)
+    budget = 200_000
+
+    # Warm once so every static instruction has its compiled closure
+    # (first execution pays lazy compilation), then best-of-3.
+    _functional_run(workload, budget)
+    best_rate = 0.0
+    executed = 0
+    for _ in range(3):
+        executed, elapsed = _functional_run(workload, budget)
+        best_rate = max(best_rate, executed / elapsed)
+
+    publish(
+        "interpreter_throughput",
+        "Functional interpreter throughput (vpr instruction stream)\n\n"
+        f"{executed:,} instructions executed per round; "
+        f"~{best_rate:,.0f} executions/second through the "
+        "per-instruction closure tier",
+    )
+    _merge_results(
+        "interpreter",
+        {
+            "workload": "vpr",
+            "executions_per_second": round(best_rate),
+            "executed_per_round": executed,
+            "best_of_rounds": 3,
+            "floor_executions_per_second": INTERPRETER_FLOOR,
+        },
+    )
+    assert executed > 50_000
+    assert best_rate > INTERPRETER_FLOOR

@@ -7,6 +7,7 @@ Usage::
     python -m repro table4 --out results.txt --no-cache
     python -m repro all --scale 0.2
     python -m repro cache clear         # drop the on-disk run cache
+    python -m repro bench balanced --profile   # simulator self-benchmark
 
 Simulations fan out over ``--jobs`` worker processes (default:
 ``REPRO_JOBS`` env or the CPU count) and are memoized in the
@@ -26,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import pathlib
 import sys
 import time
 
@@ -62,14 +64,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "cache"],
-        help="which table/figure to regenerate, or 'cache' maintenance",
+        choices=[*EXPERIMENTS, "all", "cache", "bench"],
+        help=(
+            "which table/figure to regenerate, 'cache' maintenance, or "
+            "'bench' for the simulator self-benchmark"
+        ),
     )
     parser.add_argument(
         "action",
         nargs="?",
         default=None,
-        help="cache action: 'clear' (only with the 'cache' command)",
+        help=(
+            "cache action: 'clear' (with 'cache'); bench regime: "
+            "'balanced' / 'memory_bound' / 'slice_heavy' (with 'bench', "
+            "default 'balanced')"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -127,6 +136,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help=(
+            "disable the fused basic-block execution tier (run every "
+            "instruction through its own closure; slower, for "
+            "differential testing)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "with the 'bench' command: run the regime under cProfile and "
+            "write the top-25 cumulative entries to "
+            "benchmarks/results/profile_<regime>.txt"
+        ),
+    )
+    parser.add_argument(
         "--out",
         type=argparse.FileType("w"),
         default=None,
@@ -151,6 +178,43 @@ def run_experiment(
     return text
 
 
+def run_bench(regime_name: str | None, profile: bool = False) -> int:
+    """Run one simulator self-benchmark regime; optionally profile it.
+
+    The profile report lands in ``benchmarks/results/profile_<regime>.txt``
+    (top-25 entries by cumulative time) so it can be diffed across
+    commits next to ``BENCH_throughput.json``.
+    """
+    from repro.harness.bench import REGIMES, best_rate, profile_regime
+
+    name = regime_name or "balanced"
+    regime = REGIMES.get(name)
+    if regime is None:
+        known = ", ".join(REGIMES)
+        print(f"unknown bench regime {name!r}; known: {known}", file=sys.stderr)
+        return 2
+    if profile:
+        stats, report = profile_regime(regime)
+        out_dir = pathlib.Path("benchmarks") / "results"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        out_path = out_dir / f"profile_{name}.txt"
+        out_path.write_text(report)
+        # The report's head is the useful part at the terminal; the
+        # full top-25 listing is in the file.
+        print("\n".join(report.splitlines()[:12]))
+        print(f"\nfull profile: {out_path}")
+        return 0
+    rate, stats = best_rate(regime, rounds=3)
+    print(
+        f"{name}: {regime.description}\n"
+        f"~{rate:,.0f} simulated instructions/second "
+        f"({stats.committed} committed, best of 3 runs; "
+        f"{stats.blocks_compiled} fused segments, "
+        f"{stats.block_deopts} deopts)"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.no_skip:
@@ -158,6 +222,10 @@ def main(argv: list[str] | None = None) -> int:
         # flag flips their event_driven default (and is inherited by
         # pool workers), keeping every construction site untouched.
         os.environ["REPRO_NO_SKIP"] = "1"
+    if args.no_fuse:
+        # Same mechanism for the fused-block tier: the env flag flips
+        # the Core / RunRequest default everywhere at once.
+        os.environ["REPRO_NO_FUSE"] = "1"
     # Resilience knobs travel to every nested run_matrix call the same
     # way: experiments never thread them explicitly.
     if args.timeout is not None:
@@ -166,6 +234,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_RETRIES"] = str(args.retries)
     if args.on_error is not None:
         os.environ["REPRO_ON_ERROR"] = args.on_error
+    if args.experiment == "bench":
+        return run_bench(args.action, profile=args.profile)
     if args.experiment == "cache":
         if args.action != "clear":
             print(

@@ -60,6 +60,15 @@ def _default_event_driven() -> bool:
     """
     return not os.environ.get("REPRO_NO_SKIP")
 
+
+def _default_fused_blocks() -> bool:
+    """Request default for the fused basic-block execution tier.
+
+    ``REPRO_NO_FUSE`` (set by the ``--no-fuse`` CLI flag) flips the
+    default to the per-instruction tier for differential testing.
+    """
+    return not os.environ.get("REPRO_NO_FUSE")
+
 from repro.harness.cache import RunCache
 from repro.uarch.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
 from repro.uarch.perfect import PerfectSpec
@@ -110,6 +119,10 @@ class RunRequest:
     #: identical either way (bar the skip counters), but the modes are
     #: fingerprinted separately so cached skip counters stay honest.
     event_driven: bool = field(default_factory=_default_event_driven)
+    #: Fused basic-block execution tier. Stats are identical either way
+    #: (bar the fusion meta counters), but fingerprinted separately so
+    #: cached ``blocks_compiled`` / ``block_deopts`` stay honest.
+    fused_blocks: bool = field(default_factory=_default_fused_blocks)
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -159,14 +172,19 @@ def execute_request(request: RunRequest) -> RunStats:
     config = request.resolve_config()
     mode = request.mode
     event_driven = request.event_driven
+    fused_blocks = request.fused_blocks
     if mode == "base":
-        return run_baseline(workload, config, event_driven=event_driven)
+        return run_baseline(
+            workload, config, event_driven=event_driven,
+            fused_blocks=fused_blocks,
+        )
     if mode == "slice":
         return run_with_slices(
             workload,
             config,
             dedicated=request.dedicated,
             event_driven=event_driven,
+            fused_blocks=fused_blocks,
         )
     if mode == "limit":
         return run_perfect(
@@ -174,6 +192,7 @@ def execute_request(request: RunRequest) -> RunStats:
             covered_problem_spec(workload),
             config,
             event_driven=event_driven,
+            fused_blocks=fused_blocks,
         )
     # mode == "perfect"
     spec = PerfectSpec(
@@ -182,7 +201,10 @@ def execute_request(request: RunRequest) -> RunStats:
         all_branches=request.all_branches,
         all_loads=request.all_loads,
     )
-    return run_perfect(workload, spec, config, event_driven=event_driven)
+    return run_perfect(
+        workload, spec, config, event_driven=event_driven,
+        fused_blocks=fused_blocks,
+    )
 
 
 def _pool_entry(request: RunRequest, attempt: int, fault_plan) -> RunStats:

@@ -29,6 +29,7 @@ def run_baseline(
     workload: Workload,
     config: MachineConfig = FOUR_WIDE,
     event_driven: bool = True,
+    fused_blocks: bool | None = None,
 ) -> RunStats:
     """Run the Table 1 machine with no slice hardware."""
     return Core(
@@ -38,6 +39,7 @@ def run_baseline(
         region=workload.region,
         workload_name=workload.name,
         event_driven=event_driven,
+        fused_blocks=fused_blocks,
     ).run()
 
 
@@ -47,6 +49,7 @@ def run_with_slices(
     dedicated: bool = False,
     slices=None,
     event_driven: bool = True,
+    fused_blocks: bool | None = None,
 ) -> RunStats:
     """Run with the workload's speculative slices loaded."""
     return Core(
@@ -58,6 +61,7 @@ def run_with_slices(
         dedicated_slice_resources=dedicated,
         workload_name=workload.name,
         event_driven=event_driven,
+        fused_blocks=fused_blocks,
     ).run()
 
 
@@ -66,6 +70,7 @@ def run_perfect(
     perfect: PerfectSpec,
     config: MachineConfig = FOUR_WIDE,
     event_driven: bool = True,
+    fused_blocks: bool | None = None,
 ) -> RunStats:
     """Run with a per-static-instruction perfect overlay."""
     return Core(
@@ -76,6 +81,7 @@ def run_perfect(
         region=workload.region,
         workload_name=workload.name,
         event_driven=event_driven,
+        fused_blocks=fused_blocks,
     ).run()
 
 

@@ -35,6 +35,13 @@ from repro.uarch.branch.frontend_predictor import BranchPrediction, FrontEndPred
 from repro.uarch.cache import DataHierarchy
 from repro.uarch.confidence import ForkConfidenceEstimator
 from repro.uarch.config import FOUR_WIDE, MachineConfig
+from repro.uarch.fusion import (
+    FUSABLE_OPS,
+    HOT_THRESHOLD,
+    MIN_FUSE_LEN,
+    compile_segment,
+    fusion_default,
+)
 from repro.uarch.perfect import NO_PERFECT, PerfectSpec
 from repro.uarch.prefetch import StreamPrefetcher
 from repro.uarch.smt import ThreadContext, ThreadKind, any_fetchable, icount_order
@@ -61,6 +68,7 @@ class Core:
         workload_name: str = "",
         event_driven: bool = True,
         strict_slices: bool = False,
+        fused_blocks: bool | None = None,
     ):
         self.program = program
         self.config = config
@@ -90,6 +98,16 @@ class Core:
         #: thread blows its instruction fuse instead of silently
         #: containing it.
         self.strict_slices = strict_slices
+        #: Fused basic-block execution tier (:mod:`repro.uarch.fusion`):
+        #: fetch groups inside a basic block execute as one generated
+        #: call. ``False`` keeps the per-instruction tier everywhere
+        #: (the ``--no-fuse`` escape hatch); both produce identical
+        #: stats up to :data:`~repro.uarch.stats.SIMULATOR_META_FIELDS`.
+        #: ``None`` defers to :func:`~repro.uarch.fusion.fusion_default`
+        #: (the ``REPRO_NO_FUSE`` environment switch).
+        if fused_blocks is None:
+            fused_blocks = fusion_default()
+        self.fused_blocks = fused_blocks
 
         self.memory = Memory(
             memory_image if memory_image is not None else program.data
@@ -143,6 +161,17 @@ class Core:
         self._next_vn = 0
         self._next_instance = 0
         self._window_count = 0
+        #: Live helper-thread contexts; lets the per-cycle fetch/commit
+        #: loops take a main-thread-only fast path between activations.
+        self._active_slice_count = 0
+        #: The same contexts as a list in thread order, maintained at
+        #: activation/release so the per-cycle loops never rebuild it.
+        self._active_slices: list[ThreadContext] = []
+        #: The perfect overlay covers at least one load (issue-path
+        #: fast-out: the common no-overlay run skips the per-load call).
+        self._has_perfect_loads = bool(
+            perfect.all_loads or perfect.load_pcs
+        )
         self._ready: list[tuple[int, int, WindowEntry]] = []
         self._completions: list[tuple[int, int, WindowEntry]] = []
         self._seq = _counter()
@@ -153,6 +182,29 @@ class Core:
         #: fork squash must reach the correlator even if the helper
         #: thread already finished and released its context.
         self._forked: deque[tuple[int, int]] = deque()  # (fork_vn, instance)
+
+        #: Fused-tier state: compiled segments keyed by entry PC, the
+        #: set of PCs worth compiling (block leaders, later extended
+        #: with resume points of partial groups) and the program block
+        #: version the compiles are valid for. The containers are
+        #: mutated in place — ``_fetch`` holds local references.
+        self._fused: dict[int, object] = {}
+        self._fusable_pcs: set[int] = set()
+        self._fuse_version = program.block_version
+        if self._slices_enabled:
+            cam_pcs = frozenset(
+                set(self._kill_pc_map)
+                | set(self._fork_pc_map)
+                | self._value_load_pcs
+            )
+        else:
+            cam_pcs = frozenset()
+        #: Program-wide segment-cache key: two Cores over the same
+        #: Program share compiled segments iff their fetch width,
+        #: front-end depth, and CAM exclusions agree.
+        self._fuse_key = (config.width, config.frontend_stages, cam_pcs)
+        if fused_blocks:
+            self._fusable_pcs.update(program.basic_blocks().keys())
 
     # ==================================================================
     # Top-level loop
@@ -399,18 +451,25 @@ class Core:
             return
         cycle = self.cycle
         heappop = heapq.heappop
+        heappush = heapq.heappush
+        ready = self._ready
+        seq = self._seq
+        frontend = self.config.frontend_stages
         while completions and completions[0][0] <= cycle:
             _, _, entry = heappop(completions)
             if entry.squashed:
                 continue
             entry.completed = True
-            entry.completion_cycle = cycle
             for waiter in entry.waiters:
                 if waiter.squashed or waiter.completed:
                     continue
                 waiter.pending_deps -= 1
                 if waiter.pending_deps == 0:
-                    self._make_ready(waiter)
+                    # _make_ready, inlined for the wakeup storm.
+                    earliest = waiter.fetch_cycle + frontend
+                    if earliest < cycle:
+                        earliest = cycle
+                    heappush(ready, (earliest, next(seq), waiter))
             entry.waiters.clear()
             if entry.pgi_slot is not None:
                 self._route_pgi(entry)
@@ -422,7 +481,7 @@ class Core:
     def _resolve_branch(self, entry: WindowEntry) -> None:
         """Compare the path fetch followed with the actual outcome."""
         inst = entry.inst
-        actual_target = entry.result.next_pc
+        actual_target = entry.rnext_pc
         effective_target = self._effective_target(entry)
         if effective_target == actual_target:
             return
@@ -430,10 +489,10 @@ class Core:
         self._squash_after(
             entry,
             resume_pc=actual_target,
-            replay_taken=bool(entry.result.taken),
+            replay_taken=bool(entry.rtaken),
             replay_target=actual_target,
         )
-        entry.effective_taken = entry.result.taken
+        entry.effective_taken = entry.rtaken
 
     def _resolve_value_mispredict(self, entry: WindowEntry) -> None:
         """A wrong slice value prediction: consumers ran with a bogus
@@ -442,9 +501,9 @@ class Core:
         self.stats.value_mispredict_squashes += 1
         self._squash_after(
             entry,
-            resume_pc=entry.result.next_pc,
+            resume_pc=entry.rnext_pc,
             replay_taken=True,
-            replay_target=entry.result.next_pc,
+            replay_target=entry.rnext_pc,
         )
 
     def _effective_target(self, entry: WindowEntry) -> int:
@@ -462,10 +521,10 @@ class Core:
             return
         if pgi.kind in (PGIKind.VALUE, PGIKind.TARGET):
             self.correlator.on_value_pgi_executed(
-                slot, entry.result.value or 0
+                slot, entry.rvalue or 0
             )
             return
-        direction = pgi.direction_of(entry.result.value or 0)
+        direction = pgi.direction_of(entry.rvalue or 0)
         late_mismatch = self.correlator.on_pgi_executed(slot, direction)
         if late_mismatch:
             self._early_resolution(slot, direction)
@@ -588,6 +647,9 @@ class Core:
 
     def _release_slice_context(self, ctx: ThreadContext) -> None:
         """Free a helper thread's window entries and return its context."""
+        if ctx.active:
+            self._active_slice_count -= 1
+            self._active_slices.remove(ctx)
         for victim in ctx.rob:
             if not victim.squashed:
                 victim.squashed = True
@@ -605,8 +667,10 @@ class Core:
         budget = self.config.width
         watermark = None
         main = self._main
-        others = [t for t in self.threads if t.active and not t.is_main]
-        ordered = [main] + others if others else (main,)
+        if self._active_slice_count:
+            ordered = [main] + self._active_slices
+        else:
+            ordered = (main,)
         for ctx in ordered:
             rob = ctx.rob
             is_main = ctx.is_main
@@ -684,7 +748,7 @@ class Core:
             if caused_squash:
                 stats.branch_mispredictions += 1
             self.predictor.train(
-                inst, bool(entry.result.taken), entry.result.next_pc, entry.prediction
+                inst, bool(entry.rtaken), entry.rnext_pc, entry.prediction
             )
             if entry.match_slot is not None and entry.prediction.from_correlator:
                 self.correlator.record_override_outcome(
@@ -726,13 +790,22 @@ class Core:
         window_limit = self.config.window_entries
         fetch_one = self._fetch_one
         fetched = False
+        fused = self._fused if self.fused_blocks else None
+        fusable = self._fusable_pcs
         # With dedicated slice resources (the Section 6.3 ablation),
         # helper threads draw on their own fetch budget instead of
         # stealing main-thread slots.
         slice_budget = (
             self.config.width if self.dedicated_slice_resources else None
         )
-        for ctx in icount_order(self.threads, self.config.icount_main_bias):
+        main = self._main
+        if self._active_slice_count:
+            ordered = icount_order(
+                [main] + self._active_slices, self.config.icount_main_bias
+            )
+        else:
+            ordered = (main,) if main.active and not main.fetch_stalled else ()
+        for ctx in ordered:
             uses_shared = ctx.is_main or slice_budget is None
             while True:
                 if self._window_count >= window_limit:
@@ -744,6 +817,21 @@ class Core:
                         break
                 elif slice_budget <= 0:
                     break
+                if fused is not None and ctx.is_main:
+                    # Fused tier: a whole fetch group inside a basic
+                    # block costs one generated call. Mid-block PCs not
+                    # known as leaders or resume points fall through to
+                    # the instruction tier (wrong-path safety).
+                    pc = ctx.state.pc
+                    fn = fused.get(pc)
+                    if fn is None and pc in fusable:
+                        fn = self._compile_fused(pc)
+                    if fn is not None:
+                        room = window_limit - self._window_count
+                        n = fn(self, ctx, budget if budget < room else room)
+                        fetched = True
+                        budget -= n
+                        continue
                 if not fetch_one(ctx):
                     break
                 fetched = True
@@ -754,6 +842,115 @@ class Core:
             if budget <= 0 and slice_budget is None:
                 break
         return fetched
+
+    def _compile_fused(self, pc: int):
+        """Compile the fetch segment entered at *pc*, or rule it out.
+
+        Invalidation mirrors the ``Instruction.__copy__`` cache-drop
+        contract at block granularity: if the program's
+        ``block_version`` moved (a pass renamed/cloned instructions in
+        place and called :meth:`Program.drop_block_caches`), every
+        compiled segment and the fusable-entry set are rebuilt before
+        anything stale can execute.
+        """
+        program = self.program
+        if program.block_version != self._fuse_version:
+            self._fused.clear()
+            self._fusable_pcs.clear()
+            self._fusable_pcs.update(program.basic_blocks().keys())
+            self._fuse_version = program.block_version
+            if pc not in self._fusable_pcs:
+                return None
+        # Same-process Cores over the same Program (and the same
+        # width / front-end depth / CAM exclusions) share generated
+        # segments; ``drop_block_caches`` clears this cache too. A hit
+        # installs immediately — the hot-threshold below only amortizes
+        # codegen, and a cached segment has none left to amortize.
+        cache = program._segment_cache
+        key = (pc, self._fuse_key)
+        cached = cache.get(key)
+        if cached is None:
+            # Hot-threshold: codegen costs ~0.5 ms a segment; a cold or
+            # wrong-path-only entry PC never earns that back. Warm up
+            # through the instruction tier first. Heat lives on the
+            # Program so it accumulates across Cores in-process.
+            heat = program._segment_heat
+            n = heat.get(key, 0) + 1
+            if n < HOT_THRESHOLD:
+                heat[key] = n
+                return None
+            heat.pop(key, None)
+            insts = self._fusable_run_from(pc)
+            if len(insts) < MIN_FUSE_LEN:
+                # Too short to out-run the instruction tier. If the
+                # walk stopped on a CAM exclusion (the instruction
+                # there is present and fusable by opcode), the block
+                # resumes — and may fuse — right after it.
+                stop_pc = pc + len(insts) * INSTRUCTION_BYTES
+                inst = self._main.prog_by_pc.get(stop_pc)
+                resume = (
+                    stop_pc + INSTRUCTION_BYTES
+                    if inst is not None and inst.op in FUSABLE_OPS
+                    else 0
+                )
+                cached = cache[key] = (None, resume)
+            else:
+                fn = compile_segment(
+                    insts, self._main.thread_id, self.config.frontend_stages
+                )
+                cached = cache[key] = (fn, len(insts))
+        fn, n_insts = cached
+        if fn is None:
+            # Cached rule-out: n_insts carries the post-exclusion
+            # resume PC (0 when there is none).
+            self._fusable_pcs.discard(pc)
+            if n_insts:
+                self._fusable_pcs.add(n_insts)
+            return None
+        self._fused[pc] = fn
+        self.stats.blocks_compiled += 1
+        # Every internal offset is a legitimate resume point after a
+        # budget- or window-limited partial group; the PC one past the
+        # segment is the natural continuation when the block is wider
+        # than the fetch width. Register them all as fusable entries
+        # (compiled lazily, and only if actually reached).
+        step = INSTRUCTION_BYTES
+        fusable = self._fusable_pcs
+        for k in range(1, n_insts + 1):
+            resume = pc + k * step
+            if resume not in self._fused:
+                fusable.add(resume)
+        return fn
+
+    def _fusable_run_from(self, pc: int) -> list:
+        """Consecutive fusable instructions from *pc*, up to one fetch
+        group wide.
+
+        Stops at control transfers / ``HALT`` / ``FORK`` (block
+        terminators) and at any PC the slice hardware CAMs at fetch
+        (kill map, fork map, value-PGI loads) — those must reach
+        :meth:`_fetch_one` individually. All three maps are static
+        after ``__init__``, so compile-time exclusion is sound.
+        """
+        by_pc = self._main.prog_by_pc
+        width = self.config.width
+        if self._slices_enabled:
+            kill = self._kill_pc_map
+            fork = self._fork_pc_map
+            vload = self._value_load_pcs
+        else:
+            kill = fork = vload = ()
+        insts = []
+        step = INSTRUCTION_BYTES
+        while len(insts) < width:
+            inst = by_pc.get(pc)
+            if inst is None or inst.op not in FUSABLE_OPS:
+                break
+            if pc in kill or pc in fork or pc in vload:
+                break
+            insts.append(inst)
+            pc += step
+        return insts
 
     def _fetch_one(self, ctx: ThreadContext) -> bool:
         if not ctx.is_main and ctx.fuse_blown(
@@ -795,7 +992,18 @@ class Core:
             result = execute(inst, state)
         else:
             result = fn(state)
-        entry = WindowEntry(inst, ctx.thread_id, vn, self.cycle, result)
+        entry = WindowEntry(
+            inst,
+            ctx.thread_id,
+            vn,
+            self.cycle,
+            result.value,
+            result.addr,
+            result.store_value,
+            result.taken,
+            result.next_pc,
+            result.fault,
+        )
         self._window_count += 1
         ctx.rob.append(entry)
         ctx.in_flight += 1
@@ -847,19 +1055,18 @@ class Core:
 
     def _fetch_branch_main(self, ctx: ThreadContext, entry: WindowEntry) -> None:
         inst = entry.inst
-        result = entry.result
         if self.perfect.branch_is_perfect(inst.pc) and (
             inst.is_conditional or inst.is_indirect
         ):
             entry.prediction = BranchPrediction(
-                taken=bool(result.taken),
-                target=result.next_pc,
+                taken=bool(entry.rtaken),
+                target=entry.rnext_pc,
                 ghr_before=self.predictor.direction.history,
                 path_before=self.predictor.indirect.path_history,
                 ras_before=self.predictor.ras.checkpoint(),
             )
-            entry.effective_taken = result.taken
-            entry.checkpoint = ctx.state.checkpoint(result.next_pc)
+            entry.effective_taken = entry.rtaken
+            entry.checkpoint = ctx.state.checkpoint(entry.rnext_pc)
             return
 
         prediction = self.predictor.predict(inst)
@@ -885,8 +1092,8 @@ class Core:
                     )
         entry.prediction = prediction
         entry.effective_taken = prediction.taken
-        entry.checkpoint = ctx.state.checkpoint(result.next_pc)
-        if prediction.target != result.next_pc:
+        entry.checkpoint = ctx.state.checkpoint(entry.rnext_pc)
+        if prediction.target != entry.rnext_pc:
             # Steer fetch down the (wrong) predicted path.
             ctx.state.pc = prediction.target
             entry.mispredicted = True
@@ -899,7 +1106,7 @@ class Core:
         if (
             spec.loop_back_pc is not None
             and inst.pc == spec.loop_back_pc
-            and entry.result.taken
+            and entry.rtaken
         ):
             ctx.iterations += 1
             if (
@@ -936,6 +1143,10 @@ class Core:
             fork_vn=vn,
             livein_ready_cycle=self.cycle,
         )
+        self._active_slice_count += 1
+        self._active_slices.append(idle)
+        if len(self._active_slices) > 1:
+            self._active_slices.sort(key=lambda t: t.thread_id)
         producers = {}
         for reg in spec.live_in_regs:
             producer = main.last_writer.get(reg)
@@ -977,7 +1188,6 @@ class Core:
         cycle = self.cycle
         if earliest < cycle:
             earliest = cycle
-        entry.dispatched_ready = True
         heapq.heappush(self._ready, (earliest, next(self._seq), entry))
 
     def _issue(self) -> None:
@@ -1043,30 +1253,28 @@ class Core:
         inst = entry.inst
         if not inst.is_mem:
             return inst.latency
-        result = entry.result
-        if result.fault is Fault.NULL_DEREF or result.addr is None:
+        addr = entry.raddr
+        if entry.rfault is Fault.NULL_DEREF or addr is None:
             return self.config.l1d.latency
         is_slice = entry.thread_id != self._main.thread_id
         if entry.value_predicted and entry.value_correct:
             # Consumers already have the (correct) predicted value; the
             # line fetch proceeds in the background.
-            self.hierarchy.access(result.addr, is_store=False, now=self.cycle)
+            self.hierarchy.access(addr, is_store=False, now=self.cycle)
             entry.counts_as_miss = False
             return self.config.l1d.latency
         if (
-            not is_slice
+            self._has_perfect_loads
+            and not is_slice
             and inst.is_load
             and self.perfect.load_is_perfect(inst.pc)
         ):
             # Perfect-cache overlay: still install the line, charge a hit.
-            self.hierarchy.access(result.addr, is_store=False, now=self.cycle)
+            self.hierarchy.access(addr, is_store=False, now=self.cycle)
             entry.counts_as_miss = False
             return self.config.l1d.latency
         access = self.hierarchy.access(
-            result.addr,
-            is_store=inst.is_store,
-            from_slice=is_slice,
-            now=self.cycle,
+            addr, inst.is_store, is_slice, self.cycle
         )
         entry.counts_as_miss = access.counts_as_miss
         if is_slice and access.counts_as_miss:

@@ -14,8 +14,11 @@ from repro.slices.correlator import CorrelatorStats
 
 #: Fields describing how the simulation ran rather than what the
 #: simulated machine did. Differential tests (event-driven skipping vs
-#: cycle stepping) compare every field *except* these.
-SIMULATOR_META_FIELDS = frozenset({"cycles_skipped", "skip_events"})
+#: cycle stepping, fused-block vs per-instruction execution) compare
+#: every field *except* these.
+SIMULATOR_META_FIELDS = frozenset(
+    {"cycles_skipped", "skip_events", "blocks_compiled", "block_deopts"}
+)
 
 
 @dataclass
@@ -86,6 +89,13 @@ class RunStats:
     #: ``False`` runs (see :data:`SIMULATOR_META_FIELDS`).
     cycles_skipped: int = 0
     skip_events: int = 0
+    #: Fused-tier mechanics (:mod:`repro.uarch.fusion`): segments
+    #: compiled by the block code generator, and fused groups that
+    #: ended early at a faulting instruction (the rest of the group is
+    #: refetched by the instruction tier). Simulator meta, like the
+    #: skip counters above.
+    blocks_compiled: int = 0
+    block_deopts: int = 0
     #: Optional cycle accounting (fill with Core(cycle_accounting=True)):
     #: cycles attributed to commit-slot activity at the main thread's
     #: ROB head: "busy" (full commit width used), "memory" (head waits

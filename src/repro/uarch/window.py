@@ -4,10 +4,20 @@ Each fetched dynamic instruction gets a :class:`WindowEntry`. Entries
 carry the functional outcome (computed at fetch, possibly down a wrong
 path), the branch prediction behind the fetch, dependence links for
 dataflow scheduling, and slice/correlator hooks.
+
+The functional outcome is stored as scalar slots (``rvalue`` /
+``raddr`` / ``rstore`` / ``rtaken`` / ``rnext_pc`` / ``rfault``) rather
+than a nested :class:`~repro.arch.interpreter.ExecResult`: the fused
+block tier (:mod:`repro.uarch.fusion`) passes observables straight into
+``__init__`` as scalars, so the hot path performs no per-instruction
+``ExecResult`` allocation at all. The :attr:`result` property
+materializes an ``ExecResult`` view on demand for debugging and cold
+consumers (the trace-driven slice builder).
 """
 
 from __future__ import annotations
 
+from repro.arch.exceptions import Fault
 from repro.arch.interpreter import ExecResult
 from repro.arch.state import Checkpoint
 from repro.isa.instruction import Instruction
@@ -22,24 +32,27 @@ class WindowEntry:
         "thread_id",
         "vn",
         "fetch_cycle",
-        "result",
+        # Per-instruction observables (the ExecResult fields, unpacked).
+        "rvalue",
+        "raddr",
+        "rstore",
+        "rtaken",
+        "rnext_pc",
+        "rfault",
         "prediction",
         "checkpoint",
         "mispredicted",
         "effective_taken",
         "early_resolved",
         "completed",
-        "completion_cycle",
         "squashed",
         "committed",
         "pending_deps",
         "waiters",
         "prev_writer",
-        "dispatched_ready",
         "pgi_slot",
         "match_slot",
         "counts_as_miss",
-        "is_fork_point",
         "value_predicted",
         "value_correct",
     )
@@ -50,13 +63,23 @@ class WindowEntry:
         thread_id: int,
         vn: int,
         fetch_cycle: int,
-        result: ExecResult,
+        rvalue: int | None = None,
+        raddr: int | None = None,
+        rstore: int | None = None,
+        rtaken: bool | None = None,
+        rnext_pc: int = 0,
+        rfault: Fault = Fault.NONE,
     ):
         self.inst = inst
         self.thread_id = thread_id
         self.vn = vn
         self.fetch_cycle = fetch_cycle
-        self.result = result
+        self.rvalue = rvalue
+        self.raddr = raddr
+        self.rstore = rstore
+        self.rtaken = rtaken
+        self.rnext_pc = rnext_pc
+        self.rfault = rfault
         self.prediction: BranchPrediction | None = None
         self.checkpoint: Checkpoint | None = None
         #: Fetch steered down a path inconsistent with the actual outcome.
@@ -67,22 +90,31 @@ class WindowEntry:
         #: An early resolution already redirected fetch for this branch.
         self.early_resolved = False
         self.completed = False
-        self.completion_cycle: int | None = None
         self.squashed = False
         self.committed = False
         self.pending_deps = 0
         self.waiters: list[WindowEntry] = []
         #: (reg, previous writer) pairs for rename-map rollback on squash.
         self.prev_writer: tuple[int, WindowEntry | None] | None = None
-        self.dispatched_ready = False
         self.pgi_slot = None  # PredictionSlot for slice-thread PGIs
         self.match_slot = None  # consumed PredictionSlot for main branches
         self.counts_as_miss = False
-        self.is_fork_point = False
         #: Value-prediction extension: a slice-supplied value prediction
         #: was bound to this load at fetch, and whether it was right.
         self.value_predicted = False
         self.value_correct = False
+
+    @property
+    def result(self) -> ExecResult:
+        """ExecResult view of the observable slots (debug / cold paths)."""
+        return ExecResult(
+            value=self.rvalue,
+            addr=self.raddr,
+            store_value=self.rstore,
+            taken=self.rtaken,
+            next_pc=self.rnext_pc,
+            fault=self.rfault,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         flags = "".join(
