@@ -14,16 +14,11 @@ compiles in anger. Results merge into ``BENCH_throughput.json`` under
 ``interpreter`` next to the whole-simulator regimes.
 """
 
-import time
-
 from conftest import RESULTS_DIR  # noqa: F401  (shared results dir)
 
 from bench_simulator_throughput import _merge_results
 
-from repro.arch.interpreter import execute
-from repro.arch.memory import Memory
-from repro.arch.state import ThreadState
-from repro.workloads import registry
+from repro.harness.bench import measure_interpreter_rate
 
 #: Floor for the per-instruction tier (executions / wall second). The
 #: closure tier measures ~1.5M exec/s locally; a third of that still
@@ -31,39 +26,11 @@ from repro.workloads import registry
 INTERPRETER_FLOOR = 500_000
 
 
-def _functional_run(workload, budget):
-    """Execute *budget* instructions of *workload* architecturally,
-    following correct paths (branches included), timing only the
-    ``execute`` calls' loop."""
-    program = workload.program
-    memory = Memory()
-    for addr, value in workload.memory_image.items():
-        memory.store(addr, value)
-    memory.commit()
-    state = ThreadState(memory, entry_pc=program.entry_pc)
-    executed = 0
-    start = time.perf_counter()
-    while executed < budget and not state.halted:
-        inst = program.at(state.pc)
-        if inst is None:
-            break
-        execute(inst, state)
-        executed += 1
-    return executed, time.perf_counter() - start
-
-
 def bench_interpreter_throughput(publish):
-    workload = registry.build("vpr", scale=0.2)
-    budget = 200_000
-
-    # Warm once so every static instruction has its compiled closure
-    # (first execution pays lazy compilation), then best-of-3.
-    _functional_run(workload, budget)
-    best_rate = 0.0
-    executed = 0
-    for _ in range(3):
-        executed, elapsed = _functional_run(workload, budget)
-        best_rate = max(best_rate, executed / elapsed)
+    # Measurement shared with `repro bench --all`
+    # (repro.harness.bench.measure_interpreter_rate): warm the closures
+    # once, then best-of-3 timed rounds of 200k functional executions.
+    best_rate, executed = measure_interpreter_rate(rounds=3)
 
     publish(
         "interpreter_throughput",

@@ -1,0 +1,170 @@
+"""Sampled-simulation benchmarks: throughput floor and sweep speedup.
+
+Two measurements of :mod:`repro.harness.fastforward`:
+
+* **sampled throughput** — the ``sampled`` regime from
+  :mod:`repro.harness.bench` (base mcf, 20k-instruction warmed
+  functional fast-forward, 4k-instruction measured region). Rate counts
+  every instruction the run covered (prefix + discard window + region)
+  against detailed wall time only — the amortized case a sweep sees,
+  since all points share one snapshot. Merged into
+  ``BENCH_throughput.json`` under ``sampled`` with a CI floor.
+* **sweep speedup** — the headline claim: a memory-latency sweep on mcf
+  with a shared warmed snapshot must be >= 3x faster than running each
+  point in full detail, while every point's region IPC stays within 2%
+  of the full-detail run over the same region. The full-detail
+  comparator runs each point with ``warmup = fast_forward + discard``
+  and ``region = sample`` so both sides measure the identical
+  instruction interval; only how the prefix is executed differs
+  (detailed vs. functional-with-warming).
+"""
+
+import time
+
+from conftest import RESULTS_DIR  # noqa: F401  (shared results dir)
+
+from bench_simulator_throughput import _merge_results
+
+from repro.harness.bench import REGIMES, best_rate
+from repro.harness.fastforward import (
+    SnapshotStore,
+    ensure_snapshot,
+    sample_plan,
+)
+from repro.harness.runner import run_baseline
+from repro.harness.sweep import _apply
+from repro.uarch.config import FOUR_WIDE
+from repro.workloads import registry
+
+#: Floor for the sampled regime (covered simulated instructions / wall
+#: second). Measures ~160-180k locally (vs ~50-100k for the detailed
+#: regimes); a third of that absorbs single-vCPU CI noise while still
+#: catching a regression that makes sampling no faster than detail.
+SAMPLED_FLOOR = 50_000
+
+#: The acceptance bar for the sweep: shared-snapshot sampling must beat
+#: per-point full detail by at least this factor...
+SWEEP_SPEEDUP_FLOOR = 3.0
+
+#: ...without moving any point's region IPC by more than this.
+IPC_DEVIATION_CAP = 0.02
+
+
+def bench_sampled_throughput(publish):
+    regime = REGIMES["sampled"]
+    rate, stats = best_rate(regime, rounds=3)
+    _, warmup = sample_plan(regime.sample)
+
+    publish(
+        "sampled_throughput",
+        "Sampled-simulation throughput "
+        f"(base {regime.workload}, scale {regime.scale}, "
+        f"{regime.fast_forward:,}-inst warmed fast-forward, "
+        f"{regime.sample:,}-inst region)\n\n"
+        f"~{rate:,.0f} covered instructions/second "
+        f"({stats.ff_insts:,} fast-forwarded + {warmup:,} discard + "
+        f"{stats.committed:,} measured, best of 3 runs)",
+    )
+    _merge_results(
+        "sampled",
+        {
+            "workload": regime.workload,
+            "mode": regime.mode,
+            "scale": regime.scale,
+            "fast_forward": regime.fast_forward,
+            "sample": regime.sample,
+            "detail_warmup": warmup,
+            "instructions_per_second": round(rate),
+            "ff_insts": stats.ff_insts,
+            "committed_per_run": stats.committed,
+            "best_of_rounds": 3,
+            "floor_instructions_per_second": SAMPLED_FLOOR,
+        },
+    )
+    assert stats.ff_insts == regime.fast_forward
+    assert stats.committed == regime.sample
+    assert rate > SAMPLED_FLOOR
+
+
+def bench_sampled_sweep_speedup(publish, tmp_path, monkeypatch):
+    """Memory-latency sweep, sampled vs. full detail: >= 3x faster,
+    per-point region IPC within 2%."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    workload = registry.build("mcf", scale=0.5)
+    fast_forward, sample = 20_000, 4_000
+    region, warmup = sample_plan(sample)
+    latencies = (50, 100, 200, 400)
+    configs = [
+        _apply(FOUR_WIDE, "memory_latency", value) for value in latencies
+    ]
+
+    # Sampled side: the snapshot build is timed (it is real work the
+    # sweep pays), but paid once — the warm-config key dedups across
+    # points since memory_latency does not shape warmed state.
+    store = SnapshotStore(tmp_path / "cache")
+    sampled_start = time.perf_counter()
+    sampled_ipc = []
+    for config in configs:
+        snapshot, _ = ensure_snapshot(
+            workload, config, fast_forward, store=store
+        )
+        stats = run_baseline(
+            workload, config, snapshot=snapshot, warmup=warmup, region=region
+        )
+        sampled_ipc.append(stats.ipc)
+    sampled_s = time.perf_counter() - sampled_start
+    snapshots_on_disk = len(store.ls())
+
+    # Full-detail side: same measured interval, but the prefix runs on
+    # the detailed core (warming every structure along the way).
+    full_start = time.perf_counter()
+    full_ipc = []
+    for config in configs:
+        stats = run_baseline(
+            workload, config, warmup=fast_forward + warmup, region=sample
+        )
+        full_ipc.append(stats.ipc)
+    full_s = time.perf_counter() - full_start
+
+    speedup = full_s / sampled_s
+    deviations = [
+        abs(s - f) / f for s, f in zip(sampled_ipc, full_ipc)
+    ]
+    table = "\n".join(
+        f"  {latency:>4d}-cycle memory: full {f:.3f} IPC, "
+        f"sampled {s:.3f} IPC ({dev:+.2%})"
+        for latency, f, s, dev in zip(
+            latencies, full_ipc, sampled_ipc,
+            (s - f for s, f in zip(sampled_ipc, full_ipc)),
+        )
+    )
+    publish(
+        "sampled_sweep_speedup",
+        "Sampled memory-latency sweep (mcf, scale 0.5, "
+        f"{len(latencies)} points, one shared {fast_forward:,}-inst "
+        "warmed snapshot)\n\n"
+        f"full detail: {full_s:.2f}s; sampled: {sampled_s:.2f}s "
+        f"(speedup {speedup:.2f}x, {snapshots_on_disk} snapshot on "
+        "disk)\n" + table,
+    )
+    _merge_results(
+        "sampled_sweep",
+        {
+            "workload": "mcf",
+            "scale": 0.5,
+            "sweep": "memory_latency",
+            "points": list(latencies),
+            "fast_forward": fast_forward,
+            "sample": sample,
+            "full_detail_seconds": round(full_s, 3),
+            "sampled_seconds": round(sampled_s, 3),
+            "speedup": round(speedup, 2),
+            "snapshots_built": snapshots_on_disk,
+            "max_ipc_deviation": round(max(deviations), 5),
+            "speedup_floor": SWEEP_SPEEDUP_FLOOR,
+            "ipc_deviation_cap": IPC_DEVIATION_CAP,
+        },
+    )
+    assert snapshots_on_disk == 1  # warm-config key shared the prefix
+    assert speedup >= SWEEP_SPEEDUP_FLOOR
+    assert max(deviations) < IPC_DEVIATION_CAP

@@ -18,6 +18,15 @@ answer "where does the time go" without hand-building a workload:
   prediction-correlator churn, the regime where slice-machinery
   overheads (CAM probes, journal rollback, correlator retire hooks)
   dominate rather than the main thread's own per-cycle work.
+* **sampled** — base mcf with a 20k-instruction warmed functional
+  fast-forward and a 4k-instruction measured region
+  (:mod:`repro.harness.fastforward`): the sampled-simulation regime,
+  where the interpreter tier and snapshot restore carry most of the
+  program and the detailed core only runs the discard window + region.
+
+``run_all_regimes`` additionally measures the **interpreter** tier
+(raw functional ``execute()`` throughput) so ``repro bench --all``
+covers every execution tier in one summary.
 """
 
 from __future__ import annotations
@@ -45,6 +54,12 @@ class BenchRegime:
     mode: str  # "base" or "slice"
     config: MachineConfig
     description: str
+    #: Sampled-regime knobs (:mod:`repro.harness.fastforward`): run the
+    #: first ``fast_forward`` instructions functionally (restoring the
+    #: detailed core from a warmed snapshot) and measure ``sample``
+    #: committed instructions. 0/0 = full detailed run.
+    fast_forward: int = 0
+    sample: int = 0
 
     def build_workload(self):
         return registry.build(self.workload, scale=self.scale)
@@ -52,7 +67,13 @@ class BenchRegime:
     def build_core(self, workload=None, **overrides) -> Core:
         """Build a Core; pass a prebuilt *workload* to share its Program
         (and therefore the program-wide fused-segment cache) across
-        rounds — a fresh build would re-pay segment warmup every time."""
+        rounds — a fresh build would re-pay segment warmup every time.
+
+        For a sampled regime, the warmed snapshot is fetched (or built)
+        here — construction is untimed in :func:`run_regime`, matching
+        the amortized case where a sweep shares one snapshot. Pass a
+        prebuilt ``snapshot=`` override to skip even the store lookup.
+        """
         if workload is None:
             workload = self.build_workload()
         kwargs = dict(
@@ -62,8 +83,32 @@ class BenchRegime:
         )
         if self.mode == "slice":
             kwargs["slices"] = tuple(workload.slices)
+        if self.fast_forward > 0 or self.sample > 0:
+            from repro.harness.fastforward import ensure_snapshot, sample_plan
+
+            region, warmup = sample_plan(self.sample)
+            if region is not None:
+                kwargs["region"] = region
+            kwargs["warmup"] = warmup
+            if self.fast_forward > 0 and "snapshot" not in overrides:
+                kwargs["snapshot"], _ = ensure_snapshot(
+                    workload, self.config, self.fast_forward
+                )
         kwargs.update(overrides)
         return Core(workload.program, self.config, **kwargs)
+
+    def covered_insts(self, stats: RunStats) -> int:
+        """Instructions the run advanced through the program: the
+        fast-forwarded prefix, the detailed-warming discard window, and
+        the measured region. The honest numerator for a sampled
+        regime's throughput (the denominator still times only
+        ``run()``; the shared snapshot is amortized across a sweep)."""
+        if self.fast_forward > 0 or self.sample > 0:
+            from repro.harness.fastforward import sample_plan
+
+            _region, warmup = sample_plan(self.sample)
+            return stats.ff_insts + warmup + stats.committed
+        return stats.committed
 
 
 REGIMES: dict[str, BenchRegime] = {
@@ -104,6 +149,24 @@ REGIMES: dict[str, BenchRegime] = {
         ),
         description="slice-assisted vpr, 8 thread contexts (fork churn)",
     ),
+    "sampled": BenchRegime(
+        name="sampled",
+        workload="mcf",
+        scale=0.5,
+        mode="base",
+        config=FOUR_WIDE,
+        # 20k instructions fast-forwarded functionally (with cache /
+        # predictor warming), then a 400-inst detailed discard window
+        # and a 4k-inst measured region — the sampled-simulation
+        # regime, where the functional tier and snapshot restore carry
+        # most of the program.
+        fast_forward=20_000,
+        sample=4_000,
+        description=(
+            "sampled mcf: 20k-inst warmed fast-forward + 4k-inst "
+            "measured region"
+        ),
+    ),
 }
 
 
@@ -112,13 +175,16 @@ def run_regime(
 ) -> tuple[RunStats, float]:
     """Run one simulation of *regime*, returning (stats, wall seconds).
 
-    Core construction (workload build, slice load) is excluded from the
-    timing; only ``run()`` is measured.
+    Core construction (workload build, slice load, snapshot fetch) is
+    excluded from the timing; only ``run()`` is measured.
     """
     core = regime.build_core(workload=workload, **overrides)
     start = time.perf_counter()
     stats = core.run()
-    return stats, time.perf_counter() - start
+    elapsed = time.perf_counter() - start
+    if core.snapshot is not None:
+        stats.ff_insts = core.snapshot.executed
+    return stats, elapsed
 
 
 def best_rate(
@@ -129,17 +195,114 @@ def best_rate(
     Machine noise only ever slows a round down, so best-of-N converges
     on the true cost. All rounds share one workload so fused segments
     compiled in round 1 are cache hits afterwards (the steady state a
-    long experiment matrix sees).
+    long experiment matrix sees). A sampled regime likewise shares one
+    warmed snapshot across rounds, and its rate counts every
+    instruction the run covered (prefix + discard window + region).
     """
     workload = regime.build_workload()
+    if regime.fast_forward > 0 and "snapshot" not in overrides:
+        from repro.harness.fastforward import ensure_snapshot
+
+        overrides = dict(overrides)
+        overrides["snapshot"], _ = ensure_snapshot(
+            workload, regime.config, regime.fast_forward
+        )
     best = 0.0
     best_stats = None
     for _ in range(rounds):
         stats, elapsed = run_regime(regime, workload=workload, **overrides)
-        rate = stats.committed / elapsed
+        rate = regime.covered_insts(stats) / elapsed
         if rate > best:
             best, best_stats = rate, stats
     return best, best_stats
+
+
+def measure_interpreter_rate(
+    rounds: int = 3, budget: int = 200_000
+) -> tuple[float, int]:
+    """Best-of-*rounds* functional ``execute()`` throughput
+    (executions / wall second) on vpr's instruction stream — the
+    interpreter-tier regime of ``BENCH_throughput.json``. Returns
+    ``(rate, executed_per_round)``."""
+    from repro.arch.interpreter import execute
+    from repro.arch.memory import Memory
+    from repro.arch.state import ThreadState
+
+    workload = registry.build("vpr", scale=0.2)
+    program = workload.program
+
+    def one_round() -> tuple[int, float]:
+        memory = Memory(workload.memory_image, journaling=False)
+        state = ThreadState(memory, entry_pc=program.entry_pc)
+        executed = 0
+        start = time.perf_counter()
+        while executed < budget and not state.halted:
+            inst = program.at(state.pc)
+            if inst is None:
+                break
+            execute(inst, state)
+            executed += 1
+        return executed, time.perf_counter() - start
+
+    one_round()  # warm the per-instruction closures
+    best = 0.0
+    executed = 0
+    for _ in range(rounds):
+        executed, elapsed = one_round()
+        best = max(best, executed / elapsed)
+    return best, executed
+
+
+def run_all_regimes(rounds: int = 3) -> dict:
+    """Measure every regime (core regimes + the interpreter tier) in
+    one pass — the ``repro bench --all`` backend. Returns a plain
+    JSON-serializable mapping."""
+    results: dict[str, dict] = {}
+    for name, regime in REGIMES.items():
+        rate, stats = best_rate(regime, rounds=rounds)
+        results[name] = {
+            "description": regime.description,
+            "workload": regime.workload,
+            "scale": regime.scale,
+            "mode": regime.mode,
+            "machine": regime.config.name,
+            "instructions_per_second": round(rate),
+            "committed_per_run": stats.committed,
+            "best_of_rounds": rounds,
+        }
+        if regime.fast_forward:
+            results[name]["fast_forward"] = regime.fast_forward
+            results[name]["sample"] = regime.sample
+            results[name]["ff_insts"] = stats.ff_insts
+    rate, executed = measure_interpreter_rate(rounds=rounds)
+    results["interpreter"] = {
+        "description": "functional execute() tier, vpr instruction stream",
+        "workload": "vpr",
+        "scale": 0.2,
+        "mode": "functional",
+        "machine": "-",
+        "instructions_per_second": round(rate),
+        "committed_per_run": executed,
+        "best_of_rounds": rounds,
+    }
+    return results
+
+
+def render_all_regimes(results: dict) -> str:
+    """Fixed-width summary of :func:`run_all_regimes` output."""
+    lines = [
+        "simulator self-benchmark, all regimes "
+        f"(best of {next(iter(results.values()))['best_of_rounds']} rounds)",
+        "",
+        f"{'regime':14s} {'inst/s':>12s} {'insts/run':>10s}  description",
+        "-" * 76,
+    ]
+    for name, entry in results.items():
+        lines.append(
+            f"{name:14s} {entry['instructions_per_second']:>12,d} "
+            f"{entry['committed_per_run']:>10,d}  {entry['description']}"
+        )
+    return "\n".join(lines)
 
 
 def profile_regime(

@@ -1,0 +1,218 @@
+"""Checksummed, quarantining on-disk blob store.
+
+The disk discipline shared by the run cache
+(:mod:`repro.harness.cache`) and the snapshot store
+(:mod:`repro.harness.fastforward`): entries are content-addressed
+files whose payload follows a fixed plain-bytes header — magic +
+schema tag + payload SHA-256 — and the checksum is verified **before
+any unpickling**, so corrupted bytes never reach the pickle parser
+(whose failure modes on rotten input include attempting multi-GB
+allocations, not just raising). An entry that fails validation is
+**quarantined** — moved to the corrupt directory, counted, and logged —
+then treated as a miss, so the result is recomputed and the evidence
+survives for inspection; corruption is never silently swallowed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import pickle
+from pathlib import Path
+
+from repro.errors import CacheCorruptionError
+
+log = logging.getLogger(__name__)
+
+#: Subdirectory (under a store's quarantine root) where corrupt
+#: entries are moved.
+CORRUPT_SUBDIR = "corrupt"
+
+#: Exceptions a hostile or rotten pickle payload can raise while being
+#: decoded and validated. Anything else (a bug in our own code, a
+#: KeyboardInterrupt, an OS-level failure) propagates — only *decode*
+#: failures mean corruption.
+DECODE_ERRORS = (
+    pickle.PickleError,
+    EOFError,
+    ValueError,
+    KeyError,
+    IndexError,
+    TypeError,
+    AttributeError,
+    ImportError,
+    MemoryError,
+)
+
+
+def payload_digest(blob: bytes) -> str:
+    """Hex SHA-256 of a payload — the digest stored in entry headers."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+class IntegrityStore:
+    """Key -> checksummed-payload store with hit/miss/corruption
+    accounting.
+
+    Subclasses choose the magic header (which carries their schema
+    version), the file suffix (distinct suffixes let two stores share
+    one tree without clearing each other), and how payload bytes map to
+    domain objects. A disabled store (``enabled=False``) never reads or
+    writes but still exists as an object, so call sites need no
+    branching.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        magic: bytes,
+        suffix: str = ".pkl",
+        enabled: bool = True,
+        corrupt_dir: str | os.PathLike | None = None,
+    ):
+        self.root = Path(root)
+        self.magic = magic
+        self.suffix = suffix
+        self.enabled = enabled
+        self.corrupt_dir = (
+            Path(corrupt_dir)
+            if corrupt_dir is not None
+            else self.root / CORRUPT_SUBDIR
+        )
+        self._header_len = len(magic) + 64 + 1  # magic + sha256 hex + \n
+        self.hits = 0
+        self.misses = 0
+        #: Entries that failed checksum/schema validation and were
+        #: quarantined instead of being trusted.
+        self.corruptions = 0
+
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}{self.suffix}"
+
+    def _verify(self, raw: bytes) -> bytes:
+        """Validate one entry's header + checksum; return the payload.
+
+        Integrity first, parsing second: the payload is only handed to
+        ``pickle.loads`` after its checksum verifies.
+        """
+        magic = self.magic
+        if not raw.startswith(magic):
+            raise CacheCorruptionError(f"bad magic/schema (want {magic!r})")
+        digest = raw[len(magic) : len(magic) + 64]
+        if raw[len(magic) + 64 : self._header_len] != b"\n":
+            raise CacheCorruptionError("malformed entry header")
+        blob = raw[self._header_len :]
+        if payload_digest(blob).encode() != digest:
+            raise CacheCorruptionError("payload checksum mismatch")
+        return blob
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        """Move a corrupt entry aside — evidence, not a silent miss."""
+        self.corruptions += 1
+        dest = self.corrupt_dir / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest)
+            where = str(dest)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            where = "(unlinked; quarantine failed)"
+        log.warning(
+            "quarantined corrupt cache entry %s -> %s: %s",
+            path.name,
+            where,
+            reason,
+        )
+
+    # ------------------------------------------------------------------
+
+    def load(self, key: str, decode):
+        """Return ``decode(payload)`` for *key*, or ``None`` on a miss.
+
+        *decode* maps verified payload bytes to the domain object and
+        must raise :class:`CacheCorruptionError` (or one of
+        :data:`DECODE_ERRORS`) on anything it does not trust. An entry
+        that fails verification or decoding is quarantined and counted
+        as both a corruption and a miss.
+        """
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except OSError as exc:
+            # Unreadable but present (permissions, I/O error): a miss,
+            # but not evidence of corruption — leave the file alone.
+            log.warning("unreadable cache entry %s: %s", path, exc)
+            self.misses += 1
+            return None
+        try:
+            value = decode(self._verify(raw))
+        except CacheCorruptionError as exc:
+            self._quarantine(path, exc)
+            self.misses += 1
+            return None
+        except DECODE_ERRORS as exc:
+            self._quarantine(path, CacheCorruptionError(str(exc), str(path)))
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def store(self, key: str, blob: bytes) -> str:
+        """Write *blob* under *key* (atomic rename, last writer wins);
+        return the payload digest (also when the store is disabled, so
+        callers can reason about content identity without I/O)."""
+        digest = payload_digest(blob)
+        if not self.enabled:
+            return digest
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            fh.write(self.magic + digest.encode() + b"\n" + blob)
+        os.replace(tmp, path)
+        return digest
+
+    def entry_paths(self):
+        """Every live entry file (quarantined ones excluded)."""
+        if not self.root.exists():
+            return
+        corrupt = self.corrupt_dir
+        for path in sorted(self.root.rglob(f"*{self.suffix}")):
+            if corrupt in path.parents:
+                continue
+            yield path
+
+    def clear(self) -> int:
+        """Delete every entry with this store's suffix (quarantined
+        ones included); return the number removed."""
+        removed = 0
+        roots = [self.root]
+        # A quarantine directory outside the store root (stores sharing
+        # one quarantine) is swept separately; under the root, rglob
+        # already covers it.
+        if self.corrupt_dir.exists() and self.root not in (
+            self.corrupt_dir, *self.corrupt_dir.parents
+        ):
+            roots.append(self.corrupt_dir)
+        for root in roots:
+            if not root.exists():
+                continue
+            for path in root.rglob(f"*{self.suffix}"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -14,18 +14,17 @@ cache cleanly, while re-rendering a table after an unrelated edit (docs,
 tests, benchmarks) is a pure cache hit.
 
 Entries live under ``.repro_cache/<key[:2]>/<key>.pkl`` (override the
-root with ``REPRO_CACHE_DIR``) as a fixed plain-bytes header — magic +
-schema + payload SHA-256 — followed by the pickled payload. The
-checksum is verified **before any unpickling**, so corrupted bytes
-never reach the pickle parser (whose failure modes on rotten input
-include attempting multi-GB allocations, not just raising).
-:meth:`RunCache.get` thus detects truncation, bit rot, and foreign
-payloads before trusting them. A corrupt entry is **quarantined** — moved to
-``.repro_cache/corrupt/``, counted (:attr:`RunCache.corruptions`), and
-logged — then treated as a miss, so the run is re-executed and the
-evidence survives for inspection; corruption is never silently
-swallowed. Escape hatches: the ``--no-cache`` CLI flag and
-``repro cache clear``.
+root with ``REPRO_CACHE_DIR``) with the checksummed-payload /
+corrupt-quarantine disk discipline of
+:class:`~repro.harness.blobstore.IntegrityStore`: a fixed plain-bytes
+header — magic + schema + payload SHA-256 — precedes the pickled
+payload, the checksum is verified **before any unpickling**, and a
+corrupt entry is moved to ``.repro_cache/corrupt/``, counted
+(:attr:`RunCache.corruptions`), and logged, then treated as a miss.
+The warmed-state snapshot store (:mod:`repro.harness.fastforward`)
+shares the same discipline (and the same quarantine directory) with a
+distinct suffix and schema. Escape hatches: the ``--no-cache`` CLI flag
+and ``repro cache clear``.
 """
 
 from __future__ import annotations
@@ -33,48 +32,40 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import logging
 import os
 import pickle
 from pathlib import Path
 
 from repro.errors import CacheCorruptionError
+from repro.harness.blobstore import (
+    CORRUPT_SUBDIR,
+    DECODE_ERRORS,
+    IntegrityStore,
+)
 from repro.uarch.stats import RunStats
 
-log = logging.getLogger(__name__)
+__all__ = [
+    "CORRUPT_SUBDIR",
+    "DECODE_ERRORS",
+    "DEFAULT_CACHE_DIR",
+    "RunCache",
+    "SCHEMA_VERSION",
+    "fingerprint",
+    "source_tree_hash",
+]
 
 #: Bump when the cache payload layout changes; old entries become
 #: misses instead of unpickling into the wrong shape. (2: plain-bytes
 #: integrity header + checksummed pickle payload.)
 SCHEMA_VERSION = 2
 
-#: Entry header: magic+schema, then the payload SHA-256 hex, then the
-#: payload. Plain bytes, not pickle: integrity is checked before the
-#: pickle parser sees anything.
+#: Entry header magic (see :mod:`repro.harness.blobstore` for the full
+#: header layout: magic + payload SHA-256 hex + newline).
 _MAGIC = b"repro-cache-%d\n" % SCHEMA_VERSION
 _HEADER_LEN = len(_MAGIC) + 64 + 1  # magic + sha256 hex + newline
 
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
-
-#: Subdirectory (under the cache root) where corrupt entries are moved.
-CORRUPT_SUBDIR = "corrupt"
-
-#: Exceptions a hostile or rotten pickle payload can raise while being
-#: decoded and validated. Anything else (a bug in our own code, a
-#: KeyboardInterrupt, an OS-level failure) propagates — only *decode*
-#: failures mean corruption.
-DECODE_ERRORS = (
-    pickle.PickleError,
-    EOFError,
-    ValueError,
-    KeyError,
-    IndexError,
-    TypeError,
-    AttributeError,
-    ImportError,
-    MemoryError,
-)
 
 _source_hash_cache: str | None = None
 
@@ -111,7 +102,7 @@ def fingerprint(request, source_hash: str | None = None) -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()
 
 
-class RunCache:
+class RunCache(IntegrityStore):
     """On-disk run cache with hit/miss/corruption accounting.
 
     A disabled cache (``enabled=False``) never reads or writes but
@@ -125,65 +116,19 @@ class RunCache:
     ):
         if root is None:
             root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
-        self.root = Path(root)
-        self.enabled = enabled
-        self.hits = 0
-        self.misses = 0
-        #: Entries that failed checksum/schema validation and were
-        #: quarantined to ``corrupt/`` instead of being trusted.
-        self.corruptions = 0
+        super().__init__(root, magic=_MAGIC, suffix=".pkl", enabled=enabled)
 
     # ------------------------------------------------------------------
 
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.pkl"
-
-    def _decode(self, raw: bytes) -> RunStats:
-        """Decode and validate one cache entry; raise on any doubt.
-
-        Integrity first, parsing second: the payload is only handed to
-        ``pickle.loads`` after its checksum verifies, because the
-        pickle parser's failure modes on rotten bytes include trying
-        to allocate whatever a corrupted length prefix says (which can
-        wedge the process), not just raising.
-        """
-        if not raw.startswith(_MAGIC):
-            raise CacheCorruptionError(
-                f"bad magic/schema (want {_MAGIC!r})"
-            )
-        digest = raw[len(_MAGIC) : len(_MAGIC) + 64]
-        if raw[len(_MAGIC) + 64 : _HEADER_LEN] != b"\n":
-            raise CacheCorruptionError("malformed entry header")
-        blob = raw[_HEADER_LEN:]
-        if hashlib.sha256(blob).hexdigest().encode() != digest:
-            raise CacheCorruptionError("payload checksum mismatch")
+    @staticmethod
+    def _decode_stats(blob: bytes) -> RunStats:
+        """Payload decoder: checksummed bytes -> validated RunStats."""
         stats = pickle.loads(blob)["stats"]
         if not isinstance(stats, RunStats):
             raise CacheCorruptionError(
                 f"payload is {type(stats).__name__}, not RunStats"
             )
         return stats
-
-    def _quarantine(self, path: Path, reason: Exception) -> None:
-        """Move a corrupt entry aside — evidence, not a silent miss."""
-        self.corruptions += 1
-        dest = self.root / CORRUPT_SUBDIR / path.name
-        try:
-            dest.parent.mkdir(parents=True, exist_ok=True)
-            os.replace(path, dest)
-            where = str(dest)
-        except OSError:
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            where = "(unlinked; quarantine failed)"
-        log.warning(
-            "quarantined corrupt cache entry %s -> %s: %s",
-            path.name,
-            where,
-            reason,
-        )
 
     def get(self, request) -> RunStats | None:
         """Return the cached stats for *request*, or ``None`` on a miss.
@@ -192,33 +137,7 @@ class RunCache:
         checksum mismatch, wrong schema, foreign payload) is quarantined
         to ``corrupt/`` and counted as both a corruption and a miss.
         """
-        if not self.enabled:
-            self.misses += 1
-            return None
-        path = self._path(fingerprint(request))
-        try:
-            raw = path.read_bytes()
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except OSError as exc:
-            # Unreadable but present (permissions, I/O error): a miss,
-            # but not evidence of corruption — leave the file alone.
-            log.warning("unreadable cache entry %s: %s", path, exc)
-            self.misses += 1
-            return None
-        try:
-            stats = self._decode(raw)
-        except CacheCorruptionError as exc:
-            self._quarantine(path, exc)
-            self.misses += 1
-            return None
-        except DECODE_ERRORS as exc:
-            self._quarantine(path, CacheCorruptionError(str(exc), str(path)))
-            self.misses += 1
-            return None
-        self.hits += 1
-        return stats
+        return self.load(fingerprint(request), self._decode_stats)
 
     def put(self, request, stats: RunStats) -> None:
         """Store *stats* for *request* (atomic rename, last writer wins).
@@ -229,28 +148,8 @@ class RunCache:
         """
         if not self.enabled:
             return
-        path = self._path(fingerprint(request))
-        path.parent.mkdir(parents=True, exist_ok=True)
         blob = pickle.dumps(
             {"request": request, "stats": stats},
             protocol=pickle.HIGHEST_PROTOCOL,
         )
-        digest = hashlib.sha256(blob).hexdigest().encode()
-        tmp = path.with_suffix(f".tmp{os.getpid()}")
-        with open(tmp, "wb") as fh:
-            fh.write(_MAGIC + digest + b"\n" + blob)
-        os.replace(tmp, path)
-
-    def clear(self) -> int:
-        """Delete every cache entry (quarantined ones included); return
-        the number removed."""
-        removed = 0
-        if not self.root.exists():
-            return removed
-        for path in self.root.rglob("*.pkl"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
-        return removed
+        self.store(fingerprint(request), blob)

@@ -6,8 +6,12 @@ Usage::
     python -m repro figure11 --scale 1.0 --jobs 4
     python -m repro table4 --out results.txt --no-cache
     python -m repro all --scale 0.2
-    python -m repro cache clear         # drop the on-disk run cache
+    python -m repro cache clear         # drop run cache + snapshots
+    python -m repro cache clear --snapshots-only
+    python -m repro snapshot ls         # list warmed-state snapshots
     python -m repro bench balanced --profile   # simulator self-benchmark
+    python -m repro bench --all         # every regime, one summary
+    python -m repro figure11 --fast-forward 20000 --sample 4000  # sampled
 
 Simulations fan out over ``--jobs`` worker processes (default:
 ``REPRO_JOBS`` env or the CPU count) and are memoized in the
@@ -64,10 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "cache", "bench"],
+        choices=[*EXPERIMENTS, "all", "cache", "snapshot", "bench"],
         help=(
-            "which table/figure to regenerate, 'cache' maintenance, or "
-            "'bench' for the simulator self-benchmark"
+            "which table/figure to regenerate, 'cache'/'snapshot' "
+            "maintenance, or 'bench' for the simulator self-benchmark"
         ),
     )
     parser.add_argument(
@@ -75,9 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "cache action: 'clear' (with 'cache'); bench regime: "
-            "'balanced' / 'memory_bound' / 'slice_heavy' (with 'bench', "
-            "default 'balanced')"
+            "cache action: 'clear' (with 'cache'); snapshot action: "
+            "'ls' (default) / 'clear' (with 'snapshot'); bench regime: "
+            "'balanced' / 'memory_bound' / 'slice_heavy' / 'interpreter' "
+            "/ 'sampled' (with 'bench', default 'balanced')"
         ),
     )
     parser.add_argument(
@@ -145,6 +150,47 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--fast-forward",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "sampled simulation: execute the first N instructions of "
+            "every run on the functional fast-forward tier (with "
+            "functional cache/predictor warming) and restore the "
+            "detailed core from the warmed snapshot (cached under "
+            ".repro_cache/snapshots/)"
+        ),
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "sampled simulation: measure N committed instructions "
+            "(after a detailed-warming discard window of min(N/10, "
+            "2000)) instead of the workload's full region"
+        ),
+    )
+    parser.add_argument(
+        "--snapshots-only",
+        action="store_true",
+        help=(
+            "with 'cache clear': clear only the warmed-state snapshots "
+            "(and the corrupt/ quarantine), keeping cached run results"
+        ),
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        dest="bench_all",
+        help=(
+            "with the 'bench' command: run every regime and write one "
+            "consolidated summary to benchmarks/results/BENCH_all.json"
+        ),
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -178,15 +224,36 @@ def run_experiment(
     return text
 
 
-def run_bench(regime_name: str | None, profile: bool = False) -> int:
+def run_bench(
+    regime_name: str | None, profile: bool = False, run_all: bool = False
+) -> int:
     """Run one simulator self-benchmark regime; optionally profile it.
 
     The profile report lands in ``benchmarks/results/profile_<regime>.txt``
     (top-25 entries by cumulative time) so it can be diffed across
-    commits next to ``BENCH_throughput.json``.
+    commits next to ``BENCH_throughput.json``. ``--all`` runs every
+    regime and writes one consolidated summary to
+    ``benchmarks/results/BENCH_all.json``.
     """
-    from repro.harness.bench import REGIMES, best_rate, profile_regime
+    from repro.harness.bench import (
+        REGIMES,
+        best_rate,
+        profile_regime,
+        render_all_regimes,
+        run_all_regimes,
+    )
 
+    if run_all:
+        results = run_all_regimes(rounds=3)
+        print(render_all_regimes(results))
+        out_dir = pathlib.Path("benchmarks") / "results"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        out_path = out_dir / "BENCH_all.json"
+        import json
+
+        out_path.write_text(json.dumps(results, indent=2) + "\n")
+        print(f"\nconsolidated results: {out_path}")
+        return 0
     name = regime_name or "balanced"
     regime = REGIMES.get(name)
     if regime is None:
@@ -205,14 +272,50 @@ def run_bench(regime_name: str | None, profile: bool = False) -> int:
         print(f"\nfull profile: {out_path}")
         return 0
     rate, stats = best_rate(regime, rounds=3)
+    sampled = f", {stats.ff_insts} fast-forwarded" if stats.ff_insts else ""
     print(
         f"{name}: {regime.description}\n"
         f"~{rate:,.0f} simulated instructions/second "
-        f"({stats.committed} committed, best of 3 runs; "
+        f"({stats.committed} committed{sampled}, best of 3 runs; "
         f"{stats.blocks_compiled} fused segments, "
         f"{stats.block_deopts} deopts)"
     )
     return 0
+
+
+def run_snapshot_action(action: str | None) -> int:
+    """``repro snapshot ls`` (default) / ``repro snapshot clear``."""
+    from repro.harness.fastforward import SnapshotStore
+
+    store = SnapshotStore()
+    if action in (None, "ls"):
+        entries = store.ls()
+        if not entries:
+            print(f"no snapshots under {store.root}")
+            return 0
+        print(
+            f"{'key':16s} {'workload':12s} {'scale':>6s} "
+            f"{'ff_insts':>9s} {'executed':>9s} {'warm':>5s} {'bytes':>10s}"
+        )
+        for entry in entries:
+            print(
+                f"{entry['key'][:16]:16s} {entry['workload']:12s} "
+                f"{entry['scale']:>6g} {entry['ff_insts']:>9d} "
+                f"{entry['executed']:>9d} "
+                f"{'yes' if entry['warming'] else 'no':>5s} "
+                f"{entry['bytes']:>10,d}"
+            )
+        print(f"{len(entries)} snapshot(s) under {store.root}")
+        return 0
+    if action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} snapshot(s)")
+        return 0
+    print(
+        f"unknown snapshot action {action!r}; try: repro snapshot ls|clear",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -234,8 +337,19 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_RETRIES"] = str(args.retries)
     if args.on_error is not None:
         os.environ["REPRO_ON_ERROR"] = args.on_error
+    # Sampling flags ride the same env-mirror mechanism: every
+    # RunRequest built anywhere downstream (experiments, sweeps, pool
+    # workers) inherits them through its default factories.
+    if args.fast_forward is not None:
+        os.environ["REPRO_FAST_FORWARD"] = str(args.fast_forward)
+    if args.sample is not None:
+        os.environ["REPRO_SAMPLE"] = str(args.sample)
     if args.experiment == "bench":
-        return run_bench(args.action, profile=args.profile)
+        return run_bench(
+            args.action, profile=args.profile, run_all=args.bench_all
+        )
+    if args.experiment == "snapshot":
+        return run_snapshot_action(args.action)
     if args.experiment == "cache":
         if args.action != "clear":
             print(
@@ -243,8 +357,14 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        from repro.harness.fastforward import SnapshotStore
+
+        snapshots = SnapshotStore().clear()
+        if args.snapshots_only:
+            print(f"removed {snapshots} snapshot(s)")
+            return 0
         removed = RunCache().clear()
-        print(f"removed {removed} cached run(s)")
+        print(f"removed {removed} cached run(s) and {snapshots} snapshot(s)")
         return 0
     if args.action is not None:
         print(

@@ -1,0 +1,404 @@
+"""Sampled simulation: functional fast-forward, microarchitectural
+warming, and content-addressed warmed-state snapshots.
+
+The paper's own methodology (§6) never simulates its multi-billion-
+instruction runs in full detail — it fast-forwards to the regions it
+measures. This module is that layer for our simulator, in three parts:
+
+* :func:`fast_forward` — execute a workload's warmup prefix purely
+  *functionally* on the interpreter tier (~14x the detailed core's
+  speed), optionally with **functional warming**: every load/store
+  touches a :class:`~repro.uarch.cache.DataHierarchy` (with the stream
+  prefetcher attached) and every branch drives the
+  :class:`~repro.uarch.branch.frontend_predictor.FrontEndPredictor`
+  through its real predict/restore/replay/train protocol — state
+  updates only, no timing — so the detailed region starts with
+  realistic cache and predictor contents instead of a cold machine.
+* :class:`Snapshot` / :class:`SnapshotStore` — the resulting
+  architectural state (registers, PC, full memory image) plus the
+  warmed cache/predictor images, persisted under
+  ``.repro_cache/snapshots/`` with the same checksummed-payload /
+  corrupt-quarantine discipline as the run cache
+  (:mod:`repro.harness.blobstore`), keyed by
+  ``(workload, scale, ff_insts, warming config, src hash)``.
+* :func:`ensure_snapshot` / :func:`prebuild_snapshots` — build-once /
+  share-everywhere: ``run_matrix`` pre-builds each distinct snapshot a
+  matrix needs before fanning out, so a machine-parameter sweep pays
+  the architectural prefix exactly once. The warming key digests only
+  the sub-configs that shape warmed state (L1D/L2 geometry, prefetch,
+  branch predictor budgets) — varying ``memory_latency``,
+  ``window_entries``, or slice hardware across sweep points reuses the
+  identical snapshot.
+
+**Accuracy model.** Functional warming is architectural: it sees no
+wrong-path accesses, no timing-dependent prefetch arrivals, and no
+helper threads (FORK is architecturally a no-op). The detailed-warming
+*discard window* (:func:`sample_plan`) absorbs that residue: the first
+``sample // 10`` committed instructions (capped at
+:data:`DETAIL_WARMUP_CAP`) run in full detail but are discarded at the
+warmup boundary, so in-flight timing, stream-prefetcher state, and the
+slice correlator re-converge before measurement starts. Accuracy
+bounds vs. full-detail IPC are enforced by
+``benchmarks/bench_sampled.py`` (< 2% deviation) and the differential
+suite (``tests/harness/test_sampled.py``) proves fast-forward = 0 is
+bit-identical to a full detailed run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+
+from repro.arch.exceptions import Fault
+from repro.arch.interpreter import run_functional
+from repro.arch.memory import Memory
+from repro.arch.state import ThreadState
+from repro.errors import CacheCorruptionError
+from repro.harness.blobstore import CORRUPT_SUBDIR, IntegrityStore
+from repro.harness.cache import DEFAULT_CACHE_DIR, source_tree_hash
+from repro.uarch.branch.frontend_predictor import FrontEndPredictor
+from repro.uarch.cache import DataHierarchy
+from repro.uarch.config import MachineConfig
+from repro.uarch.prefetch import StreamPrefetcher
+from repro.workloads.base import Workload
+
+#: Bump when the snapshot payload layout changes; old snapshots become
+#: misses instead of unpickling into the wrong shape.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+_SNAP_MAGIC = b"repro-snap-%d\n" % SNAPSHOT_SCHEMA_VERSION
+
+#: Subdirectory of the cache root holding the snapshot store.
+SNAPSHOT_SUBDIR = "snapshots"
+
+#: Detailed-warming discard window for a sampled run: the first
+#: ``sample // DETAIL_WARMUP_FRACTION`` committed instructions (capped
+#: at DETAIL_WARMUP_CAP) run in full detail but are discarded at the
+#: warmup boundary, letting timing state the functional warming cannot
+#: produce (in-flight fills, stream prefetcher, slice correlator)
+#: converge before measurement begins.
+DETAIL_WARMUP_FRACTION = 10
+DETAIL_WARMUP_CAP = 2_000
+
+
+def sample_plan(sample: int) -> tuple[int | None, int]:
+    """Map a request's ``sample`` field to ``(region, warmup)``.
+
+    ``sample <= 0`` means no sampling: the workload's own region, no
+    discard window — the legacy (bit-identical) path. Otherwise the
+    measured region is exactly *sample* committed instructions,
+    preceded by the detailed-warming discard window.
+    """
+    if sample <= 0:
+        return None, 0
+    return sample, min(sample // DETAIL_WARMUP_FRACTION, DETAIL_WARMUP_CAP)
+
+
+@dataclass
+class Snapshot:
+    """Architectural state + warmed microarchitectural images at one
+    point of a workload's execution. Fully picklable; deterministic
+    given (workload, scale, ff_insts, warming config, source tree)."""
+
+    workload: str
+    scale: float
+    #: Instructions requested / actually executed (they differ only
+    #: when the prefix ran off the program or hit HALT early).
+    ff_insts: int
+    executed: int
+    pc: int
+    halted: bool
+    #: All 32 architectural register values, in index order.
+    regs: list[int]
+    #: Full sparse memory image (word-aligned address -> signed value).
+    memory_words: dict[int, int]
+    #: True when the prefix ran with functional warming.
+    warming: bool
+    #: Digest of the warming-relevant machine sub-configs this
+    #: snapshot's images were built for (see :func:`warm_config_key`).
+    warm_config: str | None = None
+    #: ``DataHierarchy.warm_image()`` (L1/L2 sets, prefetch/victim
+    #: buffer) and ``FrontEndPredictor.warm_image()`` payloads, or
+    #: ``None`` when warming was off.
+    hierarchy_image: dict | None = field(default=None, repr=False)
+    predictor_image: tuple | None = field(default=None, repr=False)
+
+
+def warm_config_key(config: MachineConfig) -> str:
+    """Digest of the sub-configs that shape warmed state.
+
+    Only cache geometry, the prefetcher, and predictor budgets matter
+    to a warm image; ``memory_latency``, window size, core width, and
+    slice hardware do not (warming is untimed and slice-free). Keying
+    on exactly this set is what lets every point of a machine-parameter
+    sweep share one snapshot.
+    """
+    payload = {
+        "l1d": dataclasses.asdict(config.l1d),
+        "l2": dataclasses.asdict(config.l2),
+        "prefetch": dataclasses.asdict(config.prefetch),
+        "branch": dataclasses.asdict(config.branch),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def snapshot_fingerprint(
+    workload: str,
+    scale: float,
+    ff_insts: int,
+    config: MachineConfig,
+    warming: bool = True,
+    source_hash: str | None = None,
+) -> str:
+    """Content-addressed key for one snapshot."""
+    payload = {
+        "schema": SNAPSHOT_SCHEMA_VERSION,
+        "source": source_hash if source_hash is not None else source_tree_hash(),
+        "workload": workload,
+        "scale": scale,
+        "ff_insts": ff_insts,
+        "warming": warming,
+        "warm_config": warm_config_key(config) if warming else None,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def snapshot_digest(snapshot: Snapshot) -> str:
+    """Hex SHA-256 of the snapshot's serialized payload.
+
+    The simulator and the workload generators are deterministic, so the
+    same request must produce byte-identical snapshots — CI asserts
+    this (snapshot-determinism step).
+    """
+    return hashlib.sha256(_encode(snapshot)).hexdigest()
+
+
+def _encode(snapshot: Snapshot) -> bytes:
+    return pickle.dumps(
+        {"snapshot": snapshot}, protocol=pickle.HIGHEST_PROTOCOL
+    )
+
+
+# ----------------------------------------------------------------------
+# Layer 1: the functional fast-forward tier
+# ----------------------------------------------------------------------
+
+
+def fast_forward(
+    workload: Workload,
+    config: MachineConfig,
+    ff_insts: int,
+    warming: bool = True,
+) -> Snapshot:
+    """Execute *ff_insts* instructions of *workload* functionally.
+
+    Runs the interpreter tier (correct paths only, no timing) from the
+    workload's entry point, optionally warming a data hierarchy and a
+    front-end predictor architecturally along the way, and captures the
+    result as a :class:`Snapshot`.
+
+    The warming protocol mirrors the detailed core's state updates
+    without its clock:
+
+    * memory instructions perform a demand :meth:`DataHierarchy.access`
+      (null-page faults excluded, as in the core's latency path), with
+      the stream prefetcher attached so the prefetch/victim buffer
+      fills realistically;
+    * branches run predict -> (on mismatch) restore + replay_actual ->
+      train — exactly the speculative-history discipline of the
+      detailed front end, collapsed to zero resolution delay.
+
+    Stops early at HALT or a PC outside the program (the snapshot
+    records how far it actually got).
+    """
+    program = workload.program
+    memory = Memory(workload.memory_image, journaling=False)
+    state = ThreadState(memory, entry_pc=program.entry_pc, journaling=False)
+
+    hierarchy = predictor = None
+    if warming:
+        hierarchy = DataHierarchy(config)
+        StreamPrefetcher(config.prefetch, hierarchy).attach()
+        predictor = FrontEndPredictor(config.branch)
+
+    executed = 0
+    halted = False
+    for inst, result in run_functional(program, state, ff_insts):
+        executed += 1
+        if warming:
+            if inst.is_mem:
+                addr = result.addr
+                if addr is not None and result.fault is not Fault.NULL_DEREF:
+                    hierarchy.access(addr, inst.is_store, now=0)
+            elif inst.is_branch:
+                prediction = predictor.predict(inst)
+                taken = bool(result.taken)
+                actual = result.next_pc
+                if prediction.target != actual:
+                    # Mispredicted: restore the pre-branch histories
+                    # and replay the actual outcome, as the detailed
+                    # core does at branch resolution.
+                    predictor.restore(prediction)
+                    predictor.replay_actual(inst, taken, actual)
+                predictor.train(inst, taken, actual, prediction)
+        if result.fault is Fault.HALT:
+            halted = True
+            break
+
+    return Snapshot(
+        workload=workload.name,
+        scale=workload.scale,
+        ff_insts=ff_insts,
+        executed=executed,
+        pc=state.pc,
+        halted=halted,
+        regs=state.regs.values(),
+        memory_words=memory.snapshot(),
+        warming=warming,
+        warm_config=warm_config_key(config) if warming else None,
+        hierarchy_image=hierarchy.warm_image() if warming else None,
+        predictor_image=predictor.warm_image() if warming else None,
+    )
+
+
+# ----------------------------------------------------------------------
+# Layer 2: the content-addressed snapshot store
+# ----------------------------------------------------------------------
+
+
+class SnapshotStore(IntegrityStore):
+    """On-disk snapshot store under ``<cache root>/snapshots/``.
+
+    Shares the cache root (``REPRO_CACHE_DIR`` / ``.repro_cache``) and
+    the ``corrupt/`` quarantine with the run cache, but uses its own
+    suffix (``.snap``) and schema magic so the two stores never clear
+    or decode each other's entries.
+    """
+
+    def __init__(
+        self,
+        cache_root: str | os.PathLike | None = None,
+        enabled: bool = True,
+    ):
+        if cache_root is None:
+            cache_root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        from pathlib import Path
+
+        cache_root = Path(cache_root)
+        super().__init__(
+            cache_root / SNAPSHOT_SUBDIR,
+            magic=_SNAP_MAGIC,
+            suffix=".snap",
+            enabled=enabled,
+            corrupt_dir=cache_root / CORRUPT_SUBDIR,
+        )
+
+    @staticmethod
+    def _decode_snapshot(blob: bytes) -> Snapshot:
+        snapshot = pickle.loads(blob)["snapshot"]
+        if not isinstance(snapshot, Snapshot):
+            raise CacheCorruptionError(
+                f"payload is {type(snapshot).__name__}, not Snapshot"
+            )
+        return snapshot
+
+    def get(self, key: str) -> Snapshot | None:
+        """Return the stored snapshot for *key*, or ``None`` on a miss
+        (corrupt entries are quarantined and counted, as in the run
+        cache)."""
+        return self.load(key, self._decode_snapshot)
+
+    def put(self, key: str, snapshot: Snapshot) -> str:
+        """Persist *snapshot* under *key*; return its payload digest."""
+        return self.store(key, _encode(snapshot))
+
+    def ls(self) -> list[dict]:
+        """Describe every live snapshot (for ``repro snapshot ls``)."""
+        entries = []
+        for path in self.entry_paths():
+            key = path.stem
+            size = path.stat().st_size
+            snapshot = self.get(key)
+            if snapshot is None:
+                continue
+            entries.append(
+                {
+                    "key": key,
+                    "workload": snapshot.workload,
+                    "scale": snapshot.scale,
+                    "ff_insts": snapshot.ff_insts,
+                    "executed": snapshot.executed,
+                    "warming": snapshot.warming,
+                    "bytes": size,
+                }
+            )
+        return entries
+
+
+# ----------------------------------------------------------------------
+# Layer 3 helpers: build-once / share-everywhere
+# ----------------------------------------------------------------------
+
+
+def ensure_snapshot(
+    workload: Workload,
+    config: MachineConfig,
+    ff_insts: int,
+    warming: bool = True,
+    store: SnapshotStore | None = None,
+) -> tuple[Snapshot, bool]:
+    """Fetch (or build and persist) the snapshot for this prefix.
+
+    Returns ``(snapshot, hit)`` where *hit* says the snapshot came from
+    the store. Builds are deterministic and writes are atomic, so
+    concurrent workers racing on a missing snapshot converge on
+    identical bytes.
+    """
+    if store is None:
+        store = SnapshotStore()
+    key = snapshot_fingerprint(
+        workload.name, workload.scale, ff_insts, config, warming
+    )
+    snapshot = store.get(key)
+    if snapshot is not None:
+        return snapshot, True
+    snapshot = fast_forward(workload, config, ff_insts, warming=warming)
+    store.put(key, snapshot)
+    return snapshot, False
+
+
+def prebuild_snapshots(requests, store: SnapshotStore | None = None) -> int:
+    """Build every snapshot *requests* will need, once each.
+
+    Called by ``run_matrix`` before fanning out so all sweep points
+    (and all pool workers) share one architectural prefix instead of
+    each re-paying it. Returns the number of snapshots built fresh.
+    """
+    from repro.workloads import registry
+
+    if store is None:
+        store = SnapshotStore()
+    built = 0
+    seen: set[str] = set()
+    for request in requests:
+        if getattr(request, "fast_forward", 0) <= 0:
+            continue
+        config = request.resolve_config()
+        key = snapshot_fingerprint(
+            request.workload, request.scale, request.fast_forward, config
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        if store.get(key) is not None:
+            continue
+        workload = registry.build(request.workload, scale=request.scale)
+        store.put(key, fast_forward(workload, config, request.fast_forward))
+        built += 1
+    return built

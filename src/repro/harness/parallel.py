@@ -69,6 +69,25 @@ def _default_fused_blocks() -> bool:
     """
     return not os.environ.get("REPRO_NO_FUSE")
 
+
+def _default_fast_forward() -> int:
+    """Request default for the functional fast-forward prefix length.
+
+    ``REPRO_FAST_FORWARD`` (set by the ``--fast-forward`` CLI flag)
+    makes every request constructed in-process a sampled run without
+    threading the value through each call site.
+    """
+    return int(os.environ.get("REPRO_FAST_FORWARD", "0") or 0)
+
+
+def _default_sample() -> int:
+    """Request default for the measured-region length of a sampled run.
+
+    ``REPRO_SAMPLE`` (set by the ``--sample`` CLI flag). ``0`` measures
+    the workload's full region.
+    """
+    return int(os.environ.get("REPRO_SAMPLE", "0") or 0)
+
 from repro.harness.cache import RunCache
 from repro.uarch.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
 from repro.uarch.perfect import PerfectSpec
@@ -123,6 +142,17 @@ class RunRequest:
     #: (bar the fusion meta counters), but fingerprinted separately so
     #: cached ``blocks_compiled`` / ``block_deopts`` stay honest.
     fused_blocks: bool = field(default_factory=_default_fused_blocks)
+    #: Sampled simulation (:mod:`repro.harness.fastforward`): execute
+    #: this many instructions on the functional fast-forward tier (with
+    #: functional warming), restoring the detailed core from the warmed
+    #: snapshot. ``0`` = full detailed run. Joins the cache fingerprint
+    #: via ``dataclasses.asdict`` like every other field.
+    fast_forward: int = field(default_factory=_default_fast_forward)
+    #: Measured-region length of a sampled run: measure this many
+    #: committed instructions after the detailed-warming discard window
+    #: (see :func:`repro.harness.fastforward.sample_plan`). ``0`` =
+    #: the workload's full region.
+    sample: int = field(default_factory=_default_sample)
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -131,6 +161,11 @@ class RunRequest:
             raise ValueError(
                 f"unknown config {self.config!r}; "
                 f"known: {tuple(CONFIG_PRESETS)}"
+            )
+        if self.fast_forward < 0 or self.sample < 0:
+            raise ValueError(
+                "fast_forward and sample must be non-negative "
+                f"(got {self.fast_forward}, {self.sample})"
             )
         # Normalize so equal requests fingerprint and hash equally.
         object.__setattr__(
@@ -173,38 +208,64 @@ def execute_request(request: RunRequest) -> RunStats:
     mode = request.mode
     event_driven = request.event_driven
     fused_blocks = request.fused_blocks
+
+    # Sampled run: fetch (or build) the warmed snapshot and translate
+    # the sample length into the region + discard-window pair. The
+    # fast_forward == sample == 0 path must construct the Core exactly
+    # as before (bit-identical stats discipline).
+    snapshot = None
+    snapshot_hit = False
+    region = warmup = None
+    if request.fast_forward > 0 or request.sample > 0:
+        from repro.harness.fastforward import ensure_snapshot, sample_plan
+
+        region, warmup = sample_plan(request.sample)
+        if request.fast_forward > 0:
+            snapshot, snapshot_hit = ensure_snapshot(
+                workload, config, request.fast_forward
+            )
+    sampled = dict(
+        snapshot=snapshot, warmup=warmup or 0, region=region
+    )
+
     if mode == "base":
-        return run_baseline(
+        stats = run_baseline(
             workload, config, event_driven=event_driven,
-            fused_blocks=fused_blocks,
+            fused_blocks=fused_blocks, **sampled,
         )
-    if mode == "slice":
-        return run_with_slices(
+    elif mode == "slice":
+        stats = run_with_slices(
             workload,
             config,
             dedicated=request.dedicated,
             event_driven=event_driven,
             fused_blocks=fused_blocks,
+            **sampled,
         )
-    if mode == "limit":
-        return run_perfect(
+    elif mode == "limit":
+        stats = run_perfect(
             workload,
             covered_problem_spec(workload),
             config,
             event_driven=event_driven,
             fused_blocks=fused_blocks,
+            **sampled,
         )
-    # mode == "perfect"
-    spec = PerfectSpec(
-        branch_pcs=frozenset(request.perfect_branch_pcs),
-        load_pcs=frozenset(request.perfect_load_pcs),
-        all_branches=request.all_branches,
-        all_loads=request.all_loads,
-    )
-    return run_perfect(
-        workload, spec, config, event_driven=event_driven,
-        fused_blocks=fused_blocks,
-    )
+    else:  # mode == "perfect"
+        spec = PerfectSpec(
+            branch_pcs=frozenset(request.perfect_branch_pcs),
+            load_pcs=frozenset(request.perfect_load_pcs),
+            all_branches=request.all_branches,
+            all_loads=request.all_loads,
+        )
+        stats = run_perfect(
+            workload, spec, config, event_driven=event_driven,
+            fused_blocks=fused_blocks, **sampled,
+        )
+    if snapshot is not None:
+        stats.ff_insts = snapshot.executed
+        stats.snapshot_hit = snapshot_hit
+    return stats
 
 
 def _pool_entry(request: RunRequest, attempt: int, fault_plan) -> RunStats:
@@ -412,6 +473,17 @@ def run_matrix(
 
     report = MatrixReport()
     if pending:
+        sampled = [r for r in pending if r.fast_forward > 0]
+        if sampled:
+            # Build each distinct warmed snapshot once in the parent
+            # before fanning out: every sweep point / pool worker then
+            # restores from the shared store instead of re-paying the
+            # functional prefix per run. (Races with concurrent
+            # harnesses are benign — builds are deterministic and
+            # writes are atomic.)
+            from repro.harness.fastforward import prebuild_snapshots
+
+            prebuild_snapshots(sampled)
         workers = min(resolve_jobs(jobs), len(pending))
         use_pool = workers > 1 or timeout is not None
         if use_pool:

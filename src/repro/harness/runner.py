@@ -30,13 +30,25 @@ def run_baseline(
     config: MachineConfig = FOUR_WIDE,
     event_driven: bool = True,
     fused_blocks: bool | None = None,
+    snapshot=None,
+    warmup: int = 0,
+    region: int | None = None,
 ) -> RunStats:
-    """Run the Table 1 machine with no slice hardware."""
+    """Run the Table 1 machine with no slice hardware.
+
+    *snapshot*/*warmup*/*region* support sampled runs
+    (:mod:`repro.harness.fastforward`): start from a warmed-state
+    snapshot, discard the first *warmup* committed instructions, and
+    measure *region* instructions instead of the workload's full
+    region. The defaults reproduce the full detailed run exactly.
+    """
     return Core(
         workload.program,
         config,
         memory_image=workload.memory_image,
-        region=workload.region,
+        region=workload.region if region is None else region,
+        warmup=warmup,
+        snapshot=snapshot,
         workload_name=workload.name,
         event_driven=event_driven,
         fused_blocks=fused_blocks,
@@ -50,6 +62,9 @@ def run_with_slices(
     slices=None,
     event_driven: bool = True,
     fused_blocks: bool | None = None,
+    snapshot=None,
+    warmup: int = 0,
+    region: int | None = None,
 ) -> RunStats:
     """Run with the workload's speculative slices loaded."""
     return Core(
@@ -57,7 +72,9 @@ def run_with_slices(
         config,
         slices=tuple(workload.slices if slices is None else slices),
         memory_image=workload.memory_image,
-        region=workload.region,
+        region=workload.region if region is None else region,
+        warmup=warmup,
+        snapshot=snapshot,
         dedicated_slice_resources=dedicated,
         workload_name=workload.name,
         event_driven=event_driven,
@@ -71,6 +88,9 @@ def run_perfect(
     config: MachineConfig = FOUR_WIDE,
     event_driven: bool = True,
     fused_blocks: bool | None = None,
+    snapshot=None,
+    warmup: int = 0,
+    region: int | None = None,
 ) -> RunStats:
     """Run with a per-static-instruction perfect overlay."""
     return Core(
@@ -78,7 +98,9 @@ def run_perfect(
         config,
         perfect=perfect,
         memory_image=workload.memory_image,
-        region=workload.region,
+        region=workload.region if region is None else region,
+        warmup=warmup,
+        snapshot=snapshot,
         workload_name=workload.name,
         event_driven=event_driven,
         fused_blocks=fused_blocks,

@@ -20,6 +20,11 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.harness.cache import RunCache
+from repro.harness.fastforward import (
+    SnapshotStore,
+    ensure_snapshot,
+    sample_plan,
+)
 from repro.harness.parallel import CONFIG_PRESETS, RunRequest, run_matrix
 from repro.harness.runner import run_baseline, run_with_slices
 from repro.uarch.config import FOUR_WIDE, MachineConfig
@@ -56,8 +61,16 @@ def _sweep(
     values: tuple[int, ...],
     jobs: int | None,
     cache: RunCache | None,
+    fast_forward: int = 0,
+    sample: int = 0,
 ) -> list[SweepPoint]:
-    """Run the base/assisted pair at each override value."""
+    """Run the base/assisted pair at each override value.
+
+    With ``fast_forward``/``sample`` set, every point is a sampled run
+    sharing one warmed snapshot: the sweep parameters vary timing, not
+    the warming-relevant sub-configs, so the architectural prefix is
+    paid once for the whole sweep (``run_matrix`` pre-builds it).
+    """
     if _requestable(workload, config):
         requests = []
         for value in values:
@@ -70,6 +83,8 @@ def _sweep(
                         mode=mode,
                         config=config.name,
                         overrides=overrides,
+                        fast_forward=fast_forward,
+                        sample=sample,
                     )
                 )
         stats = run_matrix(requests, jobs=jobs, cache=cache)
@@ -77,14 +92,24 @@ def _sweep(
             SweepPoint(value=value, base=stats[2 * i], assisted=stats[2 * i + 1])
             for i, value in enumerate(values)
         ]
+    region, warmup = sample_plan(sample)
+    store = SnapshotStore() if fast_forward > 0 else None
     points = []
     for value in values:
         varied = _apply(config, override_path, value)
+        snapshot = None
+        if fast_forward > 0:
+            # The store's warm-config key dedups across points whose
+            # varied parameter does not shape warmed state.
+            snapshot, _ = ensure_snapshot(
+                workload, varied, fast_forward, store=store
+            )
+        sampled = dict(snapshot=snapshot, warmup=warmup, region=region)
         points.append(
             SweepPoint(
                 value=value,
-                base=run_baseline(workload, varied),
-                assisted=run_with_slices(workload, varied),
+                base=run_baseline(workload, varied, **sampled),
+                assisted=run_with_slices(workload, varied, **sampled),
             )
         )
     return points
@@ -103,10 +128,15 @@ def sweep_memory_latency(
     config: MachineConfig = FOUR_WIDE,
     jobs: int | None = None,
     cache: RunCache | None = None,
+    fast_forward: int = 0,
+    sample: int = 0,
 ) -> list[SweepPoint]:
     """Scale main-memory latency: prefetch-driven slice benefit should
     grow with the latency the slice tolerates."""
-    return _sweep(workload, config, "memory_latency", latencies, jobs, cache)
+    return _sweep(
+        workload, config, "memory_latency", latencies, jobs, cache,
+        fast_forward=fast_forward, sample=sample,
+    )
 
 
 def sweep_window_size(
@@ -115,10 +145,15 @@ def sweep_window_size(
     config: MachineConfig = FOUR_WIDE,
     jobs: int | None = None,
     cache: RunCache | None = None,
+    fast_forward: int = 0,
+    sample: int = 0,
 ) -> list[SweepPoint]:
     """Scale the instruction window: a bigger window already tolerates
     more latency on its own, moving the baseline."""
-    return _sweep(workload, config, "window_entries", windows, jobs, cache)
+    return _sweep(
+        workload, config, "window_entries", windows, jobs, cache,
+        fast_forward=fast_forward, sample=sample,
+    )
 
 
 def sweep_prediction_slots(
@@ -127,6 +162,8 @@ def sweep_prediction_slots(
     config: MachineConfig = FOUR_WIDE,
     jobs: int | None = None,
     cache: RunCache | None = None,
+    fast_forward: int = 0,
+    sample: int = 0,
 ) -> list[SweepPoint]:
     """Scale the correlator's per-branch prediction slots (Figure 10
     provisions 8): too few slots starve loop slices."""
@@ -137,6 +174,8 @@ def sweep_prediction_slots(
         slot_counts,
         jobs,
         cache,
+        fast_forward=fast_forward,
+        sample=sample,
     )
 
 

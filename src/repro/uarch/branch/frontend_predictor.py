@@ -15,6 +15,7 @@ actual outcome.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 from repro.isa.instruction import Instruction
@@ -150,3 +151,21 @@ class FrontEndPredictor:
             self.direction.update(inst.pc, taken, prediction.ghr_before)
         elif inst.op in (Opcode.JR, Opcode.CALLR):
             self.indirect.update(inst.pc, target, prediction.path_before)
+
+    # ------------------------------------------------------------------
+    # Functional-warming images (sampled simulation)
+    # ------------------------------------------------------------------
+
+    def warm_image(self) -> tuple:
+        """Deep, picklable copy of the predictor state (direction
+        tables + history, indirect tables + path history, RAS) for a
+        warmed-state snapshot. The component predictors are plain
+        lists/ints, so ``deepcopy`` both detaches the image from the
+        live predictor and keeps it pickle-stable."""
+        return copy.deepcopy((self.direction, self.indirect, self.ras))
+
+    def load_warm_image(self, image: tuple) -> None:
+        """Install a :meth:`warm_image`. The image is deep-copied so
+        several cores restored from one in-memory snapshot (a shared
+        sweep prefix) never alias predictor state."""
+        self.direction, self.indirect, self.ras = copy.deepcopy(image)

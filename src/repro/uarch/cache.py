@@ -348,6 +348,45 @@ class DataHierarchy:
         return not (self.l1.probe(addr) or self.buffer.contains(addr))
 
     # ------------------------------------------------------------------
+    # Functional-warming images (sampled simulation)
+    # ------------------------------------------------------------------
+
+    def warm_image(self) -> dict:
+        """Picklable copy of the cache *contents* (L1/L2 sets and the
+        prefetch/victim buffer) for a warmed-state snapshot.
+
+        Contents only: hit/miss counters and in-flight fill arrivals
+        are measurement/timing state, which a restored run must start
+        fresh (the snapshot's warming pass ran with no clock).
+        """
+        return {
+            "l1": [list(bucket) for bucket in self.l1._sets],
+            "l2": [list(bucket) for bucket in self.l2._sets],
+            "buffer": dict(self.buffer._lines),
+        }
+
+    def load_warm_image(self, image: dict) -> None:
+        """Install a :meth:`warm_image` into this hierarchy.
+
+        The image's geometry must match this hierarchy's configuration —
+        snapshot keys include the cache geometry precisely so a stale
+        image can never be applied to a differently-shaped machine.
+        """
+        if len(image["l1"]) != len(self.l1._sets) or len(image["l2"]) != len(
+            self.l2._sets
+        ):
+            raise ValueError(
+                "warm image geometry does not match this hierarchy "
+                f"(image {len(image['l1'])}/{len(image['l2'])} sets, "
+                f"config {len(self.l1._sets)}/{len(self.l2._sets)})"
+            )
+        self.l1._sets = [list(bucket) for bucket in image["l1"]]
+        self.l2._sets = [list(bucket) for bucket in image["l2"]]
+        self.buffer._lines.clear()
+        self.buffer._lines.update(image["buffer"])
+        self._arrival.clear()
+
+    # ------------------------------------------------------------------
 
     def _fill_l1(self, addr: int, dirty: bool) -> None:
         victim = self.l1.fill(addr, dirty=dirty)

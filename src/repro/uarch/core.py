@@ -69,7 +69,18 @@ class Core:
         event_driven: bool = True,
         strict_slices: bool = False,
         fused_blocks: bool | None = None,
+        snapshot=None,
     ):
+        #: Optional restore point: a warmed-state snapshot from
+        #: :mod:`repro.harness.fastforward` (duck-typed so the uarch
+        #: layer stays independent of the harness). The run starts at
+        #: the snapshot's architectural state — PC, registers, memory —
+        #: with its warmed cache/predictor images installed below, and
+        #: the program's block caches dropped so fused segments rebuild
+        #: cleanly against the restored machine.
+        self.snapshot = snapshot
+        if snapshot is not None:
+            program.drop_block_caches()
         self.program = program
         self.config = config
         self.perfect = perfect
@@ -110,7 +121,9 @@ class Core:
         self.fused_blocks = fused_blocks
 
         self.memory = Memory(
-            memory_image if memory_image is not None else program.data
+            snapshot.memory_words
+            if snapshot is not None
+            else memory_image if memory_image is not None else program.data
         )
         self.hierarchy = DataHierarchy(config)
         self.prefetcher = StreamPrefetcher(config.prefetch, self.hierarchy)
@@ -153,6 +166,18 @@ class Core:
         self.threads = [ThreadContext(i) for i in range(config.thread_contexts)]
         self._main = self.threads[0]
         self._main.activate_main(program, self.memory)
+        if snapshot is not None:
+            # Architectural restore: the functional fast-forward's
+            # registers and PC. Memory was restored above; the warmed
+            # microarchitectural images (if the snapshot carries them)
+            # overwrite the cold-start hierarchy/predictor.
+            state = self._main.state
+            state.pc = snapshot.pc
+            state.regs.load_values(dict(enumerate(snapshot.regs)))
+            if snapshot.hierarchy_image is not None:
+                self.hierarchy.load_warm_image(snapshot.hierarchy_image)
+            if snapshot.predictor_image is not None:
+                self.predictor.load_warm_image(snapshot.predictor_image)
 
         self.stats = RunStats(
             config_name=config.name, workload_name=workload_name
@@ -763,7 +788,15 @@ class Core:
             stats = self.stats
         if inst.op is Opcode.HALT:
             self._done = True
-        if self.region is not None and stats.committed >= self.region:
+        # ``region`` counts post-warmup commits only: until the warmup
+        # boundary resets the stats, the running count is discard-window
+        # work and must not terminate the region (a sampled run's
+        # region is routinely smaller than its warmup prefix).
+        if (
+            self.region is not None
+            and self._warmed
+            and stats.committed >= self.region
+        ):
             self._done = True
 
     def _reset_measurement(self) -> None:

@@ -17,7 +17,14 @@ from repro.slices.correlator import CorrelatorStats
 #: cycle stepping, fused-block vs per-instruction execution) compare
 #: every field *except* these.
 SIMULATOR_META_FIELDS = frozenset(
-    {"cycles_skipped", "skip_events", "blocks_compiled", "block_deopts"}
+    {
+        "cycles_skipped",
+        "skip_events",
+        "blocks_compiled",
+        "block_deopts",
+        "ff_insts",
+        "snapshot_hit",
+    }
 )
 
 
@@ -96,6 +103,13 @@ class RunStats:
     #: skip counters above.
     blocks_compiled: int = 0
     block_deopts: int = 0
+    #: Sampled-simulation provenance (:mod:`repro.harness.fastforward`):
+    #: instructions executed on the functional fast-forward tier before
+    #: the detailed region, and whether the warmed snapshot came from
+    #: the on-disk store (vs. built fresh). Simulator meta: the measured
+    #: region's counters above are unaffected by either.
+    ff_insts: int = 0
+    snapshot_hit: bool = False
     #: Optional cycle accounting (fill with Core(cycle_accounting=True)):
     #: cycles attributed to commit-slot activity at the main thread's
     #: ROB head: "busy" (full commit width used), "memory" (head waits
@@ -107,6 +121,14 @@ class RunStats:
     @property
     def ipc(self) -> float:
         return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per committed instruction over the measured region —
+        the region-CPI of a sampled run (fast-forward prefix and the
+        detailed-warming discard window are excluded by construction:
+        stats reset at the warmup boundary)."""
+        return self.cycles / self.committed if self.committed else 0.0
 
     @property
     def total_fetched(self) -> int:

@@ -1,0 +1,373 @@
+"""Differential tests for sampled simulation
+(:mod:`repro.harness.fastforward`).
+
+The sampling layer must be *safe by default* (fast-forward = 0 is
+bit-identical to a full detailed run), *architecturally exact* (a
+functional prefix reaches the same machine state a detailed prefix
+does), and *accurate* (a warmed snapshot's measured region agrees with
+full detail on IPC). Each property is checked differentially against
+the unsampled simulator rather than against golden values.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.harness import cli
+from repro.harness.cache import RunCache
+from repro.harness.fastforward import (
+    DETAIL_WARMUP_CAP,
+    Snapshot,
+    SnapshotStore,
+    ensure_snapshot,
+    fast_forward,
+    sample_plan,
+    snapshot_digest,
+    snapshot_fingerprint,
+)
+from repro.harness.parallel import RunRequest, execute_request, run_matrix
+from repro.harness.runner import run_baseline, run_with_slices
+from repro.harness.sweep import sweep_memory_latency
+from repro.uarch.config import FOUR_WIDE
+from repro.uarch.core import Core
+from repro.workloads import registry
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    """Point every store (run cache + snapshots) at a temp root."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
+# ----------------------------------------------------------------------
+# Safety: fast_forward=0 / sample=0 changes nothing
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("workload_name", sorted(registry.WORKLOAD_BUILDERS))
+def test_ff_zero_bit_identical(workload_name):
+    """An unsampled RunRequest reproduces the direct runner exactly —
+    every stat, both modes, every workload."""
+    for mode, runner in (("base", run_baseline), ("slice", run_with_slices)):
+        # Fresh workload per mode: fused segments cache per-Program, so
+        # sharing one across runs would skew the compile counters.
+        workload = registry.build(workload_name, scale=0.05)
+        request = RunRequest(
+            workload=workload_name, scale=0.05, mode=mode,
+            fast_forward=0, sample=0,
+        )
+        assert execute_request(request) == runner(workload, FOUR_WIDE)
+
+
+def test_request_rejects_negative_sampling():
+    with pytest.raises(ValueError):
+        RunRequest(workload="vpr", scale=0.05, fast_forward=-1)
+    with pytest.raises(ValueError):
+        RunRequest(workload="vpr", scale=0.05, sample=-5)
+
+
+def test_sampling_fields_join_the_cache_fingerprint():
+    from repro.harness.cache import fingerprint
+
+    plain = RunRequest(workload="vpr", scale=0.05)
+    sampled = RunRequest(workload="vpr", scale=0.05, fast_forward=1000)
+    regioned = RunRequest(workload="vpr", scale=0.05, sample=500)
+    keys = {fingerprint(r) for r in (plain, sampled, regioned)}
+    assert len(keys) == 3
+
+
+def test_sample_plan_math():
+    assert sample_plan(0) == (None, 0)
+    assert sample_plan(-3) == (None, 0)
+    assert sample_plan(4_000) == (4_000, 400)
+    # The discard window caps: a huge region does not warm forever.
+    assert sample_plan(1_000_000) == (1_000_000, DETAIL_WARMUP_CAP)
+
+
+# ----------------------------------------------------------------------
+# Architectural exactness of the functional tier
+# ----------------------------------------------------------------------
+
+
+def test_fast_forward_matches_interpreter():
+    """Unwarmed fast-forward is exactly the raw interpreter: same PC,
+    registers, and memory after N instructions."""
+    from repro.arch.interpreter import execute
+    from repro.arch.memory import Memory
+    from repro.arch.state import ThreadState
+
+    workload = registry.build("gzip", scale=0.05)
+    n = 2_000
+    snap = fast_forward(workload, FOUR_WIDE, n, warming=False)
+
+    memory = Memory(workload.memory_image, journaling=False)
+    state = ThreadState(memory, entry_pc=workload.program.entry_pc)
+    for _ in range(n):
+        inst = workload.program.at(state.pc)
+        if inst is None or state.halted:
+            break
+        execute(inst, state)
+
+    assert snap.executed == n
+    assert snap.pc == state.pc
+    assert snap.regs == state.regs.values()
+    assert snap.memory_words == memory.snapshot()
+    assert snap.hierarchy_image is None and snap.predictor_image is None
+
+
+def test_warming_does_not_perturb_architecture():
+    """Microarchitectural warming is observation-only: the
+    architectural state it snapshots is identical to unwarmed."""
+    workload = registry.build("mcf", scale=0.2)
+    cold = fast_forward(workload, FOUR_WIDE, 3_000, warming=False)
+    warm = fast_forward(workload, FOUR_WIDE, 3_000, warming=True)
+    assert (cold.pc, cold.regs, cold.memory_words) == (
+        warm.pc, warm.regs, warm.memory_words
+    )
+    assert warm.hierarchy_image is not None
+    assert warm.predictor_image is not None
+
+
+def test_restore_then_run_matches_straight_through():
+    """Functional prefix + detailed suffix lands on the same final
+    architectural state (and total work) as detailed start-to-HALT."""
+    workload = registry.build("mcf", scale=0.2)
+    straight = Core(
+        workload.program, FOUR_WIDE, memory_image=workload.memory_image
+    )
+    straight_stats = straight.run()
+
+    snap = fast_forward(workload, FOUR_WIDE, 3_000)
+    resumed = Core(workload.program, FOUR_WIDE, snapshot=snap)
+    resumed_stats = resumed.run()
+
+    assert snap.executed + resumed_stats.committed == straight_stats.committed
+    assert resumed._main.state.pc == straight._main.state.pc
+    assert resumed._main.state.regs.values() == straight._main.state.regs.values()
+    assert resumed.memory.snapshot() == straight.memory.snapshot()
+
+
+def test_core_restore_drops_fused_segments():
+    """Restoring into a Program invalidates its fused-segment caches —
+    segments compiled against the cold image must not survive."""
+    workload = registry.build("gzip", scale=0.05)
+    before = workload.program.block_version
+    snap = fast_forward(workload, FOUR_WIDE, 500)
+    Core(workload.program, FOUR_WIDE, snapshot=snap)
+    assert workload.program.block_version > before
+
+
+def test_region_smaller_than_warmup_still_warms():
+    """Regression: ``region`` counts post-warmup commits, so a region
+    smaller than the warmup must not truncate the warmup (the detailed
+    core used to stop at ``region`` *total* commits)."""
+    workload = registry.build("gzip", scale=0.05)
+    warmup, region = 2_000, 300
+    sampled = Core(
+        workload.program, FOUR_WIDE,
+        memory_image=workload.memory_image,
+        warmup=warmup, region=region,
+    )
+    stats = sampled.run()
+    reference = Core(
+        workload.program, FOUR_WIDE,
+        memory_image=workload.memory_image,
+        region=warmup + region,
+    )
+    reference.run()
+    assert stats.committed == region
+    # Both stopped after warmup+region total commits -> same point.
+    assert sampled._main.state.pc == reference._main.state.pc
+
+
+# ----------------------------------------------------------------------
+# Snapshot content-addressing, determinism, and integrity
+# ----------------------------------------------------------------------
+
+
+def test_snapshot_build_is_deterministic():
+    workload = registry.build("gzip", scale=0.05)
+    a = fast_forward(workload, FOUR_WIDE, 1_000)
+    b = fast_forward(registry.build("gzip", scale=0.05), FOUR_WIDE, 1_000)
+    assert snapshot_digest(a) == snapshot_digest(b)
+
+
+def test_fingerprint_keys_on_warming_inputs_only():
+    base = snapshot_fingerprint("mcf", 0.5, 1_000, FOUR_WIDE)
+    assert snapshot_fingerprint("mcf", 0.5, 2_000, FOUR_WIDE) != base
+    assert snapshot_fingerprint("mcf", 0.2, 1_000, FOUR_WIDE) != base
+    assert snapshot_fingerprint("mcf", 0.5, 1_000, FOUR_WIDE, warming=False) != base
+    # Source-tree changes invalidate (content-addressing).
+    assert snapshot_fingerprint("mcf", 0.5, 1_000, FOUR_WIDE, source_hash="x") != base
+    # Timing-only parameters share the snapshot...
+    timing = dataclasses.replace(
+        FOUR_WIDE, memory_latency=999, window_entries=16
+    )
+    assert snapshot_fingerprint("mcf", 0.5, 1_000, timing) == base
+    # ...but warmed-structure geometry does not.
+    geometry = dataclasses.replace(
+        FOUR_WIDE, l1d=dataclasses.replace(FOUR_WIDE.l1d, associativity=4)
+    )
+    assert snapshot_fingerprint("mcf", 0.5, 1_000, geometry) != base
+
+
+def test_store_roundtrip_hit_and_quarantine(cache_env):
+    workload = registry.build("gzip", scale=0.05)
+    store = SnapshotStore(cache_env)
+    snap, hit = ensure_snapshot(workload, FOUR_WIDE, 500, store=store)
+    assert not hit
+    again, hit = ensure_snapshot(workload, FOUR_WIDE, 500, store=store)
+    assert hit
+    assert snapshot_digest(again) == snapshot_digest(snap)
+    assert isinstance(again, Snapshot)
+
+    # Flip payload bytes: the checksum catches it BEFORE unpickling,
+    # the entry is quarantined, and the build recovers.
+    [path] = store.entry_paths()
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    rebuilt, hit = ensure_snapshot(workload, FOUR_WIDE, 500, store=store)
+    assert not hit  # corrupt -> miss -> rebuilt
+    assert store.corruptions == 1
+    assert (cache_env / "corrupt" / path.name).exists()
+    assert snapshot_digest(rebuilt) == snapshot_digest(snap)
+
+
+def test_snapshot_suffixes_keep_stores_disjoint(cache_env):
+    """Run cache and snapshot store share the root + quarantine but
+    never clear each other's entries."""
+    workload = registry.build("gzip", scale=0.05)
+    cache = RunCache(cache_env)
+    run_matrix(
+        [RunRequest(workload="gzip", scale=0.05, mode="base")],
+        jobs=1, cache=cache,
+    )
+    store = SnapshotStore(cache_env)
+    ensure_snapshot(workload, FOUR_WIDE, 500, store=store)
+    assert store.clear() == 1
+    assert len(list(cache.entry_paths())) == 1  # run survived
+    ensure_snapshot(workload, FOUR_WIDE, 500, store=store)
+    assert cache.clear() == 1
+    assert len(store.ls()) == 1  # snapshot survived
+
+
+# ----------------------------------------------------------------------
+# Harness integration: requests, sweeps, accuracy
+# ----------------------------------------------------------------------
+
+
+def test_sampled_request_sets_meta_and_hits_store(cache_env):
+    request = RunRequest(
+        workload="gzip", scale=0.05, mode="base",
+        fast_forward=1_000, sample=500,
+    )
+    cold = execute_request(request)
+    warm = execute_request(request)
+    assert cold.ff_insts == warm.ff_insts == 1_000
+    assert not cold.snapshot_hit and warm.snapshot_hit
+    assert cold.committed == warm.committed == 500
+    # Meta aside, the sampled runs are identical.
+    cold.snapshot_hit = warm.snapshot_hit
+    assert cold == warm
+
+
+def test_sweep_shares_one_snapshot(cache_env):
+    """A memory-latency sweep pays the architectural prefix once: the
+    warm-config key dedups every point onto a single .snap file."""
+    workload = registry.build("mcf", scale=0.2)
+    points = sweep_memory_latency(
+        workload, latencies=(100, 400), jobs=1,
+        cache=RunCache(enabled=False),
+        fast_forward=2_000, sample=500,
+    )
+    store = SnapshotStore(cache_env)
+    assert len(store.ls()) == 1
+    for point in points:
+        assert point.base.ff_insts == 2_000
+        assert point.base.snapshot_hit  # prebuilt before the matrix
+        assert point.base.committed == 500
+    # The sweep still sees timing: far memory must not be free.
+    assert points[1].base.cycles > points[0].base.cycles
+
+
+def test_sampled_ipc_tracks_full_detail(cache_env):
+    """The acceptance bound, non-timing flavor: a warmed sampled run's
+    region IPC stays within 2% of full detail over the same region."""
+    workload = registry.build("mcf", scale=0.2)
+    ff, sample = 5_000, 1_000
+    region, warmup = sample_plan(sample)
+    snap, _ = ensure_snapshot(workload, FOUR_WIDE, ff)
+    sampled = run_baseline(
+        workload, FOUR_WIDE, snapshot=snap, warmup=warmup, region=region
+    )
+    full = run_baseline(
+        workload, FOUR_WIDE, warmup=ff + warmup, region=sample
+    )
+    assert sampled.committed == full.committed == sample
+    assert abs(sampled.ipc - full.ipc) / full.ipc < 0.02
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+
+def test_parser_accepts_sampling_flags():
+    args = cli.build_parser().parse_args(
+        ["table3", "--fast-forward", "5000", "--sample", "1000"]
+    )
+    assert args.fast_forward == 5000
+    assert args.sample == 1000
+
+
+def test_sampling_flags_mirror_to_env(monkeypatch, capsys, tmp_path):
+    for key in ("REPRO_FAST_FORWARD", "REPRO_SAMPLE"):
+        monkeypatch.setenv(key, "stale")  # registers teardown restore
+        monkeypatch.delenv(key)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    code = cli.main(["snapshot", "ls", "--fast-forward", "9", "--sample", "4"])
+    assert code == 0
+    assert os.environ["REPRO_FAST_FORWARD"] == "9"
+    assert os.environ["REPRO_SAMPLE"] == "4"
+
+
+def test_cli_snapshot_ls_and_clear(cache_env, capsys):
+    workload = registry.build("gzip", scale=0.05)
+    ensure_snapshot(workload, FOUR_WIDE, 500)
+    assert cli.main(["snapshot", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "gzip" in out and "1 snapshot(s)" in out
+    assert cli.main(["snapshot", "clear"]) == 0
+    assert "removed 1 snapshot(s)" in capsys.readouterr().out
+    assert cli.main(["snapshot", "ls"]) == 0
+    assert "no snapshots" in capsys.readouterr().out
+
+
+def test_cli_cache_clear_covers_snapshots(cache_env, capsys):
+    workload = registry.build("gzip", scale=0.05)
+    cache = RunCache(cache_env)
+    run_matrix(
+        [RunRequest(workload="gzip", scale=0.05, mode="base")],
+        jobs=1, cache=cache,
+    )
+    ensure_snapshot(workload, FOUR_WIDE, 500)
+    assert cli.main(["cache", "clear"]) == 0
+    assert "1 cached run(s) and 1 snapshot(s)" in capsys.readouterr().out
+    assert len(list(RunCache(cache_env).entry_paths())) == 0
+    assert len(SnapshotStore(cache_env).ls()) == 0
+
+
+def test_cli_cache_clear_snapshots_only(cache_env, capsys):
+    workload = registry.build("gzip", scale=0.05)
+    cache = RunCache(cache_env)
+    run_matrix(
+        [RunRequest(workload="gzip", scale=0.05, mode="base")],
+        jobs=1, cache=cache,
+    )
+    ensure_snapshot(workload, FOUR_WIDE, 500)
+    assert cli.main(["cache", "clear", "--snapshots-only"]) == 0
+    assert "removed 1 snapshot(s)" in capsys.readouterr().out
+    assert len(list(RunCache(cache_env).entry_paths())) == 1  # runs kept
