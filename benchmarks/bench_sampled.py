@@ -17,6 +17,14 @@ Two measurements of :mod:`repro.harness.fastforward`:
   and ``region = sample`` so both sides measure the identical
   instruction interval; only how the prefix is executed differs
   (detailed vs. functional-with-warming).
+* **multi-region throughput** — the ``sampled_multi`` regime: covered
+  instructions per second for a fresh multi-region run whose snapshot
+  chain is built inside the timed region (the one-shot, unamortized
+  cost model), merged into ``BENCH_throughput.json`` with a CI floor.
+* **multi-region differential** — the acceptance bar at experiment
+  scale: a 10^7-instruction mcf run estimated from 10 periodic
+  windows must be >= 20x faster than full detail, with the full-detail
+  IPC inside the sampled estimate's 95% confidence interval.
 """
 
 import time
@@ -28,12 +36,15 @@ from bench_simulator_throughput import _merge_results
 from repro.harness.bench import REGIMES, best_rate
 from repro.harness.fastforward import (
     SnapshotStore,
+    build_sample_plan,
     ensure_snapshot,
+    iter_chain,
     sample_plan,
 )
 from repro.harness.runner import run_baseline
 from repro.harness.sweep import _apply
 from repro.uarch.config import FOUR_WIDE
+from repro.uarch.stats import aggregate_stats
 from repro.workloads import registry
 
 #: Floor for the sampled regime (covered simulated instructions / wall
@@ -48,6 +59,16 @@ SWEEP_SPEEDUP_FLOOR = 3.0
 
 #: ...without moving any point's region IPC by more than this.
 IPC_DEVIATION_CAP = 0.02
+
+#: Floor for the multi-region regime (covered instructions / wall
+#: second, chain build *included* — the one-shot cost model). Measures
+#: ~120-140k locally; a third absorbs single-vCPU CI noise.
+MULTI_FLOOR = 40_000
+
+#: The acceptance bar for multi-region sampling at experiment scale: a
+#: 10^7-instruction run estimated from 10 periodic windows must be at
+#: least this much faster than simulating every instruction in detail.
+MULTI_SPEEDUP_FLOOR = 20.0
 
 
 def bench_sampled_throughput(publish):
@@ -168,3 +189,140 @@ def bench_sampled_sweep_speedup(publish, tmp_path, monkeypatch):
     assert snapshots_on_disk == 1  # warm-config key shared the prefix
     assert speedup >= SWEEP_SPEEDUP_FLOOR
     assert max(deviations) < IPC_DEVIATION_CAP
+
+
+def bench_sampled_multi_throughput(publish):
+    """The ``sampled_multi`` regime: covered instructions per second
+    for a fresh (unamortized) multi-region run, chain build included."""
+    regime = REGIMES["sampled_multi"]
+    rate, stats = best_rate(regime, rounds=3)
+    _, warmup = sample_plan(regime.sample)
+
+    publish(
+        "sampled_multi_throughput",
+        "Multi-region sampled throughput "
+        f"(base {regime.workload}, scale {regime.scale}, "
+        f"{stats.sample_regions} x {regime.sample:,}-inst windows, "
+        f"period {regime.sample_period:,}, chain build timed)\n\n"
+        f"~{rate:,.0f} covered instructions/second "
+        f"({stats.ff_insts:,} chain span + "
+        f"{stats.sample_regions * warmup:,} discard + "
+        f"{stats.committed:,} measured, best of 3 runs)",
+    )
+    _merge_results(
+        "sampled_multi",
+        {
+            "workload": regime.workload,
+            "mode": regime.mode,
+            "scale": regime.scale,
+            "sample": regime.sample,
+            "sample_regions": regime.sample_regions,
+            "sample_period": regime.sample_period,
+            "detail_warmup": warmup,
+            "instructions_per_second": round(rate),
+            "chain_span_insts": stats.ff_insts,
+            "committed_per_run": stats.committed,
+            "ipc_mean": round(stats.ipc_mean, 4),
+            "ipc_ci95": round(stats.ipc_ci95, 4),
+            "best_of_rounds": 3,
+            "floor_instructions_per_second": MULTI_FLOOR,
+        },
+    )
+    assert stats.sample_regions == regime.sample_regions
+    assert stats.committed == regime.sample_regions * regime.sample
+    assert rate > MULTI_FLOOR
+
+
+def bench_sampled_multi_differential(publish, tmp_path, monkeypatch):
+    """The acceptance differential at experiment scale: a 10^7-inst
+    mcf run estimated from 10 periodic 2k-inst windows must be >= 20x
+    faster than full detail, and the full-detail IPC must fall inside
+    the sampled estimate's 95% confidence interval.
+
+    The period is pinned to 1M instructions because ``workload.region``
+    is a ceiling, not a promise — mcf at this scale halts around
+    10.02M dynamic instructions, so evenly spacing windows over the
+    ceiling would plan some of them past the halt. The full-detail
+    side raises ``max_cycles`` past the 50M-cycle default (at mcf's
+    ~0.16 IPC the run needs ~63M cycles) so it really commits every
+    instruction; a truncated comparator would flatter the speedup.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    workload = registry.build("mcf", scale=181)
+    sample, regions, period = 2_000, 10, 1_000_000
+    plan = build_sample_plan(workload.region, 0, sample, regions, period)
+
+    # Sampled side: the chained fast-forward is built fresh, in memory
+    # (the one-shot cost model, same as the sampled_multi regime —
+    # persisting ten multi-megaword snapshots is the amortized case a
+    # sweep pays once, benched separately above).
+    store = SnapshotStore(enabled=False)
+    sampled_start = time.perf_counter()
+    per_region = []
+    for snapshot, _hit in iter_chain(
+        workload, FOUR_WIDE, plan.depths, store=store
+    ):
+        if (
+            snapshot is not None
+            and snapshot.executed < snapshot.ff_insts
+            and per_region
+        ):
+            break  # planned past the halt
+        stats = run_baseline(
+            workload, FOUR_WIDE,
+            snapshot=snapshot, warmup=plan.warmup, region=plan.sample,
+        )
+        per_region.append(stats)
+    sampled = aggregate_stats(per_region)
+    sampled_s = time.perf_counter() - sampled_start
+
+    from repro.uarch.core import Core
+
+    full_start = time.perf_counter()
+    full = Core(
+        workload.program, FOUR_WIDE,
+        memory_image=workload.memory_image,
+        memory_normalized=True,
+        region=workload.region,
+        workload_name=workload.name,
+    ).run(max_cycles=150_000_000)
+    full_s = time.perf_counter() - full_start
+
+    speedup = full_s / sampled_s
+    error = abs(sampled.ipc_mean - full.ipc)
+    regions_txt = ", ".join(f"{ipc:.3f}" for ipc in sampled.region_ipcs)
+    publish(
+        "sampled_multi_differential",
+        "Multi-region differential (mcf, scale 181, "
+        f"{full.committed / 1e6:.2f}M insts full detail vs "
+        f"{sampled.sample_regions} x {sample:,}-inst sampled windows, "
+        f"period {period:,})\n\n"
+        f"full detail:  {full_s:.1f}s, IPC {full.ipc:.4f}\n"
+        f"sampled:      {sampled_s:.1f}s, IPC {sampled.ipc_mean:.4f} "
+        f"± {sampled.ipc_ci95:.4f} (95% CI)\n"
+        f"speedup {speedup:.1f}x, |error| {error:.4f}\n"
+        f"region IPCs: {regions_txt}",
+    )
+    _merge_results(
+        "sampled_multi_differential",
+        {
+            "workload": "mcf",
+            "scale": 181,
+            "full_detail_insts": full.committed,
+            "sample": sample,
+            "sample_regions": sampled.sample_regions,
+            "sample_period": period,
+            "full_detail_seconds": round(full_s, 1),
+            "sampled_seconds": round(sampled_s, 1),
+            "speedup": round(speedup, 1),
+            "full_ipc": round(full.ipc, 4),
+            "sampled_ipc_mean": round(sampled.ipc_mean, 4),
+            "sampled_ipc_ci95": round(sampled.ipc_ci95, 4),
+            "speedup_floor": MULTI_SPEEDUP_FLOOR,
+        },
+    )
+    assert sampled.sample_regions == regions  # nothing planned past halt
+    assert not full.hit_cycle_limit  # comparator ran to the real halt
+    assert speedup >= MULTI_SPEEDUP_FLOOR
+    # The estimator's own interval must cover the truth.
+    assert error <= sampled.ipc_ci95

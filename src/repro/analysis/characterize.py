@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.slices.spec import KillKind, SliceSpec
-from repro.uarch.stats import RunStats
+from repro.uarch.stats import RunStats, mean_ci95
 
 
 @dataclass
@@ -111,6 +111,13 @@ class RunCharacterization:
     #: run misbehaved.
     slices_killed_fuse: int = 0
     slices_killed_fault: int = 0
+    #: Multi-region sampling: window count and the 95% confidence
+    #: half-widths on the IPCs and the speedup (0 = full-detail point
+    #: estimates; see :func:`repro.uarch.stats.mean_ci95`).
+    sample_regions: int = 0
+    base_ipc_ci: float = 0.0
+    slice_ipc_ci: float = 0.0
+    speedup_ci: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -157,6 +164,20 @@ def characterize_run(
     late_fraction = (
         correlator.late_predictions / consumed if consumed else 0.0
     )
+    # Multi-region runs carry per-window IPCs: report the sampled
+    # estimators with confidence intervals. Base and assisted windows
+    # are paired (same chain, same depths), so the speedup CI comes
+    # from the per-region ratios.
+    speedup_ci = 0.0
+    paired = min(len(base.region_ipcs), len(assisted.region_ipcs))
+    if paired >= 2:
+        ratios = [
+            assisted.region_ipcs[k] / base.region_ipcs[k] - 1.0
+            for k in range(paired)
+            if base.region_ipcs[k]
+        ]
+        if len(ratios) >= 2:
+            speedup_ci = mean_ci95(ratios)[1]
     return RunCharacterization(
         program=workload_name,
         base_fetched=base.main_fetched,
@@ -179,4 +200,8 @@ def characterize_run(
         slice_ipc=assisted.ipc,
         slices_killed_fuse=assisted.slices_killed_fuse,
         slices_killed_fault=assisted.slices_killed_fault,
+        sample_regions=base.sample_regions,
+        base_ipc_ci=base.ipc_ci95,
+        slice_ipc_ci=assisted.ipc_ci95,
+        speedup_ci=speedup_ci,
     )

@@ -31,12 +31,24 @@ class Memory:
 
     __slots__ = ("_words", "_journal", "journaling")
 
-    def __init__(self, image: dict[int, int] | None = None, journaling: bool = True):
-        self._words: dict[int, int] = {}
+    def __init__(
+        self,
+        image: dict[int, int] | None = None,
+        journaling: bool = True,
+        normalized: bool = False,
+    ):
+        """*normalized* promises every key of *image* is already 8-byte
+        aligned and every value already signed — true of
+        :meth:`snapshot` output — so a warmed-state restore copies the
+        dict instead of re-normalizing millions of words."""
         self.journaling = journaling
-        if image:
-            for addr, value in image.items():
-                self._words[addr & ~7] = to_signed(value)
+        if image and normalized:
+            self._words: dict[int, int] = dict(image)
+        else:
+            self._words = {}
+            if image:
+                for addr, value in image.items():
+                    self._words[addr & ~7] = to_signed(value)
         self._journal: list[tuple[int, int | None]] = []
 
     def load(self, addr: int) -> int:

@@ -23,6 +23,12 @@ answer "where does the time go" without hand-building a workload:
   (:mod:`repro.harness.fastforward`): the sampled-simulation regime,
   where the interpreter tier and snapshot restore carry most of the
   program and the detailed core only runs the discard window + region.
+* **sampled_multi** — base mcf with eight periodic 2k-instruction
+  windows along a snapshot chain built fresh in-memory every round:
+  the multi-region regime, dominated by the fused functional-warming
+  tier (:mod:`repro.uarch.warmfuse`) carrying the inter-window gaps.
+  Unlike **sampled**, the chain build is *inside* the timed region —
+  this measures the one-shot (unamortized) cost of a sampled run.
 
 ``run_all_regimes`` additionally measures the **interpreter** tier
 (raw functional ``execute()`` throughput) so ``repro bench --all``
@@ -60,6 +66,12 @@ class BenchRegime:
     #: committed instructions. 0/0 = full detailed run.
     fast_forward: int = 0
     sample: int = 0
+    #: Multi-region sampling: ``sample_regions >= 2`` runs that many
+    #: periodic detailed windows along a snapshot chain built fresh
+    #: in-memory each round (the chain build IS the regime's cost —
+    #: no store amortization, unlike the single-snapshot regime).
+    sample_regions: int = 0
+    sample_period: int = 0
 
     def build_workload(self):
         return registry.build(self.workload, scale=self.scale)
@@ -78,6 +90,7 @@ class BenchRegime:
             workload = self.build_workload()
         kwargs = dict(
             memory_image=workload.memory_image,
+            memory_normalized=True,
             region=workload.region,
             workload_name=workload.name,
         )
@@ -102,7 +115,23 @@ class BenchRegime:
         fast-forwarded prefix, the detailed-warming discard window, and
         the measured region. The honest numerator for a sampled
         regime's throughput (the denominator still times only
-        ``run()``; the shared snapshot is amortized across a sweep)."""
+        ``run()``; the shared snapshot is amortized across a sweep).
+
+        For a multi-region regime, ``stats.ff_insts`` holds the chain
+        *span* (the deepest window's prefix, which is all the chained
+        build executes — not the per-window sum), so the numerator is
+        the program span the run swept: span + every window's discard
+        prefix + everything measured.
+        """
+        if self.sample_regions >= 2:
+            from repro.harness.fastforward import sample_plan
+
+            _region, warmup = sample_plan(self.sample)
+            return (
+                stats.ff_insts
+                + stats.sample_regions * warmup
+                + stats.committed
+            )
         if self.fast_forward > 0 or self.sample > 0:
             from repro.harness.fastforward import sample_plan
 
@@ -167,7 +196,85 @@ REGIMES: dict[str, BenchRegime] = {
             "measured region"
         ),
     ),
+    "sampled_multi": BenchRegime(
+        name="sampled_multi",
+        workload="mcf",
+        scale=4.0,
+        mode="base",
+        config=FOUR_WIDE,
+        # Eight 2k-inst windows every 25k instructions, snapshot chain
+        # built fresh in-memory each round: the multi-region regime,
+        # where the fused warming tier carries the inter-window gaps
+        # and the detailed core only runs the windows. Timing includes
+        # the chain build — this is the one-shot (unamortized) cost of
+        # a multi-region sampled run.
+        sample=2_000,
+        sample_regions=8,
+        sample_period=25_000,
+        description=(
+            "multi-region mcf: 8 x 2k-inst windows along a fresh "
+            "in-memory snapshot chain"
+        ),
+    ),
 }
+
+
+def _run_multi_region(regime: BenchRegime, workload) -> tuple[RunStats, float]:
+    """One timed multi-region run: fresh in-memory chain build plus
+    every detailed window.
+
+    The snapshot store is disabled so each round pays the full chained
+    fast-forward (that is the regime's cost model: the one-shot,
+    unamortized multi-region run). The aggregate's ``ff_insts`` is
+    rewritten to the chain *span* — the deepest prefix, which is all
+    the incremental build executes — so ``covered_insts`` stays honest.
+    """
+    from repro.harness.fastforward import (
+        SnapshotStore,
+        build_sample_plan,
+        iter_chain,
+    )
+    from repro.uarch.stats import aggregate_stats
+
+    plan = build_sample_plan(
+        workload.region,
+        regime.fast_forward,
+        regime.sample,
+        regime.sample_regions,
+        regime.sample_period,
+    )
+    store = SnapshotStore(enabled=False)
+    per_region: list[RunStats] = []
+    span = 0
+    start = time.perf_counter()
+    for snapshot, _hit in iter_chain(
+        workload, regime.config, plan.depths, store=store
+    ):
+        if (
+            snapshot is not None
+            and snapshot.executed < snapshot.ff_insts
+            and per_region
+        ):
+            break  # program halted before this window's start
+        kwargs = dict(
+            memory_image=workload.memory_image,
+            memory_normalized=True,
+            region=plan.sample,
+            warmup=plan.warmup,
+            workload_name=workload.name,
+            snapshot=snapshot,
+        )
+        if regime.mode == "slice":
+            kwargs["slices"] = tuple(workload.slices)
+        stats = Core(workload.program, regime.config, **kwargs).run()
+        if snapshot is not None:
+            stats.ff_insts = snapshot.executed
+            span = snapshot.executed
+        per_region.append(stats)
+    elapsed = time.perf_counter() - start
+    total = aggregate_stats(per_region)
+    total.ff_insts = span
+    return total, elapsed
 
 
 def run_regime(
@@ -176,8 +283,14 @@ def run_regime(
     """Run one simulation of *regime*, returning (stats, wall seconds).
 
     Core construction (workload build, slice load, snapshot fetch) is
-    excluded from the timing; only ``run()`` is measured.
+    excluded from the timing; only ``run()`` is measured — except for
+    a multi-region regime, whose timing deliberately includes its
+    fresh in-memory chain build (see :func:`_run_multi_region`).
     """
+    if regime.sample_regions >= 2:
+        if workload is None:
+            workload = regime.build_workload()
+        return _run_multi_region(regime, workload)
     core = regime.build_core(workload=workload, **overrides)
     start = time.perf_counter()
     stats = core.run()
@@ -232,7 +345,9 @@ def measure_interpreter_rate(
     program = workload.program
 
     def one_round() -> tuple[int, float]:
-        memory = Memory(workload.memory_image, journaling=False)
+        memory = Memory(
+            workload.memory_image, journaling=False, normalized=True
+        )
         state = ThreadState(memory, entry_pc=program.entry_pc)
         executed = 0
         start = time.perf_counter()
@@ -270,10 +385,14 @@ def run_all_regimes(rounds: int = 3) -> dict:
             "committed_per_run": stats.committed,
             "best_of_rounds": rounds,
         }
-        if regime.fast_forward:
+        if regime.fast_forward or regime.sample_regions >= 2:
             results[name]["fast_forward"] = regime.fast_forward
             results[name]["sample"] = regime.sample
             results[name]["ff_insts"] = stats.ff_insts
+        if regime.sample_regions >= 2:
+            results[name]["sample_regions"] = regime.sample_regions
+            results[name]["sample_period"] = regime.sample_period
+            results[name]["regions_run"] = stats.sample_regions
     rate, executed = measure_interpreter_rate(rounds=rounds)
     results["interpreter"] = {
         "description": "functional execute() tier, vpr instruction stream",
@@ -314,11 +433,17 @@ def profile_regime(
     standard first question ("which subsystem owns the wall clock")
     for a simulator perf regression.
     """
-    core = regime.build_core(**overrides)
     profiler = cProfile.Profile()
-    profiler.enable()
-    stats = core.run()
-    profiler.disable()
+    if regime.sample_regions >= 2:
+        workload = regime.build_workload()
+        profiler.enable()
+        stats, _elapsed = _run_multi_region(regime, workload)
+        profiler.disable()
+    else:
+        core = regime.build_core(**overrides)
+        profiler.enable()
+        stats = core.run()
+        profiler.disable()
     buf = io.StringIO()
     ps = pstats.Stats(profiler, stream=buf)
     ps.sort_stats("cumulative").print_stats(top)

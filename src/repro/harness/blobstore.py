@@ -184,6 +184,28 @@ class IntegrityStore:
         os.replace(tmp, path)
         return digest
 
+    def contains(self, key: str) -> bool:
+        """Cheap existence probe — no read, no checksum, no counters.
+
+        Used to plan work (e.g. "is this snapshot chain fully built?")
+        without paying a multi-megabyte unpickle per member. A corrupt
+        entry still reads as present; :meth:`load` is what detects and
+        quarantines it when the payload is actually needed.
+        """
+        return self.enabled and self._path(key).exists()
+
+    def quarantined_count(self) -> int:
+        """Number of quarantined entries bearing this store's suffix."""
+        if not self.corrupt_dir.exists():
+            return 0
+        return sum(
+            1 for _ in self.corrupt_dir.glob(f"*{self.suffix}")
+        )
+
+    def total_bytes(self) -> int:
+        """Total on-disk size of live entries (headers included)."""
+        return sum(path.stat().st_size for path in self.entry_paths())
+
     def entry_paths(self):
         """Every live entry file (quarantined ones excluded)."""
         if not self.root.exists():

@@ -12,6 +12,7 @@ Usage::
     python -m repro bench balanced --profile   # simulator self-benchmark
     python -m repro bench --all         # every regime, one summary
     python -m repro figure11 --fast-forward 20000 --sample 4000  # sampled
+    python -m repro table4 --sample 10000 --sample-regions 10  # multi-region
 
 Simulations fan out over ``--jobs`` worker processes (default:
 ``REPRO_JOBS`` env or the CPU count) and are memoized in the
@@ -82,7 +83,8 @@ def build_parser() -> argparse.ArgumentParser:
             "cache action: 'clear' (with 'cache'); snapshot action: "
             "'ls' (default) / 'clear' (with 'snapshot'); bench regime: "
             "'balanced' / 'memory_bound' / 'slice_heavy' / 'interpreter' "
-            "/ 'sampled' (with 'bench', default 'balanced')"
+            "/ 'sampled' / 'sampled_multi' (with 'bench', default "
+            "'balanced')"
         ),
     )
     parser.add_argument(
@@ -171,6 +173,28 @@ def build_parser() -> argparse.ArgumentParser:
             "sampled simulation: measure N committed instructions "
             "(after a detailed-warming discard window of min(N/10, "
             "2000)) instead of the workload's full region"
+        ),
+    )
+    parser.add_argument(
+        "--sample-regions",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "multi-region sampling: run N periodic detailed windows of "
+            "--sample instructions each, fast-forwarding between them "
+            "along a shared snapshot chain, and report the mean with a "
+            "95%% confidence interval (0/1 = single window)"
+        ),
+    )
+    parser.add_argument(
+        "--sample-period",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "instructions between multi-region window starts (default: "
+            "spread the windows uniformly over the workload's region)"
         ),
     )
     parser.add_argument(
@@ -290,22 +314,42 @@ def run_snapshot_action(action: str | None) -> int:
     store = SnapshotStore()
     if action in (None, "ls"):
         entries = store.ls()
+        quarantined = store.quarantined_count()
         if not entries:
             print(f"no snapshots under {store.root}")
+            if quarantined:
+                print(f"{quarantined} quarantined blob(s) in {store.corrupt_dir}")
             return 0
+        known_keys = {entry["key"] for entry in entries}
         print(
             f"{'key':16s} {'workload':12s} {'scale':>6s} "
-            f"{'ff_insts':>9s} {'executed':>9s} {'warm':>5s} {'bytes':>10s}"
+            f"{'ff_insts':>9s} {'executed':>9s} {'warm':>5s} "
+            f"{'chain':16s} {'bytes':>10s}"
         )
+        chained = 0
         for entry in entries:
+            parent = entry["parent"]
+            if parent is None:
+                chain = "-"
+            else:
+                chained += 1
+                # A parent outside the store means the chain was built
+                # here but its earlier members were cleared since.
+                tag = "" if parent in known_keys else "?"
+                chain = f"<-{parent[:12]}{tag}"
             print(
                 f"{entry['key'][:16]:16s} {entry['workload']:12s} "
                 f"{entry['scale']:>6g} {entry['ff_insts']:>9d} "
                 f"{entry['executed']:>9d} "
                 f"{'yes' if entry['warming'] else 'no':>5s} "
-                f"{entry['bytes']:>10,d}"
+                f"{chain:16s} {entry['bytes']:>10,d}"
             )
-        print(f"{len(entries)} snapshot(s) under {store.root}")
+        print(
+            f"{len(entries)} snapshot(s) ({chained} chained, "
+            f"{store.total_bytes():,d} bytes total) under {store.root}"
+        )
+        if quarantined:
+            print(f"{quarantined} quarantined blob(s) in {store.corrupt_dir}")
         return 0
     if action == "clear":
         removed = store.clear()
@@ -344,6 +388,10 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_FAST_FORWARD"] = str(args.fast_forward)
     if args.sample is not None:
         os.environ["REPRO_SAMPLE"] = str(args.sample)
+    if args.sample_regions is not None:
+        os.environ["REPRO_SAMPLE_REGIONS"] = str(args.sample_regions)
+    if args.sample_period is not None:
+        os.environ["REPRO_SAMPLE_PERIOD"] = str(args.sample_period)
     if args.experiment == "bench":
         return run_bench(
             args.action, profile=args.profile, run_all=args.bench_all

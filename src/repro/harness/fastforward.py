@@ -1,34 +1,48 @@
 """Sampled simulation: functional fast-forward, microarchitectural
-warming, and content-addressed warmed-state snapshots.
+warming, content-addressed warmed-state snapshots, and multi-region
+sample plans.
 
 The paper's own methodology (§6) never simulates its multi-billion-
 instruction runs in full detail — it fast-forwards to the regions it
-measures. This module is that layer for our simulator, in three parts:
+measures. This module is that layer for our simulator, in four parts:
 
 * :func:`fast_forward` — execute a workload's warmup prefix purely
-  *functionally* on the interpreter tier (~14x the detailed core's
-  speed), optionally with **functional warming**: every load/store
-  touches a :class:`~repro.uarch.cache.DataHierarchy` (with the stream
-  prefetcher attached) and every branch drives the
-  :class:`~repro.uarch.branch.frontend_predictor.FrontEndPredictor`
-  through its real predict/restore/replay/train protocol — state
-  updates only, no timing — so the detailed region starts with
-  realistic cache and predictor contents instead of a cold machine.
+  *functionally* on the interpreter tier, optionally with **functional
+  warming**: every load/store touches a
+  :class:`~repro.uarch.cache.DataHierarchy` (with the stream
+  prefetcher attached) and every branch trains the
+  :class:`~repro.uarch.branch.frontend_predictor.FrontEndPredictor`'s
+  component tables directly with the resolved outcome — state updates
+  only, no timing — so the detailed region starts with realistic cache
+  and predictor contents instead of a cold machine. A prefix can
+  *resume* from an earlier snapshot (``resume_from``); resumed and
+  straight-through warmups produce byte-identical warm images (the
+  split-vs-straight differential in ``tests/harness/test_sampled.py``
+  pins this down), which is what makes snapshot chains sound.
 * :class:`Snapshot` / :class:`SnapshotStore` — the resulting
   architectural state (registers, PC, full memory image) plus the
-  warmed cache/predictor images, persisted under
+  warmed cache/predictor/prefetcher images, persisted under
   ``.repro_cache/snapshots/`` with the same checksummed-payload /
   corrupt-quarantine discipline as the run cache
   (:mod:`repro.harness.blobstore`), keyed by
   ``(workload, scale, ff_insts, warming config, src hash)``.
-* :func:`ensure_snapshot` / :func:`prebuild_snapshots` — build-once /
-  share-everywhere: ``run_matrix`` pre-builds each distinct snapshot a
-  matrix needs before fanning out, so a machine-parameter sweep pays
-  the architectural prefix exactly once. The warming key digests only
-  the sub-configs that shape warmed state (L1D/L2 geometry, prefetch,
-  branch predictor budgets) — varying ``memory_latency``,
-  ``window_entries``, or slice hardware across sweep points reuses the
-  identical snapshot.
+* :class:`SamplePlan` / :func:`build_sample_plan` — SMARTS-style
+  periodic sampling: N detailed measurement windows (each preceded by
+  a detailed-warming discard prefix) spread over the workload's
+  region, with functional fast-forward covering everything between
+  windows. Each window's prefix depth names one member of a **snapshot
+  chain**.
+* :func:`ensure_snapshot` / :func:`iter_chain` /
+  :func:`prebuild_snapshots` — build-once / share-everywhere:
+  ``run_matrix`` pre-builds each distinct snapshot (or chain) a matrix
+  needs before fanning out, so a machine-parameter sweep pays the
+  architectural prefix exactly once. Chain member *k+1* is built
+  incrementally by resuming from member *k*, never by re-running from
+  the entry point, so a 10-region plan costs one pass over the
+  program. The warming key digests only the sub-configs that shape
+  warmed state (L1D/L2 geometry, prefetch, branch predictor budgets) —
+  varying ``memory_latency``, ``window_entries``, or slice hardware
+  across sweep points reuses the identical chain.
 
 **Accuracy model.** Functional warming is architectural: it sees no
 wrong-path accesses, no timing-dependent prefetch arrivals, and no
@@ -39,8 +53,9 @@ helper threads (FORK is architecturally a no-op). The detailed-warming
 warmup boundary, so in-flight timing, stream-prefetcher state, and the
 slice correlator re-converge before measurement starts. Accuracy
 bounds vs. full-detail IPC are enforced by
-``benchmarks/bench_sampled.py`` (< 2% deviation) and the differential
-suite (``tests/harness/test_sampled.py``) proves fast-forward = 0 is
+``benchmarks/bench_sampled.py`` (single-region < 2% deviation;
+multi-region within the sampled 95% CI) and the differential suite
+(``tests/harness/test_sampled.py``) proves fast-forward = 0 is
 bit-identical to a full detailed run.
 """
 
@@ -54,21 +69,29 @@ import pickle
 from dataclasses import dataclass, field
 
 from repro.arch.exceptions import Fault
-from repro.arch.interpreter import run_functional
+from repro.arch.interpreter import _compile, run_functional
 from repro.arch.memory import Memory
 from repro.arch.state import ThreadState
 from repro.errors import CacheCorruptionError
 from repro.harness.blobstore import CORRUPT_SUBDIR, IntegrityStore
 from repro.harness.cache import DEFAULT_CACHE_DIR, source_tree_hash
+from repro.isa.opcodes import INSTRUCTION_BYTES, Opcode
 from repro.uarch.branch.frontend_predictor import FrontEndPredictor
 from repro.uarch.cache import DataHierarchy
 from repro.uarch.config import MachineConfig
 from repro.uarch.prefetch import StreamPrefetcher
+from repro.uarch.warmfuse import (
+    WarmContext,
+    compile_warm_run,
+    warm_block_table,
+)
 from repro.workloads.base import Workload
 
 #: Bump when the snapshot payload layout changes; old snapshots become
-#: misses instead of unpickling into the wrong shape.
-SNAPSHOT_SCHEMA_VERSION = 1
+#: misses instead of unpickling into the wrong shape. v2: warming runs
+#: the dedicated direct-update loop (resumable, prefetcher image,
+#: chain parentage) instead of the predict/restore/replay protocol.
+SNAPSHOT_SCHEMA_VERSION = 2
 
 _SNAP_MAGIC = b"repro-snap-%d\n" % SNAPSHOT_SCHEMA_VERSION
 
@@ -98,6 +121,70 @@ def sample_plan(sample: int) -> tuple[int | None, int]:
     return sample, min(sample // DETAIL_WARMUP_FRACTION, DETAIL_WARMUP_CAP)
 
 
+@dataclass(frozen=True)
+class SamplePlan:
+    """Placement of N periodic detailed windows over a long run.
+
+    Window *k* fast-forwards ``depths[k]`` instructions functionally
+    (with warming), then runs ``warmup`` detailed-but-discarded
+    instructions, then measures ``sample`` instructions in full
+    detail. ``depths`` is strictly increasing with step ``period``;
+    the region between two windows is covered by functional warming
+    only. ``depths[0] == 0`` means the first window starts cold at the
+    entry point (no snapshot needed).
+    """
+
+    regions: int
+    sample: int
+    warmup: int
+    period: int
+    depths: tuple[int, ...]
+
+    @property
+    def window(self) -> int:
+        """Detailed instructions per region (discard + measured)."""
+        return self.warmup + self.sample
+
+
+def build_sample_plan(
+    total_region: int,
+    fast_forward: int,
+    sample: int,
+    regions: int,
+    period: int = 0,
+) -> SamplePlan:
+    """Schedule *regions* periodic windows over *total_region*.
+
+    *total_region* is the horizon a full-detail run of this workload
+    would measure (``workload.region``); windows are spread uniformly
+    over ``[fast_forward, total_region)``. When *period* is 0 it is
+    derived as ``(total_region - fast_forward) // regions`` (clamped so
+    windows never overlap); an explicit period overrides the spread but
+    is clamped the same way.
+    """
+    if regions < 2:
+        raise ValueError(
+            f"multi-region plans need >= 2 regions, got {regions} "
+            "(use sample_plan for single-region sampling)"
+        )
+    if sample <= 0:
+        raise ValueError("multi-region sampling requires sample > 0")
+    _, warmup = sample_plan(sample)
+    window = warmup + sample
+    if period <= 0:
+        span = max(total_region - fast_forward, regions * window)
+        period = span // regions
+    period = max(period, window)
+    depths = tuple(fast_forward + k * period for k in range(regions))
+    return SamplePlan(
+        regions=regions,
+        sample=sample,
+        warmup=warmup,
+        period=period,
+        depths=depths,
+    )
+
+
 @dataclass
 class Snapshot:
     """Architectural state + warmed microarchitectural images at one
@@ -122,10 +209,18 @@ class Snapshot:
     #: snapshot's images were built for (see :func:`warm_config_key`).
     warm_config: str | None = None
     #: ``DataHierarchy.warm_image()`` (L1/L2 sets, prefetch/victim
-    #: buffer) and ``FrontEndPredictor.warm_image()`` payloads, or
-    #: ``None`` when warming was off.
+    #: buffer), ``FrontEndPredictor.warm_image()``, and
+    #: ``StreamPrefetcher.warm_image()`` payloads, or ``None`` when
+    #: warming was off.
     hierarchy_image: dict | None = field(default=None, repr=False)
     predictor_image: tuple | None = field(default=None, repr=False)
+    prefetcher_image: list | None = field(default=None, repr=False)
+    #: Fingerprint of the chain member this snapshot was resumed from
+    #: (None for a straight-through build or a chain head). Provenance
+    #: only — excluded from :func:`snapshot_digest`, because a chained
+    #: build and a straight-through build of the same depth are
+    #: byte-identical in every payload that matters.
+    parent: str | None = None
 
 
 def warm_config_key(config: MachineConfig) -> str:
@@ -135,7 +230,7 @@ def warm_config_key(config: MachineConfig) -> str:
     to a warm image; ``memory_latency``, window size, core width, and
     slice hardware do not (warming is untimed and slice-free). Keying
     on exactly this set is what lets every point of a machine-parameter
-    sweep share one snapshot.
+    sweep share one snapshot chain.
     """
     payload = {
         "l1d": dataclasses.asdict(config.l1d),
@@ -155,7 +250,12 @@ def snapshot_fingerprint(
     warming: bool = True,
     source_hash: str | None = None,
 ) -> str:
-    """Content-addressed key for one snapshot."""
+    """Content-addressed key for one snapshot.
+
+    A chain member at depth *d* gets the same key a straight-through
+    build of depth *d* would — chains add no key dimension, so any
+    request whose prefix lands on *d* shares the stored member.
+    """
     payload = {
         "schema": SNAPSHOT_SCHEMA_VERSION,
         "source": source_hash if source_hash is not None else source_tree_hash(),
@@ -174,9 +274,21 @@ def snapshot_digest(snapshot: Snapshot) -> str:
 
     The simulator and the workload generators are deterministic, so the
     same request must produce byte-identical snapshots — CI asserts
-    this (snapshot-determinism step).
+    this (snapshot-determinism step). ``parent`` is provenance, not
+    state, and is masked out so a chained build digests identically to
+    a straight-through build of the same depth.
     """
+    if snapshot.parent is not None:
+        snapshot = dataclasses.replace(snapshot, parent=None)
     return hashlib.sha256(_encode(snapshot)).hexdigest()
+
+
+def chain_digest(digests: list[str] | tuple[str, ...]) -> str:
+    """Digest of a whole chain: SHA-256 over its members' digests in
+    depth order. CI's chained-determinism step compares this across
+    two independent builds."""
+    joined = "\n".join(digests).encode()
+    return hashlib.sha256(joined).hexdigest()
 
 
 def _encode(snapshot: Snapshot) -> bytes:
@@ -190,81 +302,307 @@ def _encode(snapshot: Snapshot) -> bytes:
 # ----------------------------------------------------------------------
 
 
+def _cold_loop(program, state, budget: int) -> tuple[int, bool]:
+    """Plain functional execution (no warming): ``(executed, halted)``."""
+    executed = 0
+    for _inst, result in run_functional(program, state, budget):
+        executed += 1
+        if result.fault is Fault.HALT:
+            return executed, True
+    return executed, False
+
+
+def _warm_steps(
+    program,
+    state,
+    budget: int,
+    hierarchy: DataHierarchy,
+    predictor: FrontEndPredictor,
+) -> tuple[int, bool]:
+    """Per-instruction functional execution with direct warming.
+
+    The precise-budget tier of warming: dispatches the interpreter's
+    cached executor closures directly (no generator frame per
+    instruction) and trains the predictor components with their
+    resolved outcomes instead of running the full
+    predict/restore/replay/train protocol. The two are state-
+    equivalent: ``YagsPredictor.update`` and
+    ``CascadingIndirectPredictor.update`` take the pre-branch history
+    as an argument (never reading live history), a correctly-predicted
+    and a mispredicted-then-replayed branch leave the same net
+    history/RAS effect, and the prediction-side stat counters are
+    simply never touched (they are zero in every warm image either
+    way).
+
+    Most warm instructions run on the fused tier
+    (:mod:`repro.uarch.warmfuse`) instead; this loop covers the tail
+    of a budget that ends mid-run. The two tiers are state-identical
+    per instruction — the split-vs-straight warm-image differential
+    exercises exactly that boundary.
+    """
+    program_at = program.at
+    warm_access = hierarchy.warm_access
+    direction = predictor.direction
+    indirect = predictor.indirect
+    ras = predictor.ras
+    dir_update = direction.update
+    dir_shift = direction.shift_history
+    ind_update = indirect.update
+    ind_shift = indirect.shift_history
+    ras_push = ras.push
+    ras_pop = ras.predict_and_pop
+    halt = Fault.HALT
+    null_deref = Fault.NULL_DEREF
+    op_call = Opcode.CALL
+    op_ret = Opcode.RET
+    op_br = Opcode.BR
+    op_callr = Opcode.CALLR
+
+    executed = 0
+    while executed < budget:
+        inst = program_at(state.pc)
+        if inst is None:
+            break
+        fn = inst._exec
+        if fn is None:
+            fn = inst._exec = _compile(inst)
+        result = fn(state)
+        executed += 1
+        if inst.is_mem:
+            addr = result.addr
+            if addr is not None and result.fault is not null_deref:
+                warm_access(addr, inst.is_store)
+        elif inst.is_branch:
+            if inst.is_conditional:
+                taken = result.taken
+                dir_update(inst.pc, taken, direction.history)
+                dir_shift(taken)
+            else:
+                op = inst.op
+                if op is op_call:
+                    ras_push(inst.pc + INSTRUCTION_BYTES)
+                elif op is op_ret:
+                    ras_pop()
+                elif op is not op_br:  # JR / CALLR
+                    target = result.next_pc
+                    ind_update(inst.pc, target, indirect.path_history)
+                    ind_shift(target)
+                    if op is op_callr:
+                        ras_push(inst.pc + INSTRUCTION_BYTES)
+        if result.fault is halt:
+            return executed, True
+    return executed, False
+
+
+def _warm_loop(
+    program,
+    state,
+    budget: int,
+    hierarchy: DataHierarchy,
+    predictor: FrontEndPredictor,
+) -> tuple[int, bool]:
+    """Block-fused functional warming: ``(executed, halted)``.
+
+    Drives :mod:`repro.uarch.warmfuse`: whole straight-line runs
+    (terminating branch included) execute as one generated function
+    each, with warm updates inlined. Falls back to
+    :func:`_warm_steps` for the tail of the budget, when fewer
+    instructions remain than the next run would execute. Both tiers
+    leave identical state per instruction, so where the budget falls
+    relative to run boundaries is unobservable in the resulting
+    snapshot — which is what makes chained (split) and
+    straight-through warmups byte-identical.
+    """
+    # The generated runs elide the undo journal; fast-forward state is
+    # built with journaling off, which makes that an exact elision.
+    assert not state.regs.journaling and not state.memory.journaling
+    l1 = hierarchy.l1
+    table = warm_block_table(program, l1._line_shift, l1._set_mask)
+    compile_run = compile_warm_run
+    ctx = WarmContext(state, hierarchy, predictor)
+    pc = state.pc
+    executed = 0
+    halted = False
+    remaining = budget
+    table_get = table.get
+    _missing = ()
+    while remaining > 0:
+        entry = table_get(pc, _missing)
+        if entry is _missing:
+            entry = table[pc] = compile_run(
+                program, pc, l1._line_shift, l1._set_mask
+            )
+        if entry is None:
+            break  # off-program PC: stop exactly as run_functional does
+        fn, length, halt_pc = entry
+        if length > remaining:
+            state.pc = pc
+            ran, halted = _warm_steps(
+                program, state, remaining, hierarchy, predictor
+            )
+            executed += ran
+            remaining -= ran
+            pc = state.pc
+            break
+        nxt = fn(ctx)
+        executed += length
+        remaining -= length
+        if nxt is None:
+            pc = halt_pc
+            halted = True
+            break
+        pc = nxt
+    state.pc = pc
+    return executed, halted
+
+
+class _LiveRun:
+    """Live functional-warming execution state.
+
+    Set up once (from scratch or from a resume snapshot), advanced to
+    successive absolute depths, and captured at each. A chain build
+    threads one of these down the whole plan, so each emitted member
+    costs one set of state copies (the capture) instead of two (a
+    resume copy *and* a capture copy per member) — at benchmark scales
+    a member's memory image alone is millions of words.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: MachineConfig,
+        warming: bool,
+        resume_from: Snapshot | None = None,
+    ):
+        self.workload = workload
+        self.config = config
+        self.warming = warming
+        self.program = workload.program
+        if resume_from is not None:
+            self.memory = Memory(
+                resume_from.memory_words, journaling=False, normalized=True
+            )
+            self.state = ThreadState(
+                self.memory, entry_pc=resume_from.pc, journaling=False
+            )
+            self.state.regs.load_values(dict(enumerate(resume_from.regs)))
+            self.executed = resume_from.executed
+            self.halted = resume_from.halted
+        else:
+            # Workload images are normalized at build time (Workload
+            # __post_init__), so this is a plain dict copy.
+            self.memory = Memory(
+                workload.memory_image, journaling=False, normalized=True
+            )
+            self.state = ThreadState(
+                self.memory, entry_pc=self.program.entry_pc, journaling=False
+            )
+            self.executed = 0
+            self.halted = False
+
+        self.hierarchy = self.predictor = self.prefetcher = None
+        if warming:
+            self.hierarchy = DataHierarchy(config)
+            self.prefetcher = StreamPrefetcher(
+                config.prefetch, self.hierarchy
+            )
+            self.prefetcher.attach()
+            self.predictor = FrontEndPredictor(config.branch)
+            # Route prefetch launches through the untimed fill path.
+            # This hierarchy is private to the warming pass, so
+            # shadowing the bound method on the instance is contained.
+            self.hierarchy.prefetch_fill = self.hierarchy.warm_prefetch_fill
+            if resume_from is not None:
+                self.hierarchy.load_warm_image(resume_from.hierarchy_image)
+                self.predictor.load_warm_image(resume_from.predictor_image)
+                self.prefetcher.load_warm_image(
+                    resume_from.prefetcher_image or []
+                )
+
+    def advance(self, ff_insts: int) -> None:
+        """Run forward to absolute depth *ff_insts* (no-op if already
+        there or halted)."""
+        if not self.halted and ff_insts > self.executed:
+            budget = ff_insts - self.executed
+            if self.warming:
+                ran, self.halted = _warm_loop(
+                    self.program, self.state, budget,
+                    self.hierarchy, self.predictor,
+                )
+            else:
+                ran, self.halted = _cold_loop(
+                    self.program, self.state, budget
+                )
+            self.executed += ran
+
+    def capture(self, ff_insts: int) -> Snapshot:
+        """Snapshot the current point as depth *ff_insts*. Every image
+        is a detached copy (``regs.values()``, ``memory.snapshot()``,
+        and the three ``warm_image()``s all copy), so the run can keep
+        advancing afterwards without aliasing the member."""
+        workload, warming = self.workload, self.warming
+        return Snapshot(
+            workload=workload.name,
+            scale=workload.scale,
+            ff_insts=ff_insts,
+            executed=self.executed,
+            pc=self.state.pc,
+            halted=self.halted,
+            regs=self.state.regs.values(),
+            memory_words=self.memory.snapshot(),
+            warming=warming,
+            warm_config=warm_config_key(self.config) if warming else None,
+            hierarchy_image=self.hierarchy.warm_image() if warming else None,
+            predictor_image=self.predictor.warm_image() if warming else None,
+            prefetcher_image=(
+                self.prefetcher.warm_image() if warming else None
+            ),
+        )
+
+
 def fast_forward(
     workload: Workload,
     config: MachineConfig,
     ff_insts: int,
     warming: bool = True,
+    resume_from: Snapshot | None = None,
 ) -> Snapshot:
-    """Execute *ff_insts* instructions of *workload* functionally.
+    """Execute the first *ff_insts* instructions of *workload*
+    functionally and capture the result as a :class:`Snapshot`.
 
     Runs the interpreter tier (correct paths only, no timing) from the
-    workload's entry point, optionally warming a data hierarchy and a
-    front-end predictor architecturally along the way, and captures the
-    result as a :class:`Snapshot`.
-
-    The warming protocol mirrors the detailed core's state updates
-    without its clock:
-
-    * memory instructions perform a demand :meth:`DataHierarchy.access`
-      (null-page faults excluded, as in the core's latency path), with
-      the stream prefetcher attached so the prefetch/victim buffer
-      fills realistically;
-    * branches run predict -> (on mismatch) restore + replay_actual ->
-      train — exactly the speculative-history discipline of the
-      detailed front end, collapsed to zero resolution delay.
+    workload's entry point — or from *resume_from*, an earlier
+    snapshot of the same prefix, in which case only the remaining
+    ``ff_insts - resume_from.executed`` instructions run. The warming
+    protocol (see :func:`_warm_loop`) updates cache, prefetcher, and
+    predictor state exactly as the detailed core would at commit,
+    without its clock, and is identical whether a prefix runs in one
+    shot or split across resumes.
 
     Stops early at HALT or a PC outside the program (the snapshot
     records how far it actually got).
     """
-    program = workload.program
-    memory = Memory(workload.memory_image, journaling=False)
-    state = ThreadState(memory, entry_pc=program.entry_pc, journaling=False)
-
-    hierarchy = predictor = None
-    if warming:
-        hierarchy = DataHierarchy(config)
-        StreamPrefetcher(config.prefetch, hierarchy).attach()
-        predictor = FrontEndPredictor(config.branch)
-
-    executed = 0
-    halted = False
-    for inst, result in run_functional(program, state, ff_insts):
-        executed += 1
-        if warming:
-            if inst.is_mem:
-                addr = result.addr
-                if addr is not None and result.fault is not Fault.NULL_DEREF:
-                    hierarchy.access(addr, inst.is_store, now=0)
-            elif inst.is_branch:
-                prediction = predictor.predict(inst)
-                taken = bool(result.taken)
-                actual = result.next_pc
-                if prediction.target != actual:
-                    # Mispredicted: restore the pre-branch histories
-                    # and replay the actual outcome, as the detailed
-                    # core does at branch resolution.
-                    predictor.restore(prediction)
-                    predictor.replay_actual(inst, taken, actual)
-                predictor.train(inst, taken, actual, prediction)
-        if result.fault is Fault.HALT:
-            halted = True
-            break
-
-    return Snapshot(
-        workload=workload.name,
-        scale=workload.scale,
-        ff_insts=ff_insts,
-        executed=executed,
-        pc=state.pc,
-        halted=halted,
-        regs=state.regs.values(),
-        memory_words=memory.snapshot(),
-        warming=warming,
-        warm_config=warm_config_key(config) if warming else None,
-        hierarchy_image=hierarchy.warm_image() if warming else None,
-        predictor_image=predictor.warm_image() if warming else None,
-    )
+    if resume_from is not None:
+        if (
+            resume_from.workload != workload.name
+            or resume_from.scale != workload.scale
+        ):
+            raise ValueError(
+                f"snapshot is for {resume_from.workload}@{resume_from.scale}, "
+                f"not {workload.name}@{workload.scale}"
+            )
+        if resume_from.warming != warming:
+            raise ValueError("cannot resume across a warming-mode change")
+        if resume_from.executed > ff_insts:
+            raise ValueError(
+                f"resume point ({resume_from.executed}) is past the "
+                f"requested depth ({ff_insts})"
+            )
+        if warming and resume_from.warm_config != warm_config_key(config):
+            raise ValueError("cannot resume across a warm-config change")
+    run = _LiveRun(workload, config, warming, resume_from=resume_from)
+    run.advance(ff_insts)
+    return run.capture(ff_insts)
 
 
 # ----------------------------------------------------------------------
@@ -315,7 +653,12 @@ class SnapshotStore(IntegrityStore):
         return self.load(key, self._decode_snapshot)
 
     def put(self, key: str, snapshot: Snapshot) -> str:
-        """Persist *snapshot* under *key*; return its payload digest."""
+        """Persist *snapshot* under *key*; return its payload digest
+        (empty when the store is disabled — nothing is encoded, so an
+        in-memory chain build never pays a multi-megaword pickle per
+        member)."""
+        if not self.enabled:
+            return ""
         return self.store(key, _encode(snapshot))
 
     def ls(self) -> list[dict]:
@@ -335,6 +678,7 @@ class SnapshotStore(IntegrityStore):
                     "ff_insts": snapshot.ff_insts,
                     "executed": snapshot.executed,
                     "warming": snapshot.warming,
+                    "parent": snapshot.parent,
                     "bytes": size,
                 }
             )
@@ -373,32 +717,167 @@ def ensure_snapshot(
     return snapshot, False
 
 
+def iter_chain(
+    workload: Workload,
+    config: MachineConfig,
+    depths,
+    warming: bool = True,
+    store: SnapshotStore | None = None,
+):
+    """Yield ``(snapshot, hit)`` per depth, building missing members
+    incrementally.
+
+    *depths* must be ascending (a :class:`SamplePlan`'s are). A depth
+    of 0 yields ``(None, False)`` — that window starts cold at the
+    entry point. Missing members are built by one live functional pass
+    (:class:`_LiveRun`) threaded down the chain, captured at each
+    depth — not one resume-copy-run-capture cycle per member — and
+    persisted with their ``parent`` link. A mid-chain store hit
+    re-anchors the live pass (the next miss resumes from the hit).
+
+    Streaming matters here: a deep chain's members each carry a full
+    memory image, so callers that run one detailed window per member
+    should consume this generator and drop each snapshot before
+    advancing — only the previous member is kept internally.
+    """
+    if store is None:
+        store = SnapshotStore()
+    prev = None
+    prev_key = None
+    prev_depth = None
+    live = None
+    for depth in depths:
+        if prev_depth is not None and depth < prev_depth:
+            raise ValueError(f"chain depths must be ascending: {depths}")
+        prev_depth = depth
+        if depth <= 0:
+            yield None, False
+            continue
+        key = snapshot_fingerprint(
+            workload.name, workload.scale, depth, config, warming
+        )
+        snapshot = store.get(key)
+        hit = snapshot is not None
+        if hit:
+            live = None  # the live pass is behind this member now
+        else:
+            if live is None:
+                live = _LiveRun(
+                    workload, config, warming, resume_from=prev
+                )
+            live.advance(depth)
+            snapshot = live.capture(depth)
+            snapshot.parent = prev_key
+            store.put(key, snapshot)
+        yield snapshot, hit
+        prev, prev_key = snapshot, key
+
+
+def ensure_chain(
+    workload: Workload,
+    config: MachineConfig,
+    depths,
+    warming: bool = True,
+    store: SnapshotStore | None = None,
+) -> tuple[list[Snapshot | None], int]:
+    """Materialized :func:`iter_chain`: ``(members, store_hits)``.
+
+    Convenient for tests and small chains; for long plans over large
+    memory images prefer consuming :func:`iter_chain` directly.
+    """
+    members: list[Snapshot | None] = []
+    hits = 0
+    for snapshot, hit in iter_chain(
+        workload, config, depths, warming=warming, store=store
+    ):
+        members.append(snapshot)
+        hits += int(hit)
+    return members, hits
+
+
+def _plan_for_request(request, workload=None):
+    """The request's :class:`SamplePlan`, or ``None`` when it is not a
+    multi-region request. Needs the workload's region length, so a
+    prebuilt *workload* can be passed to avoid rebuilding it."""
+    regions = getattr(request, "sample_regions", 0)
+    if regions < 2:
+        return None
+    if workload is None:
+        from repro.workloads import registry
+
+        workload = registry.build(request.workload, scale=request.scale)
+    return build_sample_plan(
+        workload.region,
+        getattr(request, "fast_forward", 0),
+        request.sample,
+        regions,
+        getattr(request, "sample_period", 0),
+    )
+
+
 def prebuild_snapshots(requests, store: SnapshotStore | None = None) -> int:
-    """Build every snapshot *requests* will need, once each.
+    """Build every snapshot (chain members included) *requests* will
+    need, once each.
 
     Called by ``run_matrix`` before fanning out so all sweep points
-    (and all pool workers) share one architectural prefix instead of
-    each re-paying it. Returns the number of snapshots built fresh.
+    (and all pool workers) share one architectural prefix — for
+    multi-region requests, one snapshot *chain* — instead of each
+    re-paying it. Returns the number of snapshots built fresh.
     """
     from repro.workloads import registry
 
     if store is None:
         store = SnapshotStore()
     built = 0
-    seen: set[str] = set()
+    seen: set[tuple[str, ...]] = set()
+    workloads: dict[tuple[str, float], Workload] = {}
+
+    def get_workload(request) -> Workload:
+        wkey = (request.workload, request.scale)
+        if wkey not in workloads:
+            workloads[wkey] = registry.build(
+                request.workload, scale=request.scale
+            )
+        return workloads[wkey]
+
     for request in requests:
-        if getattr(request, "fast_forward", 0) <= 0:
+        regions = getattr(request, "sample_regions", 0)
+        ff = getattr(request, "fast_forward", 0)
+        if regions < 2:
+            if ff <= 0:
+                continue
+            config = request.resolve_config()
+            key = snapshot_fingerprint(
+                request.workload, request.scale, ff, config
+            )
+            if (key,) in seen:
+                continue
+            seen.add((key,))
+            if store.contains(key):
+                continue
+            workload = get_workload(request)
+            store.put(key, fast_forward(workload, config, ff))
+            built += 1
             continue
+
         config = request.resolve_config()
-        key = snapshot_fingerprint(
-            request.workload, request.scale, request.fast_forward, config
+        workload = get_workload(request)
+        plan = _plan_for_request(request, workload)
+        keys = tuple(
+            snapshot_fingerprint(
+                request.workload, request.scale, depth, config
+            )
+            for depth in plan.depths
+            if depth > 0
         )
-        if key in seen:
+        if not keys or keys in seen:
             continue
-        seen.add(key)
-        if store.get(key) is not None:
+        seen.add(keys)
+        if all(store.contains(key) for key in keys):
             continue
-        workload = registry.build(request.workload, scale=request.scale)
-        store.put(key, fast_forward(workload, config, request.fast_forward))
-        built += 1
+        for snapshot, hit in iter_chain(
+            workload, config, [d for d in plan.depths if d > 0], store=store
+        ):
+            if snapshot is not None and not hit:
+                built += 1
     return built

@@ -88,6 +88,24 @@ def _default_sample() -> int:
     """
     return int(os.environ.get("REPRO_SAMPLE", "0") or 0)
 
+
+def _default_sample_regions() -> int:
+    """Request default for the number of multi-region sampling windows.
+
+    ``REPRO_SAMPLE_REGIONS`` (set by the ``--sample-regions`` CLI
+    flag). ``0`` / ``1`` keep the legacy single-window path.
+    """
+    return int(os.environ.get("REPRO_SAMPLE_REGIONS", "0") or 0)
+
+
+def _default_sample_period() -> int:
+    """Request default for the spacing between multi-region windows.
+
+    ``REPRO_SAMPLE_PERIOD`` (set by the ``--sample-period`` CLI flag).
+    ``0`` spreads the windows uniformly over the workload's region.
+    """
+    return int(os.environ.get("REPRO_SAMPLE_PERIOD", "0") or 0)
+
 from repro.harness.cache import RunCache
 from repro.uarch.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
 from repro.uarch.perfect import PerfectSpec
@@ -153,6 +171,18 @@ class RunRequest:
     #: (see :func:`repro.harness.fastforward.sample_plan`). ``0`` =
     #: the workload's full region.
     sample: int = field(default_factory=_default_sample)
+    #: Multi-region statistical sampling
+    #: (:func:`repro.harness.fastforward.build_sample_plan`): run this
+    #: many periodic detailed windows of ``sample`` instructions each,
+    #: fast-forwarding between them along a shared snapshot chain, and
+    #: aggregate them with a confidence interval
+    #: (:func:`repro.uarch.stats.aggregate_stats`). ``0`` / ``1`` =
+    #: the legacy single-window path, bit-identical to before.
+    sample_regions: int = field(default_factory=_default_sample_regions)
+    #: Spacing between multi-region window starts (instructions).
+    #: ``0`` derives it by spreading the windows uniformly over the
+    #: workload's full region.
+    sample_period: int = field(default_factory=_default_sample_period)
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -166,6 +196,16 @@ class RunRequest:
             raise ValueError(
                 "fast_forward and sample must be non-negative "
                 f"(got {self.fast_forward}, {self.sample})"
+            )
+        if self.sample_regions < 0 or self.sample_period < 0:
+            raise ValueError(
+                "sample_regions and sample_period must be non-negative "
+                f"(got {self.sample_regions}, {self.sample_period})"
+            )
+        if self.sample_regions >= 2 and self.sample <= 0:
+            raise ValueError(
+                "multi-region sampling (sample_regions >= 2) requires "
+                "a measured window length (sample > 0)"
             )
         # Normalize so equal requests fingerprint and hash equally.
         object.__setattr__(
@@ -194,8 +234,16 @@ def _apply_override(config, path: str, value):
     return dataclasses.replace(config, **{head: value})
 
 
-def execute_request(request: RunRequest) -> RunStats:
-    """Build and run one request. Top-level so the pool can pickle it."""
+def _dispatch_mode(
+    request: RunRequest, workload, config, snapshot, warmup, region
+) -> RunStats:
+    """Run one detailed window of *request*'s mode.
+
+    Shared by the legacy single-window path and each window of a
+    multi-region run. The ``snapshot is None, warmup == 0,
+    region is None`` combination constructs the Core exactly as a
+    full-detail run (bit-identical stats discipline).
+    """
     from repro.harness.runner import (
         covered_problem_spec,
         run_baseline,
@@ -203,16 +251,97 @@ def execute_request(request: RunRequest) -> RunStats:
         run_with_slices,
     )
 
-    workload = registry.build(request.workload, scale=request.scale)
-    config = request.resolve_config()
     mode = request.mode
     event_driven = request.event_driven
     fused_blocks = request.fused_blocks
+    sampled = dict(snapshot=snapshot, warmup=warmup or 0, region=region)
 
-    # Sampled run: fetch (or build) the warmed snapshot and translate
-    # the sample length into the region + discard-window pair. The
-    # fast_forward == sample == 0 path must construct the Core exactly
-    # as before (bit-identical stats discipline).
+    if mode == "base":
+        return run_baseline(
+            workload, config, event_driven=event_driven,
+            fused_blocks=fused_blocks, **sampled,
+        )
+    if mode == "slice":
+        return run_with_slices(
+            workload,
+            config,
+            dedicated=request.dedicated,
+            event_driven=event_driven,
+            fused_blocks=fused_blocks,
+            **sampled,
+        )
+    if mode == "limit":
+        return run_perfect(
+            workload,
+            covered_problem_spec(workload),
+            config,
+            event_driven=event_driven,
+            fused_blocks=fused_blocks,
+            **sampled,
+        )
+    # mode == "perfect"
+    spec = PerfectSpec(
+        branch_pcs=frozenset(request.perfect_branch_pcs),
+        load_pcs=frozenset(request.perfect_load_pcs),
+        all_branches=request.all_branches,
+        all_loads=request.all_loads,
+    )
+    return run_perfect(
+        workload, spec, config, event_driven=event_driven,
+        fused_blocks=fused_blocks, **sampled,
+    )
+
+
+def _execute_multi_region(request: RunRequest, workload, config) -> RunStats:
+    """Multi-region sampled execution: one detailed window per chain
+    member, aggregated into a whole-run estimate with a confidence
+    interval.
+
+    Consumes :func:`~repro.harness.fastforward.iter_chain` as a
+    stream — each window's snapshot is restored, measured, and
+    released before the next member is touched, so at most one memory
+    image beyond the running window is live at a time.
+    """
+    from repro.harness.fastforward import _plan_for_request, iter_chain
+    from repro.uarch.stats import aggregate_stats
+
+    plan = _plan_for_request(request, workload)
+    per_region: list[RunStats] = []
+    for snapshot, hit in iter_chain(workload, config, plan.depths):
+        if (
+            snapshot is not None
+            and snapshot.executed < snapshot.ff_insts
+            and per_region
+        ):
+            # The program halted before this window's start
+            # (``workload.region`` is a ceiling, not a promise): there
+            # is nothing left to measure, so later windows are dropped
+            # rather than polluting the estimate with empty regions.
+            # The first window always runs (legacy degenerate
+            # semantics when fast_forward overshoots the program).
+            break
+        stats = _dispatch_mode(
+            request, workload, config, snapshot, plan.warmup, plan.sample
+        )
+        if snapshot is not None:
+            stats.ff_insts = snapshot.executed
+            stats.snapshot_hit = hit
+        per_region.append(stats)
+    return aggregate_stats(per_region)
+
+
+def execute_request(request: RunRequest) -> RunStats:
+    """Build and run one request. Top-level so the pool can pickle it."""
+    workload = registry.build(request.workload, scale=request.scale)
+    config = request.resolve_config()
+
+    if request.sample_regions >= 2:
+        return _execute_multi_region(request, workload, config)
+
+    # Single-window sampled run: fetch (or build) the warmed snapshot
+    # and translate the sample length into the region + discard-window
+    # pair. The fast_forward == sample == 0 path must construct the
+    # Core exactly as before (bit-identical stats discipline).
     snapshot = None
     snapshot_hit = False
     region = warmup = None
@@ -224,44 +353,9 @@ def execute_request(request: RunRequest) -> RunStats:
             snapshot, snapshot_hit = ensure_snapshot(
                 workload, config, request.fast_forward
             )
-    sampled = dict(
-        snapshot=snapshot, warmup=warmup or 0, region=region
+    stats = _dispatch_mode(
+        request, workload, config, snapshot, warmup, region
     )
-
-    if mode == "base":
-        stats = run_baseline(
-            workload, config, event_driven=event_driven,
-            fused_blocks=fused_blocks, **sampled,
-        )
-    elif mode == "slice":
-        stats = run_with_slices(
-            workload,
-            config,
-            dedicated=request.dedicated,
-            event_driven=event_driven,
-            fused_blocks=fused_blocks,
-            **sampled,
-        )
-    elif mode == "limit":
-        stats = run_perfect(
-            workload,
-            covered_problem_spec(workload),
-            config,
-            event_driven=event_driven,
-            fused_blocks=fused_blocks,
-            **sampled,
-        )
-    else:  # mode == "perfect"
-        spec = PerfectSpec(
-            branch_pcs=frozenset(request.perfect_branch_pcs),
-            load_pcs=frozenset(request.perfect_load_pcs),
-            all_branches=request.all_branches,
-            all_loads=request.all_loads,
-        )
-        stats = run_perfect(
-            workload, spec, config, event_driven=event_driven,
-            fused_blocks=fused_blocks, **sampled,
-        )
     if snapshot is not None:
         stats.ff_insts = snapshot.executed
         stats.snapshot_hit = snapshot_hit
@@ -379,6 +473,46 @@ class MatrixReport:
     def total_attempts(self) -> int:
         return sum(o.attempts for o in _unique_outcomes(self.outcomes))
 
+    @property
+    def ff_insts(self) -> int:
+        """Instructions executed on the functional fast-forward tier
+        across unique outcomes (multi-region runs already carry their
+        chain total)."""
+        return sum(
+            o.stats.ff_insts
+            for o in _unique_outcomes(self.outcomes)
+            if o.stats is not None
+        )
+
+    @property
+    def snapshot_hits(self) -> int:
+        """Warmed snapshots restored from the on-disk store instead of
+        built (chain members included)."""
+        total = 0
+        for o in _unique_outcomes(self.outcomes):
+            if o.stats is None:
+                continue
+            if o.stats.sample_regions:
+                total += o.stats.snapshot_hits
+            elif o.stats.snapshot_hit:
+                total += 1
+        return total
+
+    @property
+    def sampled_regions(self) -> int:
+        """Detailed windows run under sampling (a multi-region run
+        contributes its region count; a single-window sampled run
+        contributes 1)."""
+        total = 0
+        for o in _unique_outcomes(self.outcomes):
+            if o.stats is None:
+                continue
+            if o.stats.sample_regions:
+                total += o.stats.sample_regions
+            elif o.stats.ff_insts:
+                total += 1
+        return total
+
     def stats_list(self) -> list[RunStats]:
         """Input-order stats; skipped requests yield empty placeholder
         :class:`RunStats` so downstream renderers survive partial
@@ -473,14 +607,19 @@ def run_matrix(
 
     report = MatrixReport()
     if pending:
-        sampled = [r for r in pending if r.fast_forward > 0]
+        sampled = [
+            r
+            for r in pending
+            if r.fast_forward > 0 or r.sample_regions >= 2
+        ]
         if sampled:
-            # Build each distinct warmed snapshot once in the parent
-            # before fanning out: every sweep point / pool worker then
-            # restores from the shared store instead of re-paying the
-            # functional prefix per run. (Races with concurrent
-            # harnesses are benign — builds are deterministic and
-            # writes are atomic.)
+            # Build each distinct warmed snapshot — for multi-region
+            # requests, each distinct snapshot *chain* — once in the
+            # parent before fanning out: every sweep point / pool
+            # worker then restores from the shared store instead of
+            # re-paying the functional prefix per run. (Races with
+            # concurrent harnesses are benign — builds are
+            # deterministic and writes are atomic.)
             from repro.harness.fastforward import prebuild_snapshots
 
             prebuild_snapshots(sampled)

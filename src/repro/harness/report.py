@@ -108,9 +108,11 @@ def render_figure11(results: list[TripleResult]) -> str:
     scale = max((r.limit_speedup for r in results), default=1.0)
     scale = max(scale, 0.01)
     for r in results:
+        ci = r.slice_speedup_ci95
+        error_bar = f"  (±{ci:.1%}, N={r.base.sample_regions})" if ci else ""
         lines.append(
             f"{r.workload.name:<9s}{r.slice_speedup:>8.1%}{r.limit_speedup:>8.1%}"
-            f"   s|{_bar(max(r.slice_speedup, 0), scale)}"
+            f"   s|{_bar(max(r.slice_speedup, 0), scale)}{error_bar}"
         )
         lines.append(f"{'':<25s}   l|{_bar(max(r.limit_speedup, 0), scale)}")
     return "\n".join(lines)
@@ -157,6 +159,21 @@ def render_table4(rows: list[RunCharacterization]) -> str:
     add("Total fetch change (%)", "{:+.0%}", lambda r: r.total_fetch_change)
     add("Slices: IPC", "{:.2f}", lambda r: r.slice_ipc)
     add("Speedup", "{:+.0%}", lambda r: r.speedup)
+    if any(r.sample_regions >= 2 for r in rows):
+        # Multi-region sampled columns: say how tight the estimates
+        # are. Full-detail columns in the same table show "—".
+        def ci(value: float, row: RunCharacterization) -> str:
+            return f"±{value:.2f}" if row.sample_regions >= 2 else "—"
+
+        add("Sampled regions (N)", "{}",
+            lambda r: r.sample_regions if r.sample_regions >= 2 else "—")
+        add("Base: IPC 95% CI", "{}", lambda r: ci(r.base_ipc_ci, r))
+        add("Slices: IPC 95% CI", "{}", lambda r: ci(r.slice_ipc_ci, r))
+        add(
+            "Speedup 95% CI",
+            "{}",
+            lambda r: f"±{r.speedup_ci:.0%}" if r.sample_regions >= 2 else "—",
+        )
     return "\n".join(lines)
 
 

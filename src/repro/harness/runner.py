@@ -46,6 +46,7 @@ def run_baseline(
         workload.program,
         config,
         memory_image=workload.memory_image,
+        memory_normalized=True,
         region=workload.region if region is None else region,
         warmup=warmup,
         snapshot=snapshot,
@@ -72,6 +73,7 @@ def run_with_slices(
         config,
         slices=tuple(workload.slices if slices is None else slices),
         memory_image=workload.memory_image,
+        memory_normalized=True,
         region=workload.region if region is None else region,
         warmup=warmup,
         snapshot=snapshot,
@@ -98,6 +100,7 @@ def run_perfect(
         config,
         perfect=perfect,
         memory_image=workload.memory_image,
+        memory_normalized=True,
         region=workload.region if region is None else region,
         warmup=warmup,
         snapshot=snapshot,
@@ -140,6 +143,26 @@ class TripleResult:
     @property
     def limit_speedup(self) -> float:
         return self.limit.ipc / self.base.ipc - 1.0
+
+    @property
+    def slice_speedup_ci95(self) -> float:
+        """95% confidence half-width on the slice speedup of a
+        multi-region sampled pair (0.0 for full-detail runs). Base and
+        assisted windows are paired (same chain, same depths), so the
+        samples are the per-region speedup ratios."""
+        from repro.uarch.stats import mean_ci95
+
+        base = self.base.region_ipcs
+        assisted = self.assisted.region_ipcs
+        paired = min(len(base), len(assisted))
+        if paired < 2:
+            return 0.0
+        ratios = [
+            assisted[k] / base[k] - 1.0 for k in range(paired) if base[k]
+        ]
+        if len(ratios) < 2:
+            return 0.0
+        return mean_ci95(ratios)[1]
 
 
 def run_triple(

@@ -22,13 +22,15 @@ from dataclasses import dataclass
 from repro.harness.cache import RunCache
 from repro.harness.fastforward import (
     SnapshotStore,
+    build_sample_plan,
     ensure_snapshot,
+    iter_chain,
     sample_plan,
 )
 from repro.harness.parallel import CONFIG_PRESETS, RunRequest, run_matrix
 from repro.harness.runner import run_baseline, run_with_slices
 from repro.uarch.config import FOUR_WIDE, MachineConfig
-from repro.uarch.stats import RunStats
+from repro.uarch.stats import RunStats, aggregate_stats, mean_ci95
 from repro.workloads import registry
 from repro.workloads.base import Workload
 
@@ -41,9 +43,31 @@ class SweepPoint:
     base: RunStats
     assisted: RunStats
 
+    def region_speedups(self) -> list[float]:
+        """Per-region slice speedups of a multi-region point.
+
+        Base and assisted windows are *paired* (same chain, same
+        depths), so the per-region ratio is the natural sample for the
+        speedup's confidence interval."""
+        base = self.base.region_ipcs
+        assisted = self.assisted.region_ipcs
+        n = min(len(base), len(assisted))
+        return [
+            assisted[k] / base[k] - 1.0 for k in range(n) if base[k]
+        ]
+
     @property
     def speedup(self) -> float:
         return self.assisted.ipc / self.base.ipc - 1.0
+
+    @property
+    def speedup_ci95(self) -> float:
+        """95% confidence half-width on the mean per-region speedup
+        (0.0 for full-detail and single-window points)."""
+        ratios = self.region_speedups()
+        if len(ratios) < 2:
+            return 0.0
+        return mean_ci95(ratios)[1]
 
 
 def _requestable(workload: Workload, config: MachineConfig) -> bool:
@@ -63,13 +87,16 @@ def _sweep(
     cache: RunCache | None,
     fast_forward: int = 0,
     sample: int = 0,
+    sample_regions: int = 0,
+    sample_period: int = 0,
 ) -> list[SweepPoint]:
     """Run the base/assisted pair at each override value.
 
     With ``fast_forward``/``sample`` set, every point is a sampled run
-    sharing one warmed snapshot: the sweep parameters vary timing, not
-    the warming-relevant sub-configs, so the architectural prefix is
-    paid once for the whole sweep (``run_matrix`` pre-builds it).
+    sharing one warmed snapshot — with ``sample_regions >= 2``, one
+    warmed snapshot *chain*: the sweep parameters vary timing, not the
+    warming-relevant sub-configs, so the architectural prefix is paid
+    once for the whole sweep (``run_matrix`` pre-builds it).
     """
     if _requestable(workload, config):
         requests = []
@@ -85,6 +112,8 @@ def _sweep(
                         overrides=overrides,
                         fast_forward=fast_forward,
                         sample=sample,
+                        sample_regions=sample_regions,
+                        sample_period=sample_period,
                     )
                 )
         stats = run_matrix(requests, jobs=jobs, cache=cache)
@@ -92,11 +121,52 @@ def _sweep(
             SweepPoint(value=value, base=stats[2 * i], assisted=stats[2 * i + 1])
             for i, value in enumerate(values)
         ]
+    multi = sample_regions >= 2
     region, warmup = sample_plan(sample)
-    store = SnapshotStore() if fast_forward > 0 else None
+    store = SnapshotStore() if (fast_forward > 0 or multi) else None
     points = []
     for value in values:
         varied = _apply(config, override_path, value)
+        if multi:
+            # Direct multi-region pair: both arms measure the same
+            # chain members, so their regions stay paired for the
+            # speedup confidence interval.
+            plan = build_sample_plan(
+                workload.region, fast_forward, sample,
+                sample_regions, sample_period,
+            )
+            base_regions: list[RunStats] = []
+            slice_regions: list[RunStats] = []
+            for snapshot, hit in iter_chain(
+                workload, varied, plan.depths, store=store
+            ):
+                if (
+                    snapshot is not None
+                    and snapshot.executed < snapshot.ff_insts
+                    and base_regions
+                ):
+                    break  # program halted before this window's start
+                sampled = dict(
+                    snapshot=snapshot, warmup=plan.warmup, region=plan.sample
+                )
+                pair = (
+                    run_baseline(workload, varied, **sampled),
+                    run_with_slices(workload, varied, **sampled),
+                )
+                if snapshot is not None:
+                    for stats in pair:
+                        stats.ff_insts = snapshot.executed
+                        stats.snapshot_hit = hit
+                base_regions.append(pair[0])
+                slice_regions.append(pair[1])
+            points.append(
+                SweepPoint(
+                    value=value,
+                    base=aggregate_stats(base_regions),
+                    assisted=aggregate_stats(slice_regions),
+                )
+            )
+            continue
         snapshot = None
         if fast_forward > 0:
             # The store's warm-config key dedups across points whose
@@ -130,12 +200,15 @@ def sweep_memory_latency(
     cache: RunCache | None = None,
     fast_forward: int = 0,
     sample: int = 0,
+    sample_regions: int = 0,
+    sample_period: int = 0,
 ) -> list[SweepPoint]:
     """Scale main-memory latency: prefetch-driven slice benefit should
     grow with the latency the slice tolerates."""
     return _sweep(
         workload, config, "memory_latency", latencies, jobs, cache,
         fast_forward=fast_forward, sample=sample,
+        sample_regions=sample_regions, sample_period=sample_period,
     )
 
 
@@ -147,12 +220,15 @@ def sweep_window_size(
     cache: RunCache | None = None,
     fast_forward: int = 0,
     sample: int = 0,
+    sample_regions: int = 0,
+    sample_period: int = 0,
 ) -> list[SweepPoint]:
     """Scale the instruction window: a bigger window already tolerates
     more latency on its own, moving the baseline."""
     return _sweep(
         workload, config, "window_entries", windows, jobs, cache,
         fast_forward=fast_forward, sample=sample,
+        sample_regions=sample_regions, sample_period=sample_period,
     )
 
 
@@ -164,6 +240,8 @@ def sweep_prediction_slots(
     cache: RunCache | None = None,
     fast_forward: int = 0,
     sample: int = 0,
+    sample_regions: int = 0,
+    sample_period: int = 0,
 ) -> list[SweepPoint]:
     """Scale the correlator's per-branch prediction slots (Figure 10
     provisions 8): too few slots starve loop slices."""
@@ -176,13 +254,42 @@ def sweep_prediction_slots(
         cache,
         fast_forward=fast_forward,
         sample=sample,
+        sample_regions=sample_regions,
+        sample_period=sample_period,
     )
 
 
 def render_sweep(
     title: str, parameter: str, points: list[SweepPoint]
 ) -> str:
-    """Fixed-width rendering of one sweep."""
+    """Fixed-width rendering of one sweep.
+
+    Multi-region points render the sampled estimators with their 95%
+    confidence half-widths and the region count; full-detail points
+    keep the compact legacy table.
+    """
+    if any(p.base.sample_regions >= 2 for p in points):
+        lines = [
+            title,
+            "",
+            f"{parameter:>12s}{'base IPC':>16s}{'slice IPC':>16s}"
+            f"{'speedup':>16s}{'N':>4s}",
+            "-" * 64,
+        ]
+        for point in points:
+            base = f"{point.base.ipc_mean:.3f}±{point.base.ipc_ci95:.3f}"
+            assisted = (
+                f"{point.assisted.ipc_mean:.3f}"
+                f"±{point.assisted.ipc_ci95:.3f}"
+            )
+            speedup = (
+                f"{point.speedup:+.1%}±{point.speedup_ci95:.1%}"
+            )
+            lines.append(
+                f"{point.value:>12d}{base:>16s}{assisted:>16s}"
+                f"{speedup:>16s}{point.base.sample_regions:>4d}"
+            )
+        return "\n".join(lines)
     lines = [
         title,
         "",

@@ -348,6 +348,87 @@ class DataHierarchy:
         return not (self.l1.probe(addr) or self.buffer.contains(addr))
 
     # ------------------------------------------------------------------
+    # Functional-warming access path (sampled simulation)
+    # ------------------------------------------------------------------
+
+    def warm_access(self, addr: int, is_store: bool) -> None:
+        """State-only demand access for functional warming.
+
+        Performs exactly the cache/buffer/stream state transitions of
+        :meth:`access` — same LRU updates, same fill and victim motion,
+        same miss-listener (prefetcher) training, in the same order —
+        with the timing machinery stripped: no latency computation, no
+        MSHR arrival tracking, no :class:`AccessResult`, no statistics.
+        None of that is part of :meth:`warm_image` (a restored run
+        starts its clock and counters fresh), and this is the hottest
+        call of the fast-forward tier, so the warming loop must not pay
+        for it.
+        """
+        l1 = self.l1
+        line = addr >> l1._line_shift
+        bucket = l1._sets[line & l1._set_mask]
+        for i, (tag, dirty) in enumerate(bucket):
+            if tag == line:
+                del bucket[i]
+                bucket.append((line, dirty or is_store))
+                return
+        # L1 miss: the prefetch/victim buffer is checked in parallel
+        # (a hit promotes into the L1 and still trains the prefetcher,
+        # exactly as in :meth:`access`).
+        if self.buffer.lookup(addr) is not None:
+            self._fill_l1(addr, dirty=is_store)
+            if self._miss_listener is not None:
+                self._miss_listener(addr, 0)
+            return
+        if self._miss_listener is not None:
+            self._miss_listener(addr, 0)
+        if not self.l2.lookup(addr, is_store=False):
+            self.l2.fill(addr)
+        self._fill_l1(addr, dirty=is_store)
+
+    def warm_prefetch_fill(self, addr: int, now: int = 0) -> None:
+        """State-only :meth:`prefetch_fill` for functional warming —
+        same L2/buffer state transitions, no arrival tracking or
+        statistics. The warming loop installs this over
+        ``prefetch_fill`` on its (private) hierarchy so the stream
+        prefetcher's launches take the untimed path too.
+
+        Runs several times per demand miss (the stream depth), so the
+        presence probes and the insert are inlined: the buffer dict
+        membership test goes first (cheapest, most often decisive —
+        overlapping launch windows re-request the same lines), then
+        the L1 probe; both are pure reads, so the reordering relative
+        to :meth:`prefetch_fill` is unobservable.
+        """
+        buffer = self.buffer
+        lines = buffer._lines
+        line = addr >> buffer._line_shift
+        if line in lines:
+            return
+        l1 = self.l1
+        bucket = l1._sets[line & l1._set_mask]
+        for tag, _ in bucket:
+            if tag == line:
+                return
+        l2 = self.l2
+        l2_line = addr >> l2._line_shift
+        l2_bucket = l2._sets[l2_line & l2._set_mask]
+        for tag, _ in l2_bucket:
+            if tag == l2_line:
+                break
+        else:
+            # Absent: evict-if-full + append, exactly ``l2.fill`` for a
+            # missing line (the L2 victim is dropped, as in
+            # ``prefetch_fill``).
+            if len(l2_bucket) >= l2.config.associativity:
+                l2_bucket.pop(0)
+            l2_bucket.append((l2_line, False))
+        # ``buffer.insert`` for an absent line with from_prefetch=True.
+        if len(lines) >= buffer._entries:
+            del lines[next(iter(lines))]
+        lines[line] = True
+
+    # ------------------------------------------------------------------
     # Functional-warming images (sampled simulation)
     # ------------------------------------------------------------------
 

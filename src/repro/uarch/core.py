@@ -70,6 +70,7 @@ class Core:
         strict_slices: bool = False,
         fused_blocks: bool | None = None,
         snapshot=None,
+        memory_normalized: bool = False,
     ):
         #: Optional restore point: a warmed-state snapshot from
         #: :mod:`repro.harness.fastforward` (duck-typed so the uarch
@@ -120,11 +121,21 @@ class Core:
             fused_blocks = fusion_default()
         self.fused_blocks = fused_blocks
 
-        self.memory = Memory(
-            snapshot.memory_words
-            if snapshot is not None
-            else memory_image if memory_image is not None else program.data
-        )
+        if snapshot is not None:
+            # Snapshot images are Memory.snapshot() output: already
+            # aligned and signed, so skip per-word re-normalization
+            # (a 10^7-instruction prefix carries millions of words).
+            self.memory = Memory(snapshot.memory_words, normalized=True)
+        else:
+            # memory_normalized promises the image is already in
+            # Memory's internal form (aligned keys, signed values) —
+            # true of Workload images, which normalize at build time —
+            # so the restore is a dict copy, not a per-word pass over
+            # what can be millions of words.
+            self.memory = Memory(
+                memory_image if memory_image is not None else program.data,
+                normalized=memory_normalized and memory_image is not None,
+            )
         self.hierarchy = DataHierarchy(config)
         self.prefetcher = StreamPrefetcher(config.prefetch, self.hierarchy)
         self.prefetcher.attach()
@@ -178,6 +189,9 @@ class Core:
                 self.hierarchy.load_warm_image(snapshot.hierarchy_image)
             if snapshot.predictor_image is not None:
                 self.predictor.load_warm_image(snapshot.predictor_image)
+            prefetcher_image = getattr(snapshot, "prefetcher_image", None)
+            if prefetcher_image is not None:
+                self.prefetcher.load_warm_image(prefetcher_image)
 
         self.stats = RunStats(
             config_name=config.name, workload_name=workload_name

@@ -80,6 +80,31 @@ class StreamPrefetcher:
             self._streams.pop(0)
         self._streams.append(_Stream(last_line=line, stride=0, confirmed=False))
 
+    # ------------------------------------------------------------------
+    # Functional-warming images (sampled simulation)
+    # ------------------------------------------------------------------
+
+    def warm_image(self) -> list[tuple[int, int, bool]]:
+        """Picklable copy of the stream table for a warmed-state
+        snapshot. Without it, a detailed region resumed from a snapshot
+        would start with a cold stream table while a straight-through
+        run would not — the divergence the split-vs-straight warmup
+        differential pins down."""
+        return [
+            (stream.last_line, stream.stride, stream.confirmed)
+            for stream in self._streams
+        ]
+
+    def load_warm_image(self, image: list[tuple[int, int, bool]]) -> None:
+        """Install a :meth:`warm_image` (stream order is LRU order and
+        is preserved — :meth:`_allocate` evicts the oldest entry)."""
+        self._streams = [
+            _Stream(last_line=last_line, stride=stride, confirmed=confirmed)
+            for last_line, stride, confirmed in image
+        ]
+
+    # ------------------------------------------------------------------
+
     def _launch(self, line: int, stride: int, depth: int, now: int = 0) -> None:
         for step in range(1, depth + 1):
             target_line = line + stride * step

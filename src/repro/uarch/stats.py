@@ -8,6 +8,8 @@ aggregate counters feed the run characterization (Table 4). All
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
 
 from repro.slices.correlator import CorrelatorStats
@@ -24,8 +26,50 @@ SIMULATOR_META_FIELDS = frozenset(
         "block_deopts",
         "ff_insts",
         "snapshot_hit",
+        "sample_regions",
+        "snapshot_hits",
     }
 )
+
+#: Two-sided 95% Student-t critical values by degrees of freedom.
+#: Hardcoded (no scipy in the container); beyond df=30 the normal
+#: critical value 1.960 is within 1.5% and is used directly.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+def t95(df: int) -> float:
+    """Two-sided 95% Student-t critical value for *df* degrees of
+    freedom (1.960 beyond the table)."""
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1 (got {df})")
+    return _T95.get(df, 1.960)
+
+
+def mean_ci95(samples) -> tuple[float, float]:
+    """``(mean, half_width)`` of the 95% confidence interval on the
+    mean of *samples*.
+
+    Uses the sample standard deviation and the Student-t critical
+    value, per SMARTS-style sampled-simulation error reporting. A
+    single sample is a point estimate: half-width 0.0 (the interval is
+    *unknown*, not tight — callers should surface N alongside it).
+    """
+    samples = list(samples)
+    n = len(samples)
+    if not n:
+        return 0.0, 0.0
+    mean = sum(samples) / n
+    if n < 2:
+        return mean, 0.0
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    return mean, t95(n - 1) * math.sqrt(variance / n)
 
 
 @dataclass
@@ -110,6 +154,17 @@ class RunStats:
     #: region's counters above are unaffected by either.
     ff_insts: int = 0
     snapshot_hit: bool = False
+    #: Multi-region sampling (:func:`aggregate_stats`): how many
+    #: detailed windows this result aggregates (0 = not a multi-region
+    #: run), each window's IPC (feeding :attr:`ipc_mean` /
+    #: :attr:`ipc_ci95`), and how many chain members were restored from
+    #: the snapshot store rather than built. ``region_ipcs`` is
+    #: *measured* data and must match across differential modes;
+    #: ``sample_regions`` / ``snapshot_hits`` are simulator meta like
+    #: ``ff_insts`` / ``snapshot_hit`` above.
+    sample_regions: int = 0
+    region_ipcs: tuple[float, ...] = ()
+    snapshot_hits: int = 0
     #: Optional cycle accounting (fill with Core(cycle_accounting=True)):
     #: cycles attributed to commit-slot activity at the main thread's
     #: ROB head: "busy" (full commit width used), "memory" (head waits
@@ -121,6 +176,24 @@ class RunStats:
     @property
     def ipc(self) -> float:
         return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def ipc_mean(self) -> float:
+        """Mean of the per-region IPCs for a multi-region run (each
+        window weighted equally, the sampled estimator of whole-run
+        IPC); falls back to the pooled :attr:`ipc` otherwise."""
+        if self.region_ipcs:
+            return sum(self.region_ipcs) / len(self.region_ipcs)
+        return self.ipc
+
+    @property
+    def ipc_ci95(self) -> float:
+        """95% confidence half-width on :attr:`ipc_mean` across the
+        sampled regions (0.0 for point estimates: full-detail runs and
+        N=1 sampling)."""
+        if len(self.region_ipcs) < 2:
+            return 0.0
+        return mean_ci95(self.region_ipcs)[1]
 
     @property
     def cpi(self) -> float:
@@ -161,3 +234,88 @@ class RunStats:
         counter.executions += 1
         if missed:
             counter.events += 1
+
+
+#: Fields :func:`aggregate_stats` handles specially rather than
+#: summing: identity strings, booleans (OR'd), container merges, and
+#: the sampling meta it derives itself.
+_NON_SUMMED_FIELDS = frozenset(
+    {
+        "config_name",
+        "workload_name",
+        "hit_cycle_limit",
+        "snapshot_hit",
+        "sample_regions",
+        "region_ipcs",
+        "snapshot_hits",
+        "branch_pcs",
+        "mem_pcs",
+        "correlator",
+        "hierarchy",
+        "cycle_breakdown",
+    }
+)
+
+
+def aggregate_stats(per_region) -> RunStats:
+    """Fold one :class:`RunStats` per sampled region into a whole-run
+    estimate.
+
+    Event counters sum (the aggregate reads like one long run:
+    ``committed`` is regions x sample length, miss/mispredict rates
+    are instruction-weighted); per-PC counter maps, the hierarchy and
+    cycle-breakdown maps, and the correlator merge field-wise;
+    ``hit_cycle_limit`` ORs (one truncated window taints the whole
+    estimate). The per-region IPCs are kept in ``region_ipcs`` so
+    :attr:`RunStats.ipc_mean` / :attr:`RunStats.ipc_ci95` can report
+    the sampled estimator with its confidence interval, and
+    ``sample_regions`` / ``snapshot_hits`` record the sampling
+    provenance.
+    """
+    regions = list(per_region)
+    if not regions:
+        raise ValueError("aggregate_stats needs at least one region")
+    first = regions[0]
+    total = RunStats(
+        config_name=first.config_name, workload_name=first.workload_name
+    )
+    for f in dataclasses.fields(RunStats):
+        if f.name in _NON_SUMMED_FIELDS:
+            continue
+        setattr(total, f.name, sum(getattr(s, f.name) for s in regions))
+    correlator_fields = dataclasses.fields(CorrelatorStats)
+    for stats in regions:
+        total.hit_cycle_limit = total.hit_cycle_limit or stats.hit_cycle_limit
+        for pcs, merged in (
+            (stats.branch_pcs, total.branch_pcs),
+            (stats.mem_pcs, total.mem_pcs),
+        ):
+            for pc, counter in pcs.items():
+                into = merged.get(pc)
+                if into is None:
+                    into = merged[pc] = PcCounter()
+                into.executions += counter.executions
+                into.events += counter.events
+        for mapping, merged in (
+            (stats.hierarchy, total.hierarchy),
+            (stats.cycle_breakdown, total.cycle_breakdown),
+        ):
+            for key, value in mapping.items():
+                merged[key] = merged.get(key, 0) + value
+        for f in correlator_fields:
+            setattr(
+                total.correlator,
+                f.name,
+                getattr(total.correlator, f.name)
+                + getattr(stats.correlator, f.name),
+            )
+    total.region_ipcs = tuple(s.ipc for s in regions)
+    total.sample_regions = len(regions)
+    total.snapshot_hits = sum(s.snapshot_hits for s in regions) + sum(
+        1 for s in regions if s.snapshot_hit
+    )
+    # "Hit" for the aggregate: every window that *needed* a snapshot
+    # got it from the store (a cold depth-0 window needs none).
+    needed = [s for s in regions if s.ff_insts]
+    total.snapshot_hit = bool(needed) and all(s.snapshot_hit for s in needed)
+    return total

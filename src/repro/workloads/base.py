@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.arch.memory import to_signed
 from repro.isa.program import Program
 from repro.slices.spec import SLICE_CODE_BASE, SliceSpec
 
@@ -55,6 +56,16 @@ class Workload:
                         f"{inst.pc:#x}; slices must not affect "
                         f"architected state"
                     )
+        # Normalize the image once at build time (8-byte-aligned keys,
+        # signed values — :class:`repro.arch.memory.Memory`'s internal
+        # form) so every run of this workload can copy the dict instead
+        # of re-normalizing it. At benchmark scales the image has
+        # millions of words and re-normalization dominates otherwise
+        # (~5.8s vs ~0.15s per fast-forward of scale-181 mcf).
+        self.memory_image = {
+            addr & ~7: to_signed(value)
+            for addr, value in self.memory_image.items()
+        }
 
 
 class Lcg:

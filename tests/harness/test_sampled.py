@@ -10,6 +10,7 @@ the unsampled simulator rather than against golden values.
 """
 
 import dataclasses
+import math
 import os
 
 import pytest
@@ -20,6 +21,9 @@ from repro.harness.fastforward import (
     DETAIL_WARMUP_CAP,
     Snapshot,
     SnapshotStore,
+    build_sample_plan,
+    chain_digest,
+    ensure_chain,
     ensure_snapshot,
     fast_forward,
     sample_plan,
@@ -31,6 +35,7 @@ from repro.harness.runner import run_baseline, run_with_slices
 from repro.harness.sweep import sweep_memory_latency
 from repro.uarch.config import FOUR_WIDE
 from repro.uarch.core import Core
+from repro.uarch.stats import RunStats, aggregate_stats, mean_ci95, t95
 from repro.workloads import registry
 
 
@@ -371,3 +376,325 @@ def test_cli_cache_clear_snapshots_only(cache_env, capsys):
     assert cli.main(["cache", "clear", "--snapshots-only"]) == 0
     assert "removed 1 snapshot(s)" in capsys.readouterr().out
     assert len(list(RunCache(cache_env).entry_paths())) == 1  # runs kept
+
+
+# ----------------------------------------------------------------------
+# Confidence-interval math (multi-region sampling)
+# ----------------------------------------------------------------------
+
+
+def test_t95_table():
+    assert t95(1) == pytest.approx(12.706)
+    assert t95(4) == pytest.approx(2.776)
+    assert t95(30) == pytest.approx(2.042)
+    assert t95(200) == pytest.approx(1.960)  # beyond the table: normal
+    with pytest.raises(ValueError):
+        t95(0)
+
+
+def test_mean_ci95_known_variance():
+    # mean 3, sample variance 2.5, df 4 -> half-width t.sqrt(var/n)
+    mean, half = mean_ci95([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert mean == pytest.approx(3.0)
+    assert half == pytest.approx(2.776 * math.sqrt(2.5 / 5))
+
+
+def test_ci_narrows_with_more_regions():
+    """Same per-sample scatter, more samples: the interval tightens."""
+
+    def half(n):
+        return mean_ci95([1.0, 2.0] * (n // 2))[1]
+
+    assert half(4) > half(8) > half(16) > 0.0
+
+
+def test_single_sample_is_point_estimate():
+    assert mean_ci95([1.7]) == (1.7, 0.0)
+    assert mean_ci95([]) == (0.0, 0.0)
+    stats = RunStats(committed=10, cycles=20, region_ipcs=(0.5,))
+    assert stats.ipc_mean == 0.5
+    assert stats.ipc_ci95 == 0.0
+
+
+def test_ipc_mean_falls_back_to_pooled_ipc():
+    stats = RunStats(committed=10, cycles=20)
+    assert stats.ipc_mean == stats.ipc == 0.5
+    assert stats.ipc_ci95 == 0.0
+
+
+def test_aggregate_stats_merges_everything():
+    a = RunStats(
+        config_name="4-wide", workload_name="x", committed=100, cycles=200,
+        load_misses=3, hierarchy={"l1_hits": 1}, cycle_breakdown={"busy": 5},
+    )
+    a.count_branch(0x40, True)
+    a.count_mem(0x44, False)
+    a.correlator.predictions_generated = 2
+    b = RunStats(
+        config_name="4-wide", workload_name="x", committed=300, cycles=300,
+        load_misses=4, hierarchy={"l1_hits": 2, "l2_hits": 7},
+        cycle_breakdown={"busy": 1}, hit_cycle_limit=True,
+    )
+    b.count_branch(0x40, False)
+    b.count_branch(0x48, True)
+    b.correlator.predictions_generated = 5
+
+    total = aggregate_stats([a, b])
+    assert (total.committed, total.cycles, total.load_misses) == (400, 500, 7)
+    assert total.hierarchy == {"l1_hits": 3, "l2_hits": 7}
+    assert total.cycle_breakdown == {"busy": 6}
+    assert total.hit_cycle_limit  # one truncated window taints the run
+    assert total.branch_pcs[0x40].executions == 2
+    assert total.branch_pcs[0x40].events == 1
+    assert total.branch_pcs[0x48].events == 1
+    assert total.mem_pcs[0x44].executions == 1
+    assert total.correlator.predictions_generated == 7
+    assert total.region_ipcs == (0.5, 1.0)
+    assert total.sample_regions == 2
+    assert total.ipc == pytest.approx(0.8)       # pooled
+    assert total.ipc_mean == pytest.approx(0.75)  # region mean
+    with pytest.raises(ValueError):
+        aggregate_stats([])
+
+
+def test_build_sample_plan_math():
+    plan = build_sample_plan(100_000, 0, 1_000, 4)
+    assert plan.depths == (0, 25_000, 50_000, 75_000)
+    assert plan.warmup == 100
+    assert plan.window == 1_100
+    plan = build_sample_plan(100_000, 10_000, 1_000, 3, period=20_000)
+    assert plan.depths == (10_000, 30_000, 50_000)
+    # The period clamps to the window so regions never overlap.
+    plan = build_sample_plan(10_000, 0, 5_000, 2, period=1)
+    assert plan.period == plan.window
+    with pytest.raises(ValueError):
+        build_sample_plan(100_000, 0, 1_000, 1)
+    with pytest.raises(ValueError):
+        build_sample_plan(100_000, 0, 0, 4)
+
+
+# ----------------------------------------------------------------------
+# Snapshot chains: incremental == straight-through
+# ----------------------------------------------------------------------
+
+
+def test_resume_split_equals_straight_warmup():
+    """Satellite fix: warming trained through a snapshot resume is
+    byte-identical to one uninterrupted pass — prefetcher and branch
+    predictor included (the digest covers every warm image)."""
+    workload = registry.build("vpr", scale=0.1)
+    straight = fast_forward(workload, FOUR_WIDE, 30_000)
+    first = fast_forward(workload, FOUR_WIDE, 13_337)  # mid-run split
+    split = fast_forward(workload, FOUR_WIDE, 30_000, resume_from=first)
+    assert snapshot_digest(split) == snapshot_digest(straight)
+
+
+def test_warm_tiers_state_identical(monkeypatch):
+    """The fused (codegen) warming tier and the per-instruction tier
+    leave identical state: same digest over architectural state and
+    all warm images."""
+    from repro.harness import fastforward as ff
+
+    workload = registry.build("mcf", scale=0.2)
+    fused = fast_forward(workload, FOUR_WIDE, 8_000)
+    monkeypatch.setattr(ff, "_warm_loop", ff._warm_steps)
+    stepped = fast_forward(workload, FOUR_WIDE, 8_000)
+    assert snapshot_digest(stepped) == snapshot_digest(fused)
+
+
+def test_chain_members_match_straight_builds(cache_env):
+    """Each chain member (built by resuming from its predecessor) is
+    digest-identical to a from-scratch build of the same depth, so
+    chained and unchained sweeps share store keys AND content."""
+    workload = registry.build("mcf", scale=0.1)
+    depths = [1_000, 2_500, 4_999]  # awkward splits vs block boundaries
+    members, hits = ensure_chain(workload, FOUR_WIDE, depths)
+    assert hits == 0
+    assert [m.parent for m in members][1:] != [None, None]  # provenance kept
+    for depth, member in zip(depths, members):
+        straight = fast_forward(workload, FOUR_WIDE, depth)
+        assert snapshot_digest(member) == snapshot_digest(straight)
+    # Second walk: every member restored from the store.
+    _members, hits = ensure_chain(workload, FOUR_WIDE, depths)
+    assert hits == len(depths)
+
+
+def test_chain_digest_deterministic_across_stores(tmp_path, monkeypatch):
+    """CI's chained-determinism property: two independent builds in
+    fresh stores produce the same chain digest."""
+    digests = []
+    for sub in ("a", "b"):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / sub))
+        workload = registry.build("gzip", scale=0.05)
+        members, _hits = ensure_chain(workload, FOUR_WIDE, [500, 1_000])
+        digests.append(chain_digest([snapshot_digest(m) for m in members]))
+    assert digests[0] == digests[1]
+
+
+# ----------------------------------------------------------------------
+# Multi-region requests
+# ----------------------------------------------------------------------
+
+
+def test_multi_region_request_validation():
+    with pytest.raises(ValueError):
+        RunRequest(workload="vpr", scale=0.05, sample_regions=2)  # no sample
+    with pytest.raises(ValueError):
+        RunRequest(workload="vpr", scale=0.05, sample=100, sample_regions=-1)
+    with pytest.raises(ValueError):
+        RunRequest(workload="vpr", scale=0.05, sample=100, sample_period=-1)
+
+
+def test_multi_region_joins_fingerprint():
+    from repro.harness.cache import fingerprint
+
+    a = RunRequest(workload="vpr", scale=0.05, sample=500)
+    b = RunRequest(workload="vpr", scale=0.05, sample=500, sample_regions=4)
+    c = RunRequest(
+        workload="vpr", scale=0.05, sample=500,
+        sample_regions=4, sample_period=10_000,
+    )
+    assert len({fingerprint(r) for r in (a, b, c)}) == 3
+
+
+def test_request_env_defaults_multi(monkeypatch):
+    monkeypatch.setenv("REPRO_SAMPLE", "400")
+    monkeypatch.setenv("REPRO_SAMPLE_REGIONS", "5")
+    monkeypatch.setenv("REPRO_SAMPLE_PERIOD", "9000")
+    request = RunRequest(workload="vpr", scale=0.05)
+    assert request.sample == 400
+    assert request.sample_regions == 5
+    assert request.sample_period == 9_000
+
+
+def test_multi_region_request_aggregates(cache_env):
+    # Explicit period: gzip halts well before its ``region`` ceiling,
+    # so evenly spaced windows over the ceiling would overshoot.
+    request = RunRequest(
+        workload="gzip", scale=0.1, mode="base",
+        sample=500, sample_regions=3, sample_period=5_000,
+    )
+    stats = execute_request(request)
+    assert stats.sample_regions == 3
+    assert len(stats.region_ipcs) == 3
+    assert stats.committed == 3 * 500
+    assert stats.ipc_ci95 > 0.0
+    again = execute_request(request)
+    assert again.region_ipcs == stats.region_ipcs  # deterministic
+    assert again.snapshot_hits == 2  # the depth-0 window needs no snapshot
+    assert again.snapshot_hit  # every window that needed one, hit
+
+
+def test_multi_region_drops_windows_past_halt(cache_env):
+    """``workload.region`` is a ceiling, not a promise: windows planned
+    past the actual halt are dropped instead of measured as empty."""
+    workload = registry.build("mcf", scale=0.2)
+    request = RunRequest(
+        workload="mcf", scale=0.2, mode="base", sample=500,
+        sample_regions=4, sample_period=workload.region,
+    )
+    stats = execute_request(request)
+    assert 1 <= stats.sample_regions < 4
+    assert len(stats.region_ipcs) == stats.sample_regions
+
+
+def test_multi_region_ipc_tracks_full_detail(cache_env):
+    """Small-scale version of the acceptance differential: the sampled
+    estimator agrees with full detail within its own 95% interval (or
+    a 15% guard band when the interval happens to be very tight)."""
+    sampled = execute_request(RunRequest(
+        workload="mcf", scale=0.5, mode="base", sample=1_000,
+        sample_regions=5, sample_period=5_000,
+    ))
+    full = execute_request(RunRequest(workload="mcf", scale=0.5, mode="base"))
+    assert sampled.sample_regions >= 2
+    tolerance = max(sampled.ipc_ci95, 0.15 * full.ipc)
+    assert abs(sampled.ipc_mean - full.ipc) <= tolerance
+
+
+def test_sweep_shares_one_chain(cache_env):
+    """The tentpole reuse property: a memory-latency sweep builds the
+    snapshot chain once (prebuilt in the parent) and every point of
+    both arms restores from it."""
+    workload = registry.build("mcf", scale=0.2)
+    points = sweep_memory_latency(
+        workload, latencies=(100, 400), jobs=1,
+        cache=RunCache(enabled=False),
+        sample=500, sample_regions=3, sample_period=4_000,
+    )
+    entries = SnapshotStore(cache_env).ls()
+    # One chain: regions-1 members with depth > 0 (window 0 is cold),
+    # shared by all four runs (2 latencies x base/slice).
+    assert len(entries) == 2
+    assert sum(1 for e in entries if e["parent"]) == 1
+    for point in points:
+        for stats in (point.base, point.assisted):
+            assert stats.sample_regions == 3
+            assert stats.snapshot_hits == 2  # prebuilt before the matrix
+        assert point.speedup_ci95 >= 0.0
+
+
+def test_matrix_report_sampling_counters(cache_env):
+    request = RunRequest(
+        workload="gzip", scale=0.1, mode="base",
+        sample=500, sample_regions=3, sample_period=5_000,
+    )
+    report = run_matrix(
+        [request], jobs=1, cache=RunCache(enabled=False), return_report=True
+    )
+    stats = report.stats_list()[0]
+    assert report.sampled_regions == stats.sample_regions == 3
+    assert report.ff_insts == stats.ff_insts > 0
+    assert report.snapshot_hits == 2  # chain prebuilt in the parent
+
+
+def test_bench_sampled_multi_regime(cache_env):
+    from repro.harness.bench import REGIMES, run_regime
+
+    regime = dataclasses.replace(
+        REGIMES["sampled_multi"],
+        scale=0.5, sample=300, sample_regions=3, sample_period=2_000,
+    )
+    stats, elapsed = run_regime(regime)
+    assert stats.sample_regions == 3
+    assert elapsed > 0.0
+    # Covered span: chain depth + warm windows + measured regions.
+    assert regime.covered_insts(stats) > stats.committed
+
+
+# ----------------------------------------------------------------------
+# Multi-region CLI surface
+# ----------------------------------------------------------------------
+
+
+def test_parser_accepts_multi_region_flags():
+    args = cli.build_parser().parse_args(
+        ["table4", "--sample", "1000",
+         "--sample-regions", "10", "--sample-period", "50000"]
+    )
+    assert args.sample_regions == 10
+    assert args.sample_period == 50_000
+
+
+def test_multi_region_flags_mirror_to_env(monkeypatch, tmp_path):
+    for key in ("REPRO_SAMPLE_REGIONS", "REPRO_SAMPLE_PERIOD"):
+        monkeypatch.setenv(key, "stale")  # registers teardown restore
+        monkeypatch.delenv(key)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    code = cli.main(
+        ["snapshot", "ls", "--sample-regions", "6", "--sample-period", "123"]
+    )
+    assert code == 0
+    assert os.environ["REPRO_SAMPLE_REGIONS"] == "6"
+    assert os.environ["REPRO_SAMPLE_PERIOD"] == "123"
+
+
+def test_cli_snapshot_ls_shows_chain(cache_env, capsys):
+    workload = registry.build("gzip", scale=0.05)
+    ensure_chain(workload, FOUR_WIDE, [500, 1_000])
+    assert cli.main(["snapshot", "ls"]) == 0
+    out = capsys.readouterr().out
+    assert "chain" in out
+    assert "<-" in out  # the deeper member names its parent
+    assert "2 snapshot(s) (1 chained" in out
+    assert "bytes total" in out
