@@ -10,11 +10,18 @@ Quantifies three of the paper's qualitative claims:
   window size.
 * Figure 10's provisioning of 8 prediction slots per branch — swept
   via slot count (loop slices starve below the loop's typical depth).
+
+Runs sampled by default: each sweep point is estimated from 10
+detailed windows over the workload's ~2x10^6-instruction halt-aware
+plan (`repro.harness.experiments.sampled_plan`). All points of a
+sweep share one warmed snapshot chain — the swept parameters shape
+only the detailed core, not warm state — so the whole sweep pays one
+chain build and the rendered tables carry mean±CI columns.
 """
 
 from conftest import run_once
 
-from repro.harness.experiments import default_scale
+from repro.harness.experiments import sampled_plan
 from repro.harness.sweep import (
     render_sweep,
     sweep_memory_latency,
@@ -24,14 +31,28 @@ from repro.harness.sweep import (
 from repro.workloads import registry
 
 
-def _run():
-    scale = default_scale()
-    mcf = registry.build("mcf", scale)
-    vpr = registry.build("vpr", scale)
+def _sampling(plan):
     return {
-        "memory": sweep_memory_latency(mcf, (50, 100, 200)),
-        "window": sweep_window_size(vpr, (32, 128, 256)),
-        "slots": sweep_prediction_slots(vpr, (2, 8)),
+        "fast_forward": plan["fast_forward"],
+        "sample": plan["sample"],
+        "sample_regions": plan["sample_regions"],
+        "sample_period": plan["sample_period"],
+    }
+
+
+def _run():
+    mcf_plan = sampled_plan("mcf")
+    vpr_plan = sampled_plan("vpr")
+    mcf = registry.build("mcf", mcf_plan["scale"])
+    vpr = registry.build("vpr", vpr_plan["scale"])
+    return {
+        "memory": sweep_memory_latency(
+            mcf, (50, 100, 200), **_sampling(mcf_plan)
+        ),
+        "window": sweep_window_size(
+            vpr, (32, 128, 256), **_sampling(vpr_plan)
+        ),
+        "slots": sweep_prediction_slots(vpr, (2, 8), **_sampling(vpr_plan)),
     }
 
 
@@ -52,6 +73,11 @@ def bench_sweep_sensitivity(benchmark, publish):
         ]
     )
     publish("sweep_sensitivity", text)
+
+    # Every point is a full-complement multi-region estimate.
+    for points in sweeps.values():
+        for p in points:
+            assert p.base.sample_regions == 10
 
     memory = sweeps["memory"]
     # Longer memory latency -> lower base IPC -> bigger slice win.

@@ -31,8 +31,11 @@ answer "where does the time go" without hand-building a workload:
   this measures the one-shot (unamortized) cost of a sampled run.
 
 ``run_all_regimes`` additionally measures the **interpreter** tier
-(raw functional ``execute()`` throughput) so ``repro bench --all``
-covers every execution tier in one summary.
+(raw functional ``execute()`` throughput) and the **warming** tier
+(:func:`measure_warming_rate` — the fused functional-warming loop on
+the far-memory pointer chase, the rate that bounds every sampled
+figure's chain build) so ``repro bench --all`` covers every execution
+tier in one summary.
 """
 
 from __future__ import annotations
@@ -368,6 +371,87 @@ def measure_interpreter_rate(
     return best, executed
 
 
+#: The warming-regime measurement: the functional-warming loop on the
+#: pointer-chasing workload whose miss-per-instruction rate dominates
+#: every sampled figure's chain build (mcf at a far-memory footprint —
+#: the working set dwarfs L2, so ~1 in 10 instructions takes the full
+#: warm miss path). Scale 50 keeps the 2M-instruction measured span
+#: well inside the region (no halt).
+WARMING_WORKLOAD = "mcf"
+WARMING_SCALE = 50.0
+WARMING_INSTS = 2_000_000
+#: Instructions advanced before timing starts: one pass over the hot
+#: loops so every warm trace is compiled and bound before the clock
+#: runs (the steady state a chain build spends its life in).
+WARMING_PRIME_INSTS = 10_000
+
+
+def _warming_run():
+    """A fresh warming pass over the warming-regime workload, primed
+    past trace compilation. Returns the live run, ready to time."""
+    from repro.harness.fastforward import _LiveRun
+
+    workload = registry.build(WARMING_WORKLOAD, scale=WARMING_SCALE)
+    run = _LiveRun(workload, FOUR_WIDE, warming=True)
+    run.advance(WARMING_PRIME_INSTS)
+    return run
+
+
+def measure_warming_rate(
+    rounds: int = 3, insts: int = WARMING_INSTS
+) -> tuple[float, int]:
+    """Best-of-*rounds* functional-warming throughput (warmed
+    instructions / wall second) on the far-memory pointer chase — the
+    ``warming`` regime of ``BENCH_throughput.json``.
+
+    Each round is a fresh live run (cold caches, cold stream table)
+    advanced *insts* instructions past the priming prefix, so the rate
+    is the cost a sampled figure's chain build actually pays. Returns
+    ``(rate, insts_per_round)``.
+    """
+    best = 0.0
+    for _ in range(rounds):
+        run = _warming_run()
+        start = time.perf_counter()
+        run.advance(WARMING_PRIME_INSTS + insts)
+        elapsed = time.perf_counter() - start
+        best = max(best, insts / elapsed)
+    return best, insts
+
+
+def profile_warming(
+    top: int = 25, insts: int = WARMING_INSTS
+) -> tuple[float, str]:
+    """One warming round under ``cProfile``; returns (rate, report).
+
+    The rate is measured under the profiler (2-3x slower than real) —
+    use the report for *relative* attribution (trace bodies vs. the
+    warm miss path vs. the driver) and :func:`measure_warming_rate`
+    for the honest number.
+    """
+    run = _warming_run()
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    run.advance(WARMING_PRIME_INSTS + insts)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    buf = io.StringIO()
+    ps = pstats.Stats(profiler, stream=buf)
+    ps.sort_stats("tottime").print_stats(top)
+    header = (
+        "cProfile, regime 'warming': functional-warming loop, "
+        "far-memory pointer chase\n"
+        f"workload={WARMING_WORKLOAD} scale={WARMING_SCALE:g} "
+        f"machine={FOUR_WIDE.name} (warming is untimed; geometry only)\n"
+        f"{insts:,} warmed instructions in {elapsed:.2f}s under the "
+        "profiler (rates under cProfile are 2-3x pessimistic; "
+        "sorted by tottime — self time is what the warm loop "
+        "optimizes)\n"
+    )
+    return insts / elapsed, header + buf.getvalue()
+
+
 def run_all_regimes(rounds: int = 3) -> dict:
     """Measure every regime (core regimes + the interpreter tier) in
     one pass — the ``repro bench --all`` backend. Returns a plain
@@ -402,6 +486,20 @@ def run_all_regimes(rounds: int = 3) -> dict:
         "machine": "-",
         "instructions_per_second": round(rate),
         "committed_per_run": executed,
+        "best_of_rounds": rounds,
+    }
+    rate, insts = measure_warming_rate(rounds=rounds)
+    results["warming"] = {
+        "description": (
+            "functional-warming loop, far-memory pointer chase (fused "
+            "warm tier)"
+        ),
+        "workload": WARMING_WORKLOAD,
+        "scale": WARMING_SCALE,
+        "mode": "warming",
+        "machine": FOUR_WIDE.name,
+        "instructions_per_second": round(rate),
+        "committed_per_run": insts,
         "best_of_rounds": rounds,
     }
     return results

@@ -13,6 +13,7 @@ Usage::
     python -m repro bench --all         # every regime, one summary
     python -m repro figure11 --fast-forward 20000 --sample 4000  # sampled
     python -m repro table4 --sample 10000 --sample-regions 10  # multi-region
+    python -m repro figure11 --sampled  # long-horizon halt-aware plans
 
 Simulations fan out over ``--jobs`` worker processes (default:
 ``REPRO_JOBS`` env or the CPU count) and are memoized in the
@@ -83,8 +84,8 @@ def build_parser() -> argparse.ArgumentParser:
             "cache action: 'clear' (with 'cache'); snapshot action: "
             "'ls' (default) / 'clear' (with 'snapshot'); bench regime: "
             "'balanced' / 'memory_bound' / 'slice_heavy' / 'interpreter' "
-            "/ 'sampled' / 'sampled_multi' (with 'bench', default "
-            "'balanced')"
+            "/ 'sampled' / 'sampled_multi' / 'warming' (with 'bench', "
+            "default 'balanced')"
         ),
     )
     parser.add_argument(
@@ -198,6 +199,26 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--sampled",
+        action="store_true",
+        help=(
+            "figure11/table4: run each workload at its long-horizon "
+            "scale (~2M instructions by default) under a halt-aware "
+            "multi-region plan with 95%% confidence intervals — the "
+            "figure benches' default configuration"
+        ),
+    )
+    parser.add_argument(
+        "--horizon",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --sampled: per-workload instruction horizon the plan "
+            "covers (default 2,000,000)"
+        ),
+    )
+    parser.add_argument(
         "--snapshots-only",
         action="store_true",
         help=(
@@ -232,15 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Experiments with a long-horizon sampled mode (``--sampled``).
+_SAMPLED_EXPERIMENTS = frozenset({"table4", "figure11"})
+
+
 def run_experiment(
     name: str,
     scale: float | None,
     jobs: int | None = None,
     cache: RunCache | None = None,
+    sampled: bool = False,
+    horizon: int | None = None,
 ) -> str:
     func = EXPERIMENTS[name]
     if name == "table1":
         _data, text = func()
+    elif name in _SAMPLED_EXPERIMENTS and sampled:
+        _data, text = func(
+            scale=scale, jobs=jobs, cache=cache, sampled=True, horizon=horizon
+        )
     elif name in _MATRIX_EXPERIMENTS:
         _data, text = func(scale=scale, jobs=jobs, cache=cache)
     else:
@@ -279,9 +310,36 @@ def run_bench(
         print(f"\nconsolidated results: {out_path}")
         return 0
     name = regime_name or "balanced"
+    if name == "warming":
+        # Not a Core regime: measures the functional-warming loop
+        # itself (repro.harness.fastforward._warm_loop) on the
+        # far-memory pointer chase — the rate that bounds every
+        # sampled figure's chain build.
+        from repro.harness.bench import (
+            WARMING_INSTS,
+            measure_warming_rate,
+            profile_warming,
+        )
+
+        if profile:
+            _rate, report = profile_warming()
+            out_dir = pathlib.Path("benchmarks") / "results"
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_path = out_dir / "profile_warming.txt"
+            out_path.write_text(report)
+            print("\n".join(report.splitlines()[:12]))
+            print(f"\nfull profile: {out_path}")
+            return 0
+        rate, insts = measure_warming_rate(rounds=3)
+        print(
+            "warming: functional-warming loop, far-memory pointer chase\n"
+            f"~{rate:,.0f} warmed instructions/second "
+            f"({insts:,} per round, best of 3 runs)"
+        )
+        return 0
     regime = REGIMES.get(name)
     if regime is None:
-        known = ", ".join(REGIMES)
+        known = ", ".join((*REGIMES, "warming"))
         print(f"unknown bench regime {name!r}; known: {known}", file=sys.stderr)
         return 2
     if profile:
@@ -324,7 +382,7 @@ def run_snapshot_action(action: str | None) -> int:
         print(
             f"{'key':16s} {'workload':12s} {'scale':>6s} "
             f"{'ff_insts':>9s} {'executed':>9s} {'warm':>5s} "
-            f"{'chain':16s} {'bytes':>10s}"
+            f"{'chain':16s} {'built':8s} {'resumed@':>9s} {'bytes':>10s}"
         )
         chained = 0
         for entry in entries:
@@ -337,12 +395,19 @@ def run_snapshot_action(action: str | None) -> int:
                 # here but its earlier members were cleared since.
                 tag = "" if parent in known_keys else "?"
                 chain = f"<-{parent[:12]}{tag}"
+            # Build provenance (digest-masked, display-only): which
+            # prebuild discipline produced the member and the stored
+            # depth its building pass resumed from ("-" = entry point).
+            built = entry.get("built_by") or "-"
+            resumed = entry.get("resumed_from_depth")
+            resumed_at = "-" if resumed is None else f"{resumed:,d}"
             print(
                 f"{entry['key'][:16]:16s} {entry['workload']:12s} "
                 f"{entry['scale']:>6g} {entry['ff_insts']:>9d} "
                 f"{entry['executed']:>9d} "
                 f"{'yes' if entry['warming'] else 'no':>5s} "
-                f"{chain:16s} {entry['bytes']:>10,d}"
+                f"{chain:16s} {built:8s} {resumed_at:>9s} "
+                f"{entry['bytes']:>10,d}"
             )
         print(
             f"{len(entries)} snapshot(s) ({chained} chained, "
@@ -427,7 +492,14 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         start = time.time()
         try:
-            text = run_experiment(name, args.scale, jobs=args.jobs, cache=cache)
+            text = run_experiment(
+                name,
+                args.scale,
+                jobs=args.jobs,
+                cache=cache,
+                sampled=args.sampled,
+                horizon=args.horizon,
+            )
         except DeadlockError as exc:
             # A simulated-machine deadlock is a diagnosis, not a crash:
             # report the machine state, no traceback.

@@ -18,6 +18,7 @@ our scale-1.0 regions are ~10^5-10^6 instructions, see DESIGN.md).
 
 from __future__ import annotations
 
+import math
 import os
 
 from repro.analysis.characterize import characterize_run, characterize_slice
@@ -41,6 +42,105 @@ TABLE4_BENCHMARKS = ("bzip2", "eon", "gap", "gzip", "mcf", "perl", "twolf", "vpr
 def default_scale() -> float:
     """Benchmark scale; override with the REPRO_SCALE env variable."""
     return float(os.environ.get("REPRO_SCALE", "0.35"))
+
+
+# ----------------------------------------------------------------------
+# Long-horizon sampled defaults (sampled figure benches by default)
+# ----------------------------------------------------------------------
+
+#: Functional run length to HALT per workload, as
+#: ``(anchor_scale, insts_at_anchor, growth_exponent)`` — length at
+#: scale *s* is ``insts * (s / anchor) ** exponent``. Measured with the
+#: functional fast-forward tier; every workload is linear in scale
+#: (exponent 1.0, <2% error out to the 10^6-instruction scales below).
+#: gzip's length is data-dependent and jagged — a few scales hit
+#: unusually long lazy-match tails and run *past* the model — but a
+#: longer run only gives the windows more room, so the halt-aware
+#: schedule stays valid. The figure benches use this model to place
+#: detailed sample windows *inside* the run — ``workload.region`` is a
+#: generous ceiling (3-4x the real HALT depth for several workloads),
+#: so deriving periods from it would drop most windows past HALT.
+RUN_LENGTH_MODEL: dict[str, tuple[float, int, float]] = {
+    "bzip2": (4.0, 455_346, 1.0),
+    "crafty": (4.0, 252_019, 1.0),
+    "eon": (4.0, 671_539, 1.0),
+    "gap": (4.0, 156_634, 1.0),
+    "gcc": (4.0, 283_764, 1.0),
+    "gzip": (4.0, 706_356, 1.0),
+    "mcf": (4.0, 221_367, 1.0),
+    "parser": (4.0, 394_727, 1.0),
+    "perl": (4.0, 340_733, 1.0),
+    "twolf": (4.0, 497_208, 1.0),
+    "vortex": (4.0, 211_204, 1.0),
+    "vpr": (4.0, 1_099_615, 1.0),
+}
+
+#: Default horizon for sampled figure benches: each workload arm
+#: covers ~2x10^6 functionally-warmed instructions (vs the ~10^4-10^5
+#: full-detail regions of ``default_scale()``), estimated from
+#: SAMPLED_REGIONS detailed windows with Student-t CIs.
+SAMPLED_HORIZON = 2_000_000
+SAMPLED_REGIONS = 10
+SAMPLED_WINDOW = 2_000
+
+#: Fraction of the modeled run length the windows may span; the slack
+#: absorbs the run-length model's error so the last window always
+#: lands before HALT (a window past HALT is dropped and costs a CI
+#: sample).
+_HORIZON_MARGIN = 0.97
+
+
+def run_length(name: str, scale: float) -> int:
+    """Modeled functional run length (instructions to HALT) of
+    workload *name* at *scale*."""
+    anchor, insts, exponent = RUN_LENGTH_MODEL[name]
+    return int(insts * (scale / anchor) ** exponent)
+
+
+def scale_for_horizon(name: str, horizon: int | None = None) -> float:
+    """The scale at which workload *name* runs ~*horizon* instructions
+    before HALT (inverse of :func:`run_length`).
+
+    Floored (not rounded) to two decimals: rounding up can cross onto
+    one of gzip's anomalous inputs (e.g. 11.33 runs 5.65M instructions
+    in a lazy-match tail while 11.32 lands on-model), and a hair-short
+    scale only shaves the 3% schedule margin.
+    """
+    horizon = horizon or SAMPLED_HORIZON
+    anchor, insts, exponent = RUN_LENGTH_MODEL[name]
+    return math.floor(anchor * (horizon / insts) ** (1.0 / exponent) * 100) / 100
+
+
+def sampled_plan(
+    name: str,
+    horizon: int | None = None,
+    regions: int | None = None,
+    window: int | None = None,
+) -> dict:
+    """Halt-aware long-horizon sampling plan for one workload.
+
+    Returns RunRequest keyword arguments: the scale at which *name*
+    runs ~*horizon* instructions, and a periodic multi-region schedule
+    whose windows all land before HALT. The first window sits one
+    period in (``fast_forward = period``), skipping initialization the
+    same way every later window skips its gap, so all ``regions``
+    chain members are warmed snapshots.
+    """
+    horizon = horizon or SAMPLED_HORIZON
+    regions = regions or SAMPLED_REGIONS
+    window = window if window is not None else SAMPLED_WINDOW
+    from repro.harness.fastforward import sample_plan as _sample_plan
+
+    _, warmup = _sample_plan(window)
+    span = int(horizon * _HORIZON_MARGIN) - (window + warmup)
+    period = max(span // regions, window + warmup)
+    return {
+        "scale": scale_for_horizon(name, horizon),
+        "fast_forward": period,
+        "sample": window,
+        "sample_regions": regions,
+        "sample_period": period,
+    }
 
 
 def _is_preset(config: MachineConfig) -> bool:
@@ -177,8 +277,19 @@ def experiment_figure11(
     config: MachineConfig = FOUR_WIDE,
     jobs: int | None = None,
     cache: RunCache | None = None,
+    sampled: bool = False,
+    horizon: int | None = None,
 ):
-    """Figure 11: slice speedup vs constrained limit study."""
+    """Figure 11: slice speedup vs constrained limit study.
+
+    With ``sampled=True`` (the figure benches' default), each workload
+    runs at its own long-horizon scale — ~``horizon`` (default
+    :data:`SAMPLED_HORIZON`) instructions covered by a halt-aware
+    multi-region plan from :func:`sampled_plan` — instead of one
+    global full-detail ``scale``. All three modes of a workload share
+    one warmed snapshot chain (prebuilt in parallel by ``run_matrix``),
+    and speedups gain per-region confidence intervals.
+    """
     scale = scale if scale is not None else default_scale()
     names = registry.all_names()
     if not _is_preset(config):
@@ -187,15 +298,20 @@ def experiment_figure11(
         ]
         return results, report.render_figure11(results)
 
+    plans = (
+        {name: sampled_plan(name, horizon) for name in names}
+        if sampled
+        else {name: {"scale": scale} for name in names}
+    )
     requests = [
-        RunRequest(name, scale, mode=mode, config=config.name)
+        RunRequest(name, mode=mode, config=config.name, **plans[name])
         for name in names
         for mode in ("base", "slice", "limit")
     ]
     stats = run_matrix(requests, jobs=jobs, cache=cache)
     results = [
         TripleResult(
-            workload=registry.build(name, scale),
+            workload=registry.build(name, plans[name]["scale"]),
             config=config,
             base=stats[3 * i],
             assisted=stats[3 * i + 1],
@@ -212,12 +328,25 @@ def experiment_table4(
     benchmarks=TABLE4_BENCHMARKS,
     jobs: int | None = None,
     cache: RunCache | None = None,
+    sampled: bool = False,
+    horizon: int | None = None,
 ):
-    """Table 4: detailed with/without-slices characterization."""
+    """Table 4: detailed with/without-slices characterization.
+
+    ``sampled=True`` switches to per-workload long-horizon plans (see
+    :func:`experiment_figure11`); base and slice arms share one chain.
+    """
     scale = scale if scale is not None else default_scale()
+    scale_of = dict.fromkeys(benchmarks, scale)
     if _is_preset(config):
+        plans = (
+            {name: sampled_plan(name, horizon) for name in benchmarks}
+            if sampled
+            else {name: {"scale": scale} for name in benchmarks}
+        )
+        scale_of = {name: plans[name]["scale"] for name in benchmarks}
         requests = [
-            RunRequest(name, scale, mode=mode, config=config.name)
+            RunRequest(name, mode=mode, config=config.name, **plans[name])
             for name in benchmarks
             for mode in ("base", "slice")
         ]
@@ -238,7 +367,7 @@ def experiment_table4(
             )
     rows = []
     for name in benchmarks:
-        workload = registry.build(name, scale)
+        workload = registry.build(name, scale_of[name])
         base, assisted = pair_of[name]
         covered = len(
             {pc for spec in workload.slices for pc in spec.covered_branch_pcs}

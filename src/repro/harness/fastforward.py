@@ -62,6 +62,7 @@ bit-identical to a full detailed run.
 from __future__ import annotations
 
 import dataclasses
+import gc
 import hashlib
 import json
 import os
@@ -79,7 +80,7 @@ from repro.isa.opcodes import INSTRUCTION_BYTES, Opcode
 from repro.uarch.branch.frontend_predictor import FrontEndPredictor
 from repro.uarch.cache import DataHierarchy
 from repro.uarch.config import MachineConfig
-from repro.uarch.prefetch import StreamPrefetcher
+from repro.uarch.prefetch import StreamPrefetcher, build_warm_access
 from repro.uarch.warmfuse import (
     WarmContext,
     compile_warm_run,
@@ -91,7 +92,8 @@ from repro.workloads.base import Workload
 #: misses instead of unpickling into the wrong shape. v2: warming runs
 #: the dedicated direct-update loop (resumable, prefetcher image,
 #: chain parentage) instead of the predict/restore/replay protocol.
-SNAPSHOT_SCHEMA_VERSION = 2
+#: v3: build provenance (``built_by`` / ``resumed_from_depth``).
+SNAPSHOT_SCHEMA_VERSION = 3
 
 _SNAP_MAGIC = b"repro-snap-%d\n" % SNAPSHOT_SCHEMA_VERSION
 
@@ -221,6 +223,15 @@ class Snapshot:
     #: build and a straight-through build of the same depth are
     #: byte-identical in every payload that matters.
     parent: str | None = None
+    #: Build provenance: which prebuild discipline produced this member
+    #: (``"serial"`` / ``"parallel"``), and the absolute depth of the
+    #: stored member the building pass resumed from (``None`` when the
+    #: pass started at the entry point). Like ``parent``, provenance is
+    #: masked out of :func:`snapshot_digest` — parallel and serial
+    #: builds of the same depth must digest identically (CI asserts
+    #: exactly that).
+    built_by: str | None = None
+    resumed_from_depth: int | None = None
 
 
 def warm_config_key(config: MachineConfig) -> str:
@@ -274,12 +285,19 @@ def snapshot_digest(snapshot: Snapshot) -> str:
 
     The simulator and the workload generators are deterministic, so the
     same request must produce byte-identical snapshots — CI asserts
-    this (snapshot-determinism step). ``parent`` is provenance, not
-    state, and is masked out so a chained build digests identically to
-    a straight-through build of the same depth.
+    this (snapshot-determinism step). ``parent``, ``built_by``, and
+    ``resumed_from_depth`` are provenance, not state, and are masked
+    out so a chained build digests identically to a straight-through
+    build of the same depth (and a parallel prebuild to a serial one).
     """
-    if snapshot.parent is not None:
-        snapshot = dataclasses.replace(snapshot, parent=None)
+    if (
+        snapshot.parent is not None
+        or snapshot.built_by is not None
+        or snapshot.resumed_from_depth is not None
+    ):
+        snapshot = dataclasses.replace(
+            snapshot, parent=None, built_by=None, resumed_from_depth=None
+        )
     return hashlib.sha256(_encode(snapshot)).hexdigest()
 
 
@@ -401,17 +419,19 @@ def _warm_loop(
     hierarchy: DataHierarchy,
     predictor: FrontEndPredictor,
 ) -> tuple[int, bool]:
-    """Block-fused functional warming: ``(executed, halted)``.
+    """Trace-fused functional warming: ``(executed, halted)``.
 
-    Drives :mod:`repro.uarch.warmfuse`: whole straight-line runs
-    (terminating branch included) execute as one generated function
-    each, with warm updates inlined. Falls back to
-    :func:`_warm_steps` for the tail of the budget, when fewer
-    instructions remain than the next run would execute. Both tiers
-    leave identical state per instruction, so where the budget falls
-    relative to run boundaries is unobservable in the resulting
-    snapshot — which is what makes chained (split) and
-    straight-through warmups byte-identical.
+    Drives :mod:`repro.uarch.warmfuse`: whole traces — straight-line
+    runs extended across statically-targeted branches, so hot loops
+    unroll — execute as one generated function each, with warm updates
+    inlined. Each call reports the instructions it actually ran in
+    ``ctx.xc[0]`` (a trace exits early when a branch leaves the
+    compiled path). Falls back to :func:`_warm_steps` for the tail of
+    the budget, when fewer instructions remain than the next trace
+    *could* execute. Both tiers leave identical state per instruction,
+    so where the budget falls relative to trace boundaries is
+    unobservable in the resulting snapshot — which is what makes
+    chained (split) and straight-through warmups byte-identical.
     """
     # The generated runs elide the undo journal; fast-forward state is
     # built with journaling off, which makes that an exact elision.
@@ -420,38 +440,63 @@ def _warm_loop(
     table = warm_block_table(program, l1._line_shift, l1._set_mask)
     compile_run = compile_warm_run
     ctx = WarmContext(state, hierarchy, predictor)
+    # Compiled runs are cached program-wide; the zero-argument closures
+    # they produce are bound to *this* pass's context once per run here
+    # (contexts go stale across warm-image loads, which replace the
+    # predictor component objects).
+    bound: dict[int, tuple] = {}
+    bound_get = bound.get
+    xc = ctx.xc
     pc = state.pc
     executed = 0
     halted = False
     remaining = budget
     table_get = table.get
     _missing = ()
-    while remaining > 0:
-        entry = table_get(pc, _missing)
-        if entry is _missing:
-            entry = table[pc] = compile_run(
-                program, pc, l1._line_shift, l1._set_mask
-            )
-        if entry is None:
-            break  # off-program PC: stop exactly as run_functional does
-        fn, length, halt_pc = entry
-        if length > remaining:
-            state.pc = pc
-            ran, halted = _warm_steps(
-                program, state, remaining, hierarchy, predictor
-            )
+    # The warm loop allocates only acyclic objects (ints, tuples,
+    # small lists), so cycle collection buys nothing here while its
+    # periodic gen-0 scans tax every predictor-table tuple; pause it
+    # for the duration and let refcounting do the work.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        while remaining > 0:
+            entry = bound_get(pc)
+            if entry is None:
+                compiled = table_get(pc, _missing)
+                if compiled is _missing:
+                    compiled = table[pc] = compile_run(
+                        program, pc, l1._line_shift, l1._set_mask
+                    )
+                if compiled is None:
+                    break  # off-program PC: stop as run_functional does
+                bind, length, halt_pc = compiled
+                entry = bound[pc] = (bind(ctx), length, halt_pc)
+            fn, length, halt_pc = entry
+            if length > remaining:
+                # ``length`` is the trace's *maximum*; it may exit
+                # earlier, but the conservative check keeps the budget
+                # exact.
+                state.pc = pc
+                ran, halted = _warm_steps(
+                    program, state, remaining, hierarchy, predictor
+                )
+                executed += ran
+                remaining -= ran
+                pc = state.pc
+                break
+            nxt = fn()
+            ran = xc[0]
             executed += ran
             remaining -= ran
-            pc = state.pc
-            break
-        nxt = fn(ctx)
-        executed += length
-        remaining -= length
-        if nxt is None:
-            pc = halt_pc
-            halted = True
-            break
-        pc = nxt
+            if nxt is None:
+                pc = halt_pc
+                halted = True
+                break
+            pc = nxt
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     state.pc = pc
     return executed, halted
 
@@ -518,6 +563,14 @@ class _LiveRun:
                 self.prefetcher.load_warm_image(
                     resume_from.prefetcher_image or []
                 )
+            # Fuse the whole demand-miss path — hierarchy transitions
+            # plus stream training — into one closure over the current
+            # containers (built *after* any image load; loading
+            # replaces them). Same instance-shadow containment as
+            # ``prefetch_fill`` above.
+            self.hierarchy.warm_access = build_warm_access(
+                self.hierarchy, self.prefetcher
+            )
 
     def advance(self, ff_insts: int) -> None:
         """Run forward to absolute depth *ff_insts* (no-op if already
@@ -602,7 +655,11 @@ def fast_forward(
             raise ValueError("cannot resume across a warm-config change")
     run = _LiveRun(workload, config, warming, resume_from=resume_from)
     run.advance(ff_insts)
-    return run.capture(ff_insts)
+    snapshot = run.capture(ff_insts)
+    snapshot.built_by = "serial"
+    if resume_from is not None:
+        snapshot.resumed_from_depth = resume_from.ff_insts
+    return snapshot
 
 
 # ----------------------------------------------------------------------
@@ -679,6 +736,8 @@ class SnapshotStore(IntegrityStore):
                     "executed": snapshot.executed,
                     "warming": snapshot.warming,
                     "parent": snapshot.parent,
+                    "built_by": snapshot.built_by,
+                    "resumed_from_depth": snapshot.resumed_from_depth,
                     "bytes": size,
                 }
             )
@@ -723,6 +782,7 @@ def iter_chain(
     depths,
     warming: bool = True,
     store: SnapshotStore | None = None,
+    built_by: str = "serial",
 ):
     """Yield ``(snapshot, hit)`` per depth, building missing members
     incrementally.
@@ -733,7 +793,16 @@ def iter_chain(
     (:class:`_LiveRun`) threaded down the chain, captured at each
     depth — not one resume-copy-run-capture cycle per member — and
     persisted with their ``parent`` link. A mid-chain store hit
-    re-anchors the live pass (the next miss resumes from the hit).
+    re-anchors the live pass (the next miss resumes from the hit) —
+    this is also what lets a crashed or timed-out prebuild make
+    monotonic progress: every member lands in the store as soon as it
+    is captured, so the retry resumes from the deepest stored member
+    instead of the entry point.
+
+    *built_by* stamps the provenance of fresh members (``"serial"`` /
+    ``"parallel"``); ``resumed_from_depth`` records where the live
+    pass was anchored. Both are digest-masked (see
+    :func:`snapshot_digest`).
 
     Streaming matters here: a deep chain's members each carry a full
     memory image, so callers that run one detailed window per member
@@ -746,6 +815,7 @@ def iter_chain(
     prev_key = None
     prev_depth = None
     live = None
+    anchor = None  # depth the current live pass resumed from
     for depth in depths:
         if prev_depth is not None and depth < prev_depth:
             raise ValueError(f"chain depths must be ascending: {depths}")
@@ -765,9 +835,12 @@ def iter_chain(
                 live = _LiveRun(
                     workload, config, warming, resume_from=prev
                 )
+                anchor = prev.ff_insts if prev is not None else None
             live.advance(depth)
             snapshot = live.capture(depth)
             snapshot.parent = prev_key
+            snapshot.built_by = built_by
+            snapshot.resumed_from_depth = anchor
             store.put(key, snapshot)
         yield snapshot, hit
         prev, prev_key = snapshot, key
@@ -815,7 +888,106 @@ def _plan_for_request(request, workload=None):
     )
 
 
-def prebuild_snapshots(requests, store: SnapshotStore | None = None) -> int:
+@dataclass(frozen=True)
+class _PrebuildTask:
+    """One independent prebuild unit: the chain (or single snapshot)
+    one ``(workload, scale, warm config)`` group of requests needs.
+
+    Picklable and hashable so the generic pool executor
+    (:func:`repro.harness.parallel._execute_pooled`) can ship it to a
+    worker and track its retry budget; exposes ``workload`` / ``mode``
+    the way :class:`~repro.harness.parallel.RunRequest` does so the
+    executor's logging needs no special case.
+    """
+
+    request: object  # the representative RunRequest
+    depths: tuple[int, ...]
+    cache_root: str
+
+    @property
+    def workload(self) -> str:
+        return self.request.workload
+
+    @property
+    def mode(self) -> str:
+        return "prebuild"
+
+
+def _prebuild_entry(task: _PrebuildTask, attempt: int, fault_plan) -> int:
+    """Pool worker: build one task's chain into the shared store.
+
+    Top-level so the pool can pickle it. Members land in the store as
+    they are captured (see :func:`iter_chain`), so a crashed or
+    timed-out attempt leaves a prefix behind and the retry resumes
+    from the deepest stored member rather than starting over.
+    """
+    from repro.workloads import registry
+
+    if fault_plan is not None:
+        fault_plan.perturb(task.request, attempt)
+    store = SnapshotStore(task.cache_root)
+    workload = registry.build(
+        task.request.workload, scale=task.request.scale
+    )
+    config = task.request.resolve_config()
+    built = 0
+    for snapshot, hit in iter_chain(
+        workload, config, task.depths, store=store, built_by="parallel"
+    ):
+        if snapshot is not None and not hit:
+            built += 1
+    return built
+
+
+def _prebuild_tasks(requests, store: SnapshotStore):
+    """Deduplicate *requests* into the independent build units they
+    need, dropping units the store already holds in full."""
+    from repro.workloads import registry
+
+    tasks: list[_PrebuildTask] = []
+    seen: set[tuple[str, ...]] = set()
+    cache_root = str(store.root.parent)
+    workloads: dict[tuple[str, float], Workload] = {}
+    for request in requests:
+        regions = getattr(request, "sample_regions", 0)
+        ff = getattr(request, "fast_forward", 0)
+        if regions < 2:
+            if ff <= 0:
+                continue
+            depths: tuple[int, ...] = (ff,)
+        else:
+            wkey = (request.workload, request.scale)
+            if wkey not in workloads:
+                workloads[wkey] = registry.build(
+                    request.workload, scale=request.scale
+                )
+            plan = _plan_for_request(request, workloads[wkey])
+            depths = tuple(d for d in plan.depths if d > 0)
+        if not depths:
+            continue
+        config = request.resolve_config()
+        keys = tuple(
+            snapshot_fingerprint(
+                request.workload, request.scale, depth, config
+            )
+            for depth in depths
+        )
+        if keys in seen:
+            continue
+        seen.add(keys)
+        if all(store.contains(key) for key in keys):
+            continue
+        tasks.append(_PrebuildTask(request, depths, cache_root))
+    return tasks
+
+
+def prebuild_snapshots(
+    requests,
+    store: SnapshotStore | None = None,
+    jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+) -> int:
     """Build every snapshot (chain members included) *requests* will
     need, once each.
 
@@ -823,60 +995,64 @@ def prebuild_snapshots(requests, store: SnapshotStore | None = None) -> int:
     (and all pool workers) share one architectural prefix — for
     multi-region requests, one snapshot *chain* — instead of each
     re-paying it. Returns the number of snapshots built fresh.
+
+    Distinct ``(workload, scale, warm config)`` chains are independent,
+    so when more than one needs building and more than one worker is
+    available they are built concurrently, with the same
+    timeout/retry/broken-pool discipline as the run matrix itself
+    (:func:`repro.harness.parallel._execute_pooled`). A task that
+    exhausts its retries is *skipped*, not raised: prebuilding is an
+    optimization, and whatever error killed it will surface (or not)
+    when the run that needs the snapshot builds it inline. Serial and
+    parallel builds produce byte-identical members — only the
+    digest-masked ``built_by`` stamp differs (CI asserts this).
     """
     from repro.workloads import registry
 
     if store is None:
         store = SnapshotStore()
-    built = 0
-    seen: set[tuple[str, ...]] = set()
-    workloads: dict[tuple[str, float], Workload] = {}
+    tasks = _prebuild_tasks(requests, store)
+    if not tasks:
+        return 0
 
-    def get_workload(request) -> Workload:
-        wkey = (request.workload, request.scale)
-        if wkey not in workloads:
-            workloads[wkey] = registry.build(
-                request.workload, scale=request.scale
-            )
-        return workloads[wkey]
+    from repro.harness.parallel import (
+        MatrixReport,
+        _execute_pooled,
+        _resolve_retries,
+        _resolve_timeout,
+        resolve_jobs,
+    )
 
-    for request in requests:
-        regions = getattr(request, "sample_regions", 0)
-        ff = getattr(request, "fast_forward", 0)
-        if regions < 2:
-            if ff <= 0:
-                continue
-            config = request.resolve_config()
-            key = snapshot_fingerprint(
-                request.workload, request.scale, ff, config
-            )
-            if (key,) in seen:
-                continue
-            seen.add((key,))
-            if store.contains(key):
-                continue
-            workload = get_workload(request)
-            store.put(key, fast_forward(workload, config, ff))
-            built += 1
-            continue
-
-        config = request.resolve_config()
-        workload = get_workload(request)
-        plan = _plan_for_request(request, workload)
-        keys = tuple(
-            snapshot_fingerprint(
-                request.workload, request.scale, depth, config
-            )
-            for depth in plan.depths
-            if depth > 0
+    workers = min(resolve_jobs(jobs), len(tasks))
+    if store.enabled and workers > 1:
+        outcomes = _execute_pooled(
+            tasks,
+            workers,
+            timeout=_resolve_timeout(timeout),
+            retries=_resolve_retries(retries),
+            on_error="skip",
+            backoff_base=0.05,
+            fault_plan=None,
+            report=MatrixReport(),
+            entry=_prebuild_entry,
         )
-        if not keys or keys in seen:
-            continue
-        seen.add(keys)
-        if all(store.contains(key) for key in keys):
-            continue
+        return sum(
+            outcome.stats
+            for outcome in outcomes.values()
+            if outcome.status == "ok"
+        )
+
+    # Serial fallback: one worker, a single task, or a disabled store
+    # (workers would each build into nothing — the parent's in-memory
+    # pass is the only one that helps).
+    built = 0
+    for task in tasks:
+        workload = registry.build(
+            task.request.workload, scale=task.request.scale
+        )
+        config = task.request.resolve_config()
         for snapshot, hit in iter_chain(
-            workload, config, [d for d in plan.depths if d > 0], store=store
+            workload, config, task.depths, store=store
         ):
             if snapshot is not None and not hit:
                 built += 1

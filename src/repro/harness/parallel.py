@@ -614,15 +614,19 @@ def run_matrix(
         ]
         if sampled:
             # Build each distinct warmed snapshot — for multi-region
-            # requests, each distinct snapshot *chain* — once in the
-            # parent before fanning out: every sweep point / pool
-            # worker then restores from the shared store instead of
-            # re-paying the functional prefix per run. (Races with
-            # concurrent harnesses are benign — builds are
-            # deterministic and writes are atomic.)
+            # requests, each distinct snapshot *chain* — once before
+            # fanning out: every sweep point / pool worker then
+            # restores from the shared store instead of re-paying the
+            # functional prefix per run. Independent chains build
+            # concurrently under the same resilience knobs as the
+            # matrix itself. (Races with concurrent harnesses are
+            # benign — builds are deterministic and writes are
+            # atomic.)
             from repro.harness.fastforward import prebuild_snapshots
 
-            prebuild_snapshots(sampled)
+            prebuild_snapshots(
+                sampled, jobs=jobs, timeout=timeout, retries=retries
+            )
         workers = min(resolve_jobs(jobs), len(pending))
         use_pool = workers > 1 or timeout is not None
         if use_pool:
@@ -768,8 +772,15 @@ def _execute_pooled(
     backoff_base: float,
     fault_plan,
     report: MatrixReport,
+    entry=_pool_entry,
 ) -> dict[RunRequest, RequestOutcome]:
     """Pool execution with timeouts, retries, and broken-pool recovery.
+
+    *entry* is the picklable worker function ``(item, attempt,
+    fault_plan) -> result``; the default runs a :class:`RunRequest`,
+    and the snapshot prebuilder passes its own chain-building entry
+    with ``_PrebuildTask`` items (anything hashable exposing
+    ``workload`` / ``mode`` for the log lines works).
 
     Invariants:
 
@@ -835,7 +846,7 @@ def _execute_pooled(
                 first_submit.setdefault(request, now)
                 try:
                     future = pool.submit(
-                        _pool_entry, request, attempts[request] - 1, fault_plan
+                        entry, request, attempts[request] - 1, fault_plan
                     )
                 except RuntimeError as exc:
                     # Pool broke between iterations; recover below.

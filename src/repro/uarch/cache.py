@@ -22,6 +22,16 @@ class SetAssociativeCache:
     Lines are tracked by line address (``addr // line_bytes``); data
     contents live in the functional memory, so the cache stores presence
     and dirtiness only.
+
+    **Packed representation.** Each set is a flat list of ints, one per
+    resident line, most recent last: ``(line_addr << 1) | dirty``. A
+    tag compare is one shift, a dirty update is one ``|=``, and no
+    tuples are allocated on the access path — the functional-warming
+    loop probes these sets on every memory operation, so the entry
+    layout is its hottest data structure. :meth:`image` /
+    :meth:`load_image` convert to and from the legacy picklable
+    ``(line_addr, dirty_bool)`` form, so snapshot payloads (and
+    therefore digests) are unchanged.
     """
 
     def __init__(self, config: CacheConfig, name: str = "cache"):
@@ -29,10 +39,8 @@ class SetAssociativeCache:
         self.name = name
         self._set_mask = config.num_sets - 1
         self._line_shift = config.line_bytes.bit_length() - 1
-        # Each set is a list of (line_addr, dirty), most recent last.
-        self._sets: list[list[tuple[int, bool]]] = [
-            [] for _ in range(config.num_sets)
-        ]
+        # Each set is a list of (line_addr << 1) | dirty, MRU last.
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
         self.hits = 0
         self.misses = 0
 
@@ -42,12 +50,12 @@ class SetAssociativeCache:
 
     def lookup(self, addr: int, is_store: bool = False) -> bool:
         """Access the cache; return True on hit. Updates LRU and dirty."""
-        line = self.line_of(addr)
+        line = addr >> self._line_shift
         bucket = self._sets[line & self._set_mask]
-        for i, (tag, dirty) in enumerate(bucket):
-            if tag == line:
+        for i, entry in enumerate(bucket):
+            if entry >> 1 == line:
                 del bucket[i]
-                bucket.append((line, dirty or is_store))
+                bucket.append(entry | is_store)
                 self.hits += 1
                 return True
         self.misses += 1
@@ -55,9 +63,11 @@ class SetAssociativeCache:
 
     def probe(self, addr: int) -> bool:
         """Check presence without updating LRU or counters."""
-        line = self.line_of(addr)
-        bucket = self._sets[line & self._set_mask]
-        return any(tag == line for tag, _ in bucket)
+        line = addr >> self._line_shift
+        for entry in self._sets[line & self._set_mask]:
+            if entry >> 1 == line:
+                return True
+        return False
 
     def fill(self, addr: int, dirty: bool = False) -> tuple[int, bool] | None:
         """Insert the line containing *addr*.
@@ -65,25 +75,41 @@ class SetAssociativeCache:
         Returns the evicted ``(line_addr, dirty)`` victim, or ``None``.
         Filling a line already present only updates its dirty bit.
         """
-        line = self.line_of(addr)
+        line = addr >> self._line_shift
         bucket = self._sets[line & self._set_mask]
-        for i, (tag, was_dirty) in enumerate(bucket):
-            if tag == line:
+        for i, entry in enumerate(bucket):
+            if entry >> 1 == line:
                 del bucket[i]
-                bucket.append((line, was_dirty or dirty))
+                bucket.append(entry | dirty)
                 return None
         victim = None
         if len(bucket) >= self.config.associativity:
-            victim = bucket.pop(0)
-        bucket.append((line, dirty))
+            evicted = bucket.pop(0)
+            victim = (evicted >> 1, bool(evicted & 1))
+        bucket.append((line << 1) | dirty)
         return victim
 
     def invalidate(self, addr: int) -> None:
         """Drop the line containing *addr* if present."""
-        line = self.line_of(addr)
+        line = addr >> self._line_shift
         bucket = self._sets[line & self._set_mask]
         self._sets[line & self._set_mask] = [
-            entry for entry in bucket if entry[0] != line
+            entry for entry in bucket if entry >> 1 != line
+        ]
+
+    def image(self) -> list[list[tuple[int, bool]]]:
+        """Picklable copy of the sets in the legacy
+        ``(line_addr, dirty_bool)`` tuple form (MRU last)."""
+        return [
+            [(entry >> 1, bool(entry & 1)) for entry in bucket]
+            for bucket in self._sets
+        ]
+
+    def load_image(self, image: list[list[tuple[int, bool]]]) -> None:
+        """Install a legacy-form :meth:`image` into the packed sets."""
+        self._sets = [
+            [(line << 1) | (1 if dirty else 0) for line, dirty in bucket]
+            for bucket in image
         ]
 
     @property
@@ -361,30 +387,74 @@ class DataHierarchy:
         MSHR arrival tracking, no :class:`AccessResult`, no statistics.
         None of that is part of :meth:`warm_image` (a restored run
         starts its clock and counters fresh), and this is the hottest
-        call of the fast-forward tier, so the warming loop must not pay
-        for it.
+        call of the fast-forward tier, so the whole transition — L1
+        probe, buffer promote, L2 lookup/fill, L1 fill with victim
+        motion — is flattened into this one function over the packed
+        sets: the only remaining call on the miss path is the miss
+        listener (the stream prefetcher), which mutates its own state.
+
+        Order matters on a miss: the listener fires *before* the L2
+        update and the L1 fill (as in :meth:`access`), and its prefetch
+        launches touch the same L2 sets — adjacent L1 lines share an
+        L2 line — so the relative order is observable in the LRU state.
         """
         l1 = self.l1
         line = addr >> l1._line_shift
         bucket = l1._sets[line & l1._set_mask]
-        for i, (tag, dirty) in enumerate(bucket):
-            if tag == line:
+        for i, entry in enumerate(bucket):
+            if entry >> 1 == line:
                 del bucket[i]
-                bucket.append((line, dirty or is_store))
+                bucket.append(entry | is_store)
                 return
         # L1 miss: the prefetch/victim buffer is checked in parallel
         # (a hit promotes into the L1 and still trains the prefetcher,
-        # exactly as in :meth:`access`).
-        if self.buffer.lookup(addr) is not None:
-            self._fill_l1(addr, dirty=is_store)
+        # exactly as in :meth:`access`). Buffer lines are L1-line
+        # granularity, so `line` is the buffer key too.
+        buffer = self.buffer
+        buf_lines = buffer._lines
+        if buf_lines.pop(line, None) is not None:
+            # Promote: ``_fill_l1`` inlined (the line is absent — the
+            # scan above proved it — so this is evict-if-full + append,
+            # with the victim spilling into the buffer).
+            if len(bucket) >= l1.config.associativity:
+                victim = bucket.pop(0) >> 1
+                # ``buffer.insert(victim, from_prefetch=False)``: a
+                # refreshed entry's provenance is and-ed with False.
+                if victim in buf_lines:
+                    del buf_lines[victim]
+                elif len(buf_lines) >= buffer._entries:
+                    del buf_lines[next(iter(buf_lines))]
+                buf_lines[victim] = False
+            bucket.append((line << 1) | is_store)
             if self._miss_listener is not None:
                 self._miss_listener(addr, 0)
             return
         if self._miss_listener is not None:
             self._miss_listener(addr, 0)
-        if not self.l2.lookup(addr, is_store=False):
-            self.l2.fill(addr)
-        self._fill_l1(addr, dirty=is_store)
+        # L2 lookup (LRU update, never a store from the L1's view) or
+        # fill (victim dropped), as in :meth:`access`.
+        l2 = self.l2
+        l2_line = addr >> l2._line_shift
+        l2_bucket = l2._sets[l2_line & l2._set_mask]
+        for i, entry in enumerate(l2_bucket):
+            if entry >> 1 == l2_line:
+                if i + 1 != len(l2_bucket):
+                    del l2_bucket[i]
+                    l2_bucket.append(entry)
+                break
+        else:
+            if len(l2_bucket) >= l2.config.associativity:
+                del l2_bucket[0]
+            l2_bucket.append(l2_line << 1)
+        # ``_fill_l1`` inlined again (same absent-line reduction).
+        if len(bucket) >= l1.config.associativity:
+            victim = bucket.pop(0) >> 1
+            if victim in buf_lines:
+                del buf_lines[victim]
+            elif len(buf_lines) >= buffer._entries:
+                del buf_lines[next(iter(buf_lines))]
+            buf_lines[victim] = False
+        bucket.append((line << 1) | is_store)
 
     def warm_prefetch_fill(self, addr: int, now: int = 0) -> None:
         """State-only :meth:`prefetch_fill` for functional warming —
@@ -406,23 +476,22 @@ class DataHierarchy:
         if line in lines:
             return
         l1 = self.l1
-        bucket = l1._sets[line & l1._set_mask]
-        for tag, _ in bucket:
-            if tag == line:
+        for entry in l1._sets[line & l1._set_mask]:
+            if entry >> 1 == line:
                 return
         l2 = self.l2
         l2_line = addr >> l2._line_shift
         l2_bucket = l2._sets[l2_line & l2._set_mask]
-        for tag, _ in l2_bucket:
-            if tag == l2_line:
+        for entry in l2_bucket:
+            if entry >> 1 == l2_line:
                 break
         else:
             # Absent: evict-if-full + append, exactly ``l2.fill`` for a
             # missing line (the L2 victim is dropped, as in
             # ``prefetch_fill``).
             if len(l2_bucket) >= l2.config.associativity:
-                l2_bucket.pop(0)
-            l2_bucket.append((l2_line, False))
+                del l2_bucket[0]
+            l2_bucket.append(l2_line << 1)
         # ``buffer.insert`` for an absent line with from_prefetch=True.
         if len(lines) >= buffer._entries:
             del lines[next(iter(lines))]
@@ -438,11 +507,15 @@ class DataHierarchy:
 
         Contents only: hit/miss counters and in-flight fill arrivals
         are measurement/timing state, which a restored run must start
-        fresh (the snapshot's warming pass ran with no clock).
+        fresh (the snapshot's warming pass ran with no clock). The
+        payload stays in the legacy ``(line_addr, dirty_bool)`` tuple
+        form — :meth:`SetAssociativeCache.image` converts from the
+        packed sets — so snapshot bytes (and digests) are identical
+        across the representation change.
         """
         return {
-            "l1": [list(bucket) for bucket in self.l1._sets],
-            "l2": [list(bucket) for bucket in self.l2._sets],
+            "l1": self.l1.image(),
+            "l2": self.l2.image(),
             "buffer": dict(self.buffer._lines),
         }
 
@@ -461,8 +534,8 @@ class DataHierarchy:
                 f"(image {len(image['l1'])}/{len(image['l2'])} sets, "
                 f"config {len(self.l1._sets)}/{len(self.l2._sets)})"
             )
-        self.l1._sets = [list(bucket) for bucket in image["l1"]]
-        self.l2._sets = [list(bucket) for bucket in image["l2"]]
+        self.l1.load_image(image["l1"])
+        self.l2.load_image(image["l2"])
         self.buffer._lines.clear()
         self.buffer._lines.update(image["buffer"])
         self._arrival.clear()
@@ -473,5 +546,5 @@ class DataHierarchy:
         victim = self.l1.fill(addr, dirty=dirty)
         if victim is not None:
             victim_line, _victim_dirty = victim
-            victim_addr = victim_line << (self.config.l1d.line_bytes.bit_length() - 1)
+            victim_addr = victim_line << self.l1._line_shift
             self.buffer.insert(victim_addr, from_prefetch=False)

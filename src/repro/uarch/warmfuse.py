@@ -10,16 +10,20 @@ every instruction pays a dict lookup, a closure call, an
 call even on an L1 MRU hit.
 
 This module is the warming analogue of the detailed core's fused
-segment tier (:mod:`repro.uarch.fusion`): one ``exec``-generated
-function per straight-line run — here *including* the terminating
-branch, since warming owns no prediction machinery to deopt to — that
-performs, for the whole run, exactly the architectural effects of the
-interpreter closures plus the warm updates of
-:meth:`DataHierarchy.warm_access` and the direct branch-predictor
-training of the warming protocol, with operand indices, immediates,
-branch targets, and L1 geometry folded in as literals. No
-``ExecResult`` is ever allocated; an L1 MRU hit is two list
-subscripts.
+segment tier (:mod:`repro.uarch.fusion`), pushed one step further
+into *trace* compilation: one ``exec``-generated function per trace —
+a likely dynamic path that crosses statically-targeted branches
+(conditional branches continue on their likely direction, so hot
+loops unroll into the function; only register-indirect control flow
+ends discovery) — that performs, per instruction, exactly the
+architectural effects of the interpreter closures plus the warm
+updates of :meth:`DataHierarchy.warm_access` and the direct
+branch-predictor training of the warming protocol, with operand
+indices, immediates, branch targets, and L1 geometry folded in as
+literals. When execution leaves the compiled path the function exits
+with the correct next PC and reports its exact instruction count
+through ``WarmContext.xc``. No ``ExecResult`` is ever allocated; an
+L1 MRU hit is two list subscripts.
 
 Equivalence contract (the split-vs-straight warm-image differential
 depends on it): for every instruction, the generated code leaves
@@ -47,9 +51,11 @@ _MIN64 = -(1 << 63)
 _MAX64 = (1 << 63) - 1
 _MASK64 = (1 << 64) - 1
 
-#: Longest straight-line run compiled as one function. Runs longer
-#: than this are split; the driver chains them by PC like any other
-#: block boundary, so the cap only bounds codegen size.
+#: Longest trace compiled as one function. Traces longer than this are
+#: split; the driver chains them by PC like any other block boundary,
+#: so the cap only bounds codegen size (and, because loop unrolling
+#: duplicates instructions, the worst-case tail handled by the
+#: per-instruction tier when a warming budget ends mid-trace).
 MAX_RUN = 96
 
 #: Value expressions per ALU opcode, mirroring
@@ -73,6 +79,17 @@ _ALU_EXPR = {
     Opcode.DIV: "_div({a}, {b})",
 }
 
+#: ALU opcodes whose result provably stays in the signed-64 range
+#: whenever both operands do (bitwise ops on 64-bit-representable
+#: values stay 64-bit-representable; compares yield 0/1; SRA only
+#: shrinks magnitude). The register file and memory words only ever
+#: hold in-range values — every write path normalises — so the
+#: generated code elides the ``_ts`` overflow guard for these.
+_NO_OVERFLOW = frozenset({
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SRA,
+    Opcode.CMPEQ, Opcode.CMPLT, Opcode.CMPLE, Opcode.CMPULT,
+})
+
 _CMOV_TEST = {
     Opcode.CMOVEQ: "== 0",
     Opcode.CMOVNE: "!= 0",
@@ -89,13 +106,15 @@ _BRANCH_TEST = {
     Opcode.BGT: "> 0",
 }
 
-#: Opcodes that end a warm run. FORK is architecturally a no-op and
-#: (unlike in the detailed tier) has no microarchitectural event
-#: during warming, so it stays in the body.
-_TERMINATORS = (
-    frozenset(_BRANCH_TEST)
-    | {Opcode.BR, Opcode.JR, Opcode.CALL, Opcode.CALLR, Opcode.RET,
-       Opcode.HALT}
+#: Opcodes that end a warm trace: their next PC is dynamic (register
+#: or RAS), so discovery cannot follow them. Statically-targeted
+#: control flow — BR, CALL, and conditional branches — is *crossed*:
+#: discovery keeps compiling at the followed target and the generated
+#: code exits mid-trace when execution goes the other way. FORK is
+#: architecturally a no-op and (unlike in the detailed tier) has no
+#: microarchitectural event during warming, so it stays in the body.
+_TERMINATORS = frozenset(
+    {Opcode.JR, Opcode.CALLR, Opcode.RET, Opcode.HALT}
 )
 
 
@@ -108,10 +127,15 @@ class WarmContext:
         "r", "mw", "mw_get", "wa",
         "sets", "direction",
         "choice", "tc", "ntc", "cmask", "kmask", "tmask", "hmask",
-        "indirect", "iud", "ish", "rpush", "rpop",
+        "indirect", "iud", "ish", "rpush", "rpop", "xc",
     )
 
     def __init__(self, state, hierarchy, predictor):
+        #: Executed-count cell: every generated trace writes the number
+        #: of instructions it actually ran here before returning, so a
+        #: mid-trace exit (a branch that went the un-followed way) still
+        #: reports an exact count to the driver's budget accounting.
+        self.xc = [0]
         self.r = state.regs._regs
         self.mw = state.memory._words
         self.mw_get = self.mw.get
@@ -153,16 +177,39 @@ def warm_block_table(program, line_shift: int, set_mask: int) -> dict:
 
 
 def discover_run(program, pc: int) -> list[Instruction] | None:
-    """The straight-line run starting at *pc*: body instructions up to
-    and including the first terminator (or the :data:`MAX_RUN` cap /
-    end of program). ``None`` when *pc* is off-program."""
+    """The trace starting at *pc*: instructions in the order one likely
+    dynamic execution would run them, up to and including the first
+    dynamic-target terminator (or the :data:`MAX_RUN` cap / the edge
+    of the program). ``None`` when *pc* is off-program.
+
+    Statically-targeted control flow is crossed rather than ended at:
+    BR and CALL continue at their target, and a conditional branch
+    continues on its *likely* direction — taken when the target is
+    backward (a loop, which therefore unrolls into the trace, the
+    same instruction appearing once per unrolled iteration), not-taken
+    otherwise. The guess only affects how long the compiled fast path
+    is: the generated code exits with the correct next PC whenever
+    execution goes the other way.
+    """
     inst = program.at(pc)
     if inst is None:
         return None
     run = [inst]
-    while inst.op not in _TERMINATORS and len(run) < MAX_RUN:
-        pc += INSTRUCTION_BYTES
-        inst = program.at(pc)
+    while len(run) < MAX_RUN:
+        op = inst.op
+        if op in _TERMINATORS:
+            break
+        if op is Opcode.BR or op is Opcode.CALL:
+            next_pc = inst.target
+        elif op in _BRANCH_TEST:
+            next_pc = (
+                inst.target
+                if inst.target <= inst.pc
+                else inst.pc + INSTRUCTION_BYTES
+            )
+        else:
+            next_pc = inst.pc + INSTRUCTION_BYTES
+        inst = program.at(next_pc)
         if inst is None:
             break
         run.append(inst)
@@ -172,13 +219,22 @@ def discover_run(program, pc: int) -> list[Instruction] | None:
 def compile_warm_run(
     program, pc: int, line_shift: int, set_mask: int
 ):
-    """Compile the run at *pc* into ``(fn, length, halt_pc)``.
+    """Compile the trace at *pc* into ``(bind, length, halt_pc)``.
 
-    ``fn(ctx)`` executes the whole run (architectural effects + warm
-    updates) and returns the next PC — or ``None`` when the run ended
-    at HALT, in which case the driver uses ``halt_pc`` (the HALT's own
-    PC, where the interpreter closure parks ``state.pc``). Returns
-    ``None`` for an off-program *pc*.
+    ``bind(ctx)`` returns a zero-argument closure over the context's
+    bindings; calling it executes the trace up to its first
+    not-followed branch direction (architectural effects + warm
+    updates), writes the number of instructions it actually ran into
+    ``ctx.xc[0]``, and returns the next PC — or ``None`` when the
+    trace ended at HALT, in which case the driver uses ``halt_pc``
+    (the HALT's own PC, where the interpreter closure parks
+    ``state.pc``). ``length`` is the trace's *maximum* instruction
+    count: the driver uses it as the conservative bound for its
+    budget-tail check and ``ctx.xc[0]`` for the exact accounting.
+    The compile is cached per program/geometry; the driver re-binds
+    each compiled trace once per warming pass (contexts change across
+    warm-image loads, see :class:`WarmContext`). Returns ``None`` for
+    an off-program *pc*.
     """
     run = discover_run(program, pc)
     if run is None:
@@ -186,9 +242,11 @@ def compile_warm_run(
     ns: dict[str, object] = {"_ts": to_signed, "_div": _div}
     body: list[str] = []
     emit = body.append
-    used: set[str] = set()
+    used: set[str] = {"xc"}
     halt_pc = None
     final_next = None  # set when the run ends without a control transfer
+    last = len(run) - 1
+    ended = False  # a return has been emitted for the final instruction
 
     for k, inst in enumerate(run):
         op = inst.op
@@ -200,10 +258,15 @@ def compile_warm_run(
         final_next = next_pc
         if op in _ALU_EXPR:
             used.add("r")
-            emit(f"    v = {_ALU_EXPR[op].format(a=a, b=b, m=_MASK64)}")
-            emit(f"    if v < {_MIN64} or v > {_MAX64}: v = _ts(v)")
-            if not dead:
-                emit(f"    r[{rd}] = v")
+            expr = _ALU_EXPR[op].format(a=a, b=b, m=_MASK64)
+            if op in _NO_OVERFLOW:
+                if not dead:
+                    emit(f"    r[{rd}] = {expr}")
+            else:
+                emit(f"    v = {expr}")
+                emit(f"    if v < {_MIN64} or v > {_MAX64}: v = _ts(v)")
+                if not dead:
+                    emit(f"    r[{rd}] = v")
         elif op in _CMOV_TEST:
             if not dead:
                 used.add("r")
@@ -233,21 +296,19 @@ def compile_warm_run(
                 emit(f"        r[{rd}] = mw_get(a0 & -8, 0)")
             emit(f"        ln = a0 >> {line_shift}")
             emit(f"        bk = sets[ln & {set_mask}]")
-            emit("        if not (bk and bk[-1][0] == ln):")
+            emit("        if not (bk and bk[-1] >> 1 == ln):")
             emit("            wa(a0, False)")
         elif op is Opcode.ST:
             used.update(("r", "mw", "wa", "sets"))
             emit(f"    a0 = {a} + ({inst.imm})")
             emit(f"    if a0 >= {NULL_PAGE_LIMIT}:")
-            emit(f"        sv = r[{rd}]")
-            emit(
-                f"        mw[a0 & -8] = sv "
-                f"if {_MIN64} <= sv <= {_MAX64} else _ts(sv)"
-            )
+            # Register values are always in-range (every write path
+            # normalises), so the store needs no overflow guard.
+            emit(f"        mw[a0 & -8] = r[{rd}]")
             emit(f"        ln = a0 >> {line_shift}")
             emit(f"        bk = sets[ln & {set_mask}]")
-            emit("        if bk and bk[-1][0] == ln:")
-            emit("            if not bk[-1][1]: bk[-1] = (ln, True)")
+            emit("        if bk and bk[-1] >> 1 == ln:")
+            emit("            bk[-1] |= 1")
             emit("        else:")
             emit("            wa(a0, True)")
         elif op in _BRANCH_TEST:
@@ -291,26 +352,52 @@ def compile_warm_run(
                 " else (0 if cc < 1 else cc - 1)"
             )
             emit("    direction.history = ((h << 1) | t) & hmask")
-            emit(f"    return {inst.target} if t else {next_pc}")
+            # Mid-trace: exit only when execution leaves the followed
+            # direction (run[k+1] records which way discovery went). A
+            # branch to its own fall-through has no other way to go.
+            if k == last:
+                emit(f"    xc[0] = {k + 1}")
+                emit(f"    return {inst.target} if t else {next_pc}")
+                ended = True
+            elif inst.target != next_pc:
+                if run[k + 1].pc == inst.target:
+                    emit(
+                        f"    if not t: xc[0] = {k + 1}; return {next_pc}"
+                    )
+                else:
+                    emit(
+                        f"    if t: xc[0] = {k + 1}; return {inst.target}"
+                    )
         elif op is Opcode.BR:
-            emit(f"    return {inst.target}")
+            if k == last:
+                emit(f"    xc[0] = {k + 1}")
+                emit(f"    return {inst.target}")
+                ended = True
+            # else: crossed — execution continues inline at the target.
         elif op is Opcode.CALL:
             used.add("rpush")
             if not dead:
                 used.add("r")
                 emit(f"    r[{rd}] = {next_pc}")
             emit(f"    rpush({next_pc})")
-            emit(f"    return {inst.target}")
+            if k == last:
+                emit(f"    xc[0] = {k + 1}")
+                emit(f"    return {inst.target}")
+                ended = True
         elif op is Opcode.RET:
             used.update(("r", "rpop"))
             emit("    rpop()")
+            emit(f"    xc[0] = {k + 1}")
             emit(f"    return {a}")
+            ended = True
         elif op is Opcode.JR:
             used.update(("r", "indirect", "iud", "ish"))
             emit(f"    tg = {a}")
             emit(f"    iud({inst.pc}, tg, indirect.path_history)")
             emit("    ish(tg)")
+            emit(f"    xc[0] = {k + 1}")
             emit("    return tg")
+            ended = True
         elif op is Opcode.CALLR:
             used.update(("r", "indirect", "iud", "ish", "rpush"))
             emit(f"    tg = {a}")
@@ -319,28 +406,46 @@ def compile_warm_run(
             emit(f"    iud({inst.pc}, tg, indirect.path_history)")
             emit("    ish(tg)")
             emit(f"    rpush({next_pc})")
+            emit(f"    xc[0] = {k + 1}")
             emit("    return tg")
+            ended = True
         elif op is Opcode.HALT:
             halt_pc = inst.pc
+            emit(f"    xc[0] = {k + 1}")
             emit("    return None")
+            ended = True
         else:  # pragma: no cover - every opcode is handled above
             raise NotImplementedError(f"warm codegen: {op}")
 
-    if run[-1].op not in _TERMINATORS:
+    if not ended:
+        emit(f"    xc[0] = {len(run)}")
         emit(f"    return {final_next}")
 
+    # The generated run is a zero-argument *closure*: ``_bind(ctx)``
+    # hoists the context bindings into cells once per warming pass, so
+    # executing the run pays no per-call prologue at all — the old
+    # ``name = ctx.name`` preamble re-read up to 17 slots on *every*
+    # block execution, which dominated short (3–5 instruction) runs.
     prologue = [
         f"    {name} = ctx.{name}"
         for name in (
             "r", "mw", "mw_get", "wa", "sets",
             "direction", "choice", "tc", "ntc",
             "cmask", "kmask", "tmask", "hmask",
-            "indirect", "iud", "ish", "rpush", "rpop",
+            "indirect", "iud", "ish", "rpush", "rpop", "xc",
         )
         if name in used
     ]
-    code = "\n".join(["def _warm_run(ctx):", *prologue, *body])
+    code = "\n".join(
+        [
+            "def _bind(ctx):",
+            *prologue,
+            "    def _warm_run():",
+            *("    " + line for line in body),
+            "    return _warm_run",
+        ]
+    )
     exec(compile(code, f"<warm:{pc:#x}>", "exec"), ns)
-    fn = ns["_warm_run"]
-    fn._source = code  # debugging aid
-    return fn, len(run), halt_pc
+    bind = ns["_bind"]
+    bind._source = code  # debugging aid
+    return bind, len(run), halt_pc

@@ -48,6 +48,31 @@ def test_parser_accepts_resilience_flags():
     assert args.on_error == "skip"
 
 
+def test_parser_accepts_sampled_flags():
+    args = build_parser().parse_args(
+        ["figure11", "--sampled", "--horizon", "500000"]
+    )
+    assert args.sampled is True
+    assert args.horizon == 500_000
+
+
+def test_sampled_flag_reaches_experiment(monkeypatch):
+    """--sampled routes to the experiment's sampled= keyword."""
+    seen = {}
+
+    def fake_table4(scale=None, jobs=None, cache=None, sampled=False,
+                    horizon=None):
+        seen.update(sampled=sampled, horizon=horizon)
+        return [], "Table 4 (stub)"
+
+    monkeypatch.setitem(EXPERIMENTS, "table4", fake_table4)
+    text = run_experiment(
+        "table4", scale=None, sampled=True, horizon=250_000
+    )
+    assert "Table 4" in text
+    assert seen == {"sampled": True, "horizon": 250_000}
+
+
 def test_parser_rejects_unknown_on_error():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["table4", "--on-error", "explode"])

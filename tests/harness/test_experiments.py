@@ -61,3 +61,63 @@ def test_experiment_workload_mix_smoke():
     rows, text = experiments.experiment_workload_mix(scale=0.05)
     assert len(rows) == 12
     assert "Workload characterization" in text
+
+
+# ----------------------------------------------------------------------
+# Long-horizon sampled plans (sampled figure benches by default)
+# ----------------------------------------------------------------------
+
+
+def test_scale_for_horizon_inverts_run_length():
+    for name in experiments.RUN_LENGTH_MODEL:
+        scale = experiments.scale_for_horizon(name, 2_000_000)
+        modeled = experiments.run_length(name, scale)
+        assert abs(modeled - 2_000_000) / 2_000_000 < 0.02, name
+
+
+def test_sampled_plan_schedule_fits_horizon():
+    for name in experiments.RUN_LENGTH_MODEL:
+        plan = experiments.sampled_plan(name)
+        regions = plan["sample_regions"]
+        assert regions == experiments.SAMPLED_REGIONS
+        # build_sample_plan places window k at ff + k*period; the last
+        # window (plus its discard warmup) must land inside the margin.
+        last_start = plan["fast_forward"] + (regions - 1) * plan["sample_period"]
+        window = plan["sample"] + plan["sample"] // 10
+        assert last_start + window <= experiments.SAMPLED_HORIZON
+        assert plan["sample_period"] >= window  # windows never overlap
+
+
+@pytest.mark.parametrize("workload_name", sorted(experiments.RUN_LENGTH_MODEL))
+def test_sampled_plan_windows_land_before_halt(workload_name):
+    """Halt-awareness, measured: at the plan's scale the workload
+    really runs past the last scheduled window before HALT."""
+    from repro.harness import fastforward as ff
+    from repro.workloads import registry
+
+    horizon = 100_000
+    plan = experiments.sampled_plan(workload_name, horizon=horizon)
+    last_end = (
+        plan["fast_forward"]
+        + (plan["sample_regions"] - 1) * plan["sample_period"]
+        + plan["sample"] + plan["sample"] // 10
+    )
+    workload = registry.build(workload_name, scale=plan["scale"])
+    run = ff._LiveRun(workload, FOUR_WIDE, warming=False)
+    run.advance(2 * horizon)
+    # A run may exceed the model (gzip's jagged match tails) but must
+    # never HALT short of the last scheduled window.
+    assert run.executed >= last_end, (
+        f"{workload_name}: halts at {run.executed}, last window ends "
+        f"at {last_end}"
+    )
+
+
+@pytest.mark.slow
+def test_experiment_table4_sampled_smoke():
+    rows, text = experiments.experiment_table4(
+        benchmarks=("vpr", "mcf"), sampled=True, horizon=60_000
+    )
+    assert [row.program for row in rows] == ["vpr", "mcf"]
+    assert "Table 4" in text
+    assert all(row.speedup is not None for row in rows)

@@ -698,3 +698,233 @@ def test_cli_snapshot_ls_shows_chain(cache_env, capsys):
     assert "<-" in out  # the deeper member names its parent
     assert "2 snapshot(s) (1 chained" in out
     assert "bytes total" in out
+    assert "serial" in out  # build provenance column
+
+
+def test_cli_bench_warming_regime(monkeypatch, capsys):
+    """`repro bench warming` wires through measure_warming_rate (the
+    measurement itself runs at full scale only in CI's floors step)."""
+    from repro.harness import bench
+
+    monkeypatch.setattr(
+        bench, "measure_warming_rate",
+        lambda rounds=3: (1_234_567.0, bench.WARMING_INSTS),
+    )
+    assert cli.main(["bench", "warming"]) == 0
+    out = capsys.readouterr().out
+    assert "1,234,567 warmed instructions/second" in out
+
+
+# ----------------------------------------------------------------------
+# Flat-array warm hierarchy vs. legacy reference model
+# ----------------------------------------------------------------------
+
+
+class _LegacyWarmModel:
+    """Compact reference model of the functional-warming state machine
+    in the *legacy* representation the packed flat arrays replaced:
+    cache sets as lists of ``(line, dirty)`` tuples (MRU last), the
+    prefetch/victim buffer as an insertion-ordered dict, and a
+    linearly-scanned stream table with first-match-in-table-order
+    tie-break and FIFO eviction.
+
+    Transcribed from the documented warm semantics — demand access,
+    stream training, and untimed prefetch fill (an L2 prefetch hit does
+    *not* touch LRU) — independently of the packed containers, so any
+    transition the flat arrays or the fused closure get wrong shows up
+    as an image mismatch here.
+    """
+
+    def __init__(self, config):
+        l1, l2, pf = config.l1d, config.l2, config.prefetch
+        self._l1_shift = l1.line_bytes.bit_length() - 1
+        self._l1_mask = l1.num_sets - 1
+        self._l1_assoc = l1.associativity
+        self._l1 = [[] for _ in range(l1.num_sets)]
+        self._l2_delta = (l2.line_bytes.bit_length() - 1) - self._l1_shift
+        self._l2_mask = l2.num_sets - 1
+        self._l2_assoc = l2.associativity
+        self._l2 = [[] for _ in range(l2.num_sets)]
+        self._buffer = {}  # line -> from_prefetch, insertion ordered
+        self._buf_entries = pf.buffer_entries
+        self._streams = []  # [last_line, stride, confirmed] rows
+        self._table_entries = pf.stream_table_entries
+        self._depth = pf.stream_depth
+        self._sequential = pf.sequential_next_line
+
+    def warm_access(self, addr, is_store):
+        line = addr >> self._l1_shift
+        bucket = self._l1[line & self._l1_mask]
+        for i, (resident, dirty) in enumerate(bucket):
+            if resident == line:
+                del bucket[i]
+                bucket.append((line, dirty or bool(is_store)))
+                return
+        if self._buffer.pop(line, None) is not None:
+            # Buffer hit: promote into the L1, then train the streams.
+            self._fill_l1(bucket, line, is_store)
+            self._train(line)
+            return
+        # Full miss: train first (launches touch the same L2 sets),
+        # then the L2 lookup/fill and the L1 demand fill.
+        self._train(line)
+        l2_line = line >> self._l2_delta
+        l2b = self._l2[l2_line & self._l2_mask]
+        for i, entry in enumerate(l2b):
+            if entry[0] == l2_line:
+                if i + 1 != len(l2b):
+                    del l2b[i]
+                    l2b.append(entry)
+                break
+        else:
+            if len(l2b) >= self._l2_assoc:
+                del l2b[0]
+            l2b.append((l2_line, False))
+        self._fill_l1(bucket, line, is_store)
+
+    def _fill_l1(self, bucket, line, is_store):
+        if len(bucket) >= self._l1_assoc:
+            victim, _dirty = bucket.pop(0)
+            buffer = self._buffer
+            if victim in buffer:
+                del buffer[victim]
+            elif len(buffer) >= self._buf_entries:
+                del buffer[next(iter(buffer))]
+            buffer[victim] = False  # refreshed provenance and-s to False
+        bucket.append((line, bool(is_store)))
+
+    def _train(self, line):
+        for stream in self._streams:
+            last, stride, confirmed = stream
+            if confirmed:
+                matched = line == last + stride
+            else:
+                matched = line == last + 1 or line == last - 1
+            if matched:
+                if not confirmed:
+                    stream[1] = line - last
+                    stream[2] = True
+                stream[0] = line
+                self._launch(line, stream[1], self._depth)
+                return
+        if len(self._streams) >= self._table_entries:
+            self._streams.pop(0)
+        self._streams.append([line, 0, False])
+        if self._sequential:
+            self._launch(line, 1, 1)
+
+    def _launch(self, line, stride, depth):
+        for step in range(1, depth + 1):
+            target = line + stride * step
+            if target < 0:
+                break
+            if target in self._buffer:
+                continue
+            if any(
+                resident == target
+                for resident, _dirty in self._l1[target & self._l1_mask]
+            ):
+                continue
+            l2_line = target >> self._l2_delta
+            l2b = self._l2[l2_line & self._l2_mask]
+            if all(entry[0] != l2_line for entry in l2b):
+                if len(l2b) >= self._l2_assoc:
+                    del l2b[0]
+                l2b.append((l2_line, False))
+            if len(self._buffer) >= self._buf_entries:
+                del self._buffer[next(iter(self._buffer))]
+            self._buffer[target] = True
+
+    def warm_image(self):
+        return {
+            "l1": [list(bucket) for bucket in self._l1],
+            "l2": [list(bucket) for bucket in self._l2],
+            "buffer": dict(self._buffer),
+        }
+
+    def stream_image(self):
+        return [(last, stride, confirmed)
+                for last, stride, confirmed in self._streams]
+
+
+def _demand_trace(workload, depth):
+    """The (addr, is_store) demand stream of the first *depth* warmed
+    instructions, captured by running the per-instruction warming tier
+    against a record-only hierarchy stub (demand addresses depend only
+    on architectural execution, never on cache state)."""
+    from repro.harness import fastforward as ff
+
+    run = ff._LiveRun(workload, FOUR_WIDE, warming=True)
+    trace = []
+
+    class _Recorder:
+        @staticmethod
+        def warm_access(addr, is_store):
+            trace.append((addr, bool(is_store)))
+
+    ff._warm_steps(run.program, run.state, depth, _Recorder, run.predictor)
+    return trace
+
+
+@pytest.mark.parametrize("workload_name", sorted(registry.WORKLOAD_BUILDERS))
+def test_flat_warm_state_matches_legacy_reference(workload_name):
+    """Tentpole differential: on every workload's own demand stream,
+    the production warm path (packed flat arrays + fused closure +
+    trace-compiled bodies, via fast_forward) leaves exactly the state
+    the legacy tuple-and-scan model defines — identical warm_image()
+    payloads, and an identical snapshot digest once the reference
+    images are substituted into the snapshot."""
+    depth = 2_500
+    workload = registry.build(workload_name, scale=0.1)
+    snapshot = fast_forward(workload, FOUR_WIDE, depth)
+    trace = _demand_trace(workload, depth)
+
+    legacy = _LegacyWarmModel(FOUR_WIDE)
+    for addr, is_store in trace:
+        legacy.warm_access(addr, is_store)
+
+    assert legacy.warm_image() == snapshot.hierarchy_image
+    assert legacy.stream_image() == snapshot.prefetcher_image
+    twin = dataclasses.replace(
+        snapshot,
+        hierarchy_image=legacy.warm_image(),
+        prefetcher_image=legacy.stream_image(),
+    )
+    assert snapshot_digest(twin) == snapshot_digest(snapshot)
+
+
+# ----------------------------------------------------------------------
+# Parallel chain prebuild
+# ----------------------------------------------------------------------
+
+
+def test_parallel_prebuild_matches_serial_digests(tmp_path):
+    """Prebuilding chains with a worker pool lands byte-identical
+    snapshots — same store keys, same digests — as the serial walk;
+    only the digest-masked built_by provenance stamp differs."""
+    from repro.harness.fastforward import prebuild_snapshots
+
+    requests = [
+        RunRequest(workload="mcf", scale=0.1, fast_forward=1_000,
+                   sample=300, sample_regions=2, sample_period=2_500),
+        RunRequest(workload="gzip", scale=0.05, fast_forward=1_000,
+                   sample=300, sample_regions=2, sample_period=2_500),
+    ]
+
+    def build(jobs, root):
+        store = SnapshotStore(root)
+        built = prebuild_snapshots(requests, store=store, jobs=jobs)
+        entries = {}
+        for entry in store.ls():
+            snap = store.get(entry["key"])
+            entries[entry["key"]] = (snapshot_digest(snap), snap.built_by)
+        return built, entries
+
+    serial_built, serial = build(1, tmp_path / "serial")
+    parallel_built, parallel = build(2, tmp_path / "parallel")
+    assert serial_built == parallel_built > 0
+    assert set(serial) == set(parallel)
+    for key, (digest, _by) in serial.items():
+        assert parallel[key][0] == digest
+    assert {by for _digest, by in serial.values()} == {"serial"}
+    assert {by for _digest, by in parallel.values()} == {"parallel"}

@@ -63,6 +63,34 @@ def test_stream_table_capacity_is_bounded():
     assert len(pf._streams) <= FOUR_WIDE.prefetch.stream_table_entries
 
 
+def test_stream_eviction_is_lru_by_allocation_order():
+    """A full table evicts the *oldest* stream, and the evicted
+    stream's expected-next-line index entries go with it.
+
+    Pins the order the O(1) index must preserve: after eviction the
+    old stream can no longer match, while younger streams still can.
+    """
+    pf, hier = make_prefetcher(
+        stream_table_entries=2, sequential_next_line=False
+    )
+    line = FOUR_WIDE.l1d.line_bytes
+    la, lb, lc = 0x100000, 0x200000, 0x300000
+    hier.access(la, is_store=False)  # allocate A (oldest)
+    hier.access(lb, is_store=False)  # allocate B
+    hier.access(lc, is_store=False)  # table full: evicts A
+    assert [s.last_line for s in pf._streams] == [
+        hier.l1.line_of(lb),
+        hier.l1.line_of(lc),
+    ]
+    # A would have confirmed on la+line; evicted, it must not match —
+    # this miss allocates instead (evicting B, now the oldest).
+    hier.access(la + line, is_store=False)
+    assert pf.streams_confirmed == 0
+    # C survived both evictions and still matches normally.
+    hier.access(lc + line, is_store=False)
+    assert pf.streams_confirmed == 1
+
+
 def test_prefetch_never_targets_negative_lines():
     pf, hier = make_prefetcher()
     line = FOUR_WIDE.l1d.line_bytes
