@@ -1,0 +1,11 @@
+"""Differential workload fuzzer.
+
+Seeded random programs over :mod:`repro.isa`, cross-checked bit-for-bit
+across every execution tier, with automatic shrinking of divergent
+seeds to minimal repros. See DESIGN.md §7 for the methodology.
+"""
+
+from repro.fuzz.diff import Divergence, check_seed, check_workload
+from repro.fuzz.gen import generate
+
+__all__ = ["Divergence", "check_seed", "check_workload", "generate"]

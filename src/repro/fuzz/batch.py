@@ -1,0 +1,128 @@
+"""Seed-batch fan-out: run many differential checks in parallel.
+
+Reuses the harness pool executor (:func:`_execute_pooled`) — the same
+retry / timeout / broken-pool recovery discipline every experiment
+matrix gets — with a fuzz-specific entry point. A worker receives only
+``(seed, scale)``; it regenerates the workload locally (generation is
+deterministic, and compiled programs are unpicklable anyway) and
+returns the picklable :class:`~repro.fuzz.diff.Divergence` or ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fuzz.diff import Divergence, check_seed
+from repro.harness.parallel import (
+    MatrixReport,
+    _execute_pooled,
+    _resolve_retries,
+    _resolve_timeout,
+    resolve_jobs,
+)
+
+
+@dataclass(frozen=True)
+class _FuzzTask:
+    """One seed check: hashable + picklable pool item.
+
+    ``workload`` / ``mode`` satisfy the pool executor's logging
+    contract (what :class:`RunRequest` provides for matrix runs).
+    """
+
+    seed: int
+    scale: float
+
+    @property
+    def workload(self) -> str:
+        from repro.fuzz.gen import seed_name
+
+        return seed_name(self.seed)
+
+    @property
+    def mode(self) -> str:
+        return "fuzz"
+
+
+def _fuzz_entry(task: _FuzzTask, attempt: int, fault_plan) -> Divergence | None:
+    """Pool worker: apply any planned fault, then check one seed."""
+    if fault_plan is not None:
+        fault_plan.perturb(task, attempt)
+    return check_seed(task.seed, task.scale)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one seed batch."""
+
+    scale: float
+    checked: list[int]
+    divergences: list[Divergence]
+    #: ``(seed, error)`` for checks that failed to complete (crash /
+    #: timeout after retries) — holes, not verdicts.
+    skipped: list[tuple[int, str]]
+
+    @property
+    def clean(self) -> bool:
+        return not self.divergences and not self.skipped
+
+
+def run_fuzz_batch(
+    seeds,
+    scale: float = 1.0,
+    jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    fault_plan=None,
+) -> FuzzReport:
+    """Differentially check every seed in *seeds*.
+
+    Divergences are findings, not failures: a seed whose check
+    *completes* with a divergence resolves normally and is reported in
+    ``FuzzReport.divergences``. Only checks that cannot complete
+    (worker crash / timeout after retries) land in ``skipped`` —
+    matching the matrix harness's ``on_error="skip"`` discipline, so
+    one wedged seed never discards the rest of the batch.
+    """
+    tasks = [_FuzzTask(seed, scale) for seed in dict.fromkeys(seeds)]
+    timeout = _resolve_timeout(timeout)
+    retries = _resolve_retries(retries)
+    workers = min(resolve_jobs(jobs), max(len(tasks), 1))
+
+    divergences: list[Divergence] = []
+    skipped: list[tuple[int, str]] = []
+
+    if tasks and (workers > 1 or timeout is not None):
+        outcomes = _execute_pooled(
+            tasks,
+            workers,
+            timeout=timeout,
+            retries=retries,
+            on_error="skip",
+            backoff_base=0.05,
+            fault_plan=fault_plan,
+            report=MatrixReport(),
+            entry=_fuzz_entry,
+        )
+        for task in tasks:
+            outcome = outcomes[task]
+            if outcome.status == "skipped":
+                skipped.append((task.seed, outcome.error or "unknown"))
+            elif outcome.stats is not None:
+                divergences.append(outcome.stats)
+    else:
+        for task in tasks:
+            try:
+                found = _fuzz_entry(task, 0, fault_plan)
+            except Exception as exc:  # noqa: BLE001 — batch boundary
+                skipped.append((task.seed, str(exc)))
+                continue
+            if found is not None:
+                divergences.append(found)
+
+    return FuzzReport(
+        scale=scale,
+        checked=[t.seed for t in tasks],
+        divergences=divergences,
+        skipped=skipped,
+    )

@@ -1,0 +1,322 @@
+"""Seeded, fully deterministic random program generator.
+
+``generate(seed, scale)`` produces a self-contained synthetic
+:class:`~repro.workloads.base.Workload` exercising the behaviors the
+execution tiers disagree about when they are wrong: random CFGs with
+joins and loops, pointer chases over a generated memory image,
+mixed-entropy conditional branches (data-dependent and
+induction-periodic), register-indirect jumps through generated jump
+tables, call/return pairs, and — for a fraction of seeds — a
+speculative prefetch slice forked off the pointer chase, so the SMT
+slice contexts are fuzzed too.
+
+Determinism contract: the same ``(seed, scale)`` always yields a
+byte-identical ``Program`` + ``Workload`` (pickle-equal across
+processes). Everything is driven by the repo's own
+:class:`~repro.workloads.base.Lcg`; no ambient randomness, no ordering
+dependence on hashes.
+
+Termination contract: every basic block begins by decrementing a fuel
+register and exiting when it runs out, so the architecturally correct
+path always HALTs — wrong paths get their wildness for free from
+misprediction, which is exactly where tier divergence hides. All
+correct-path memory accesses are mask-aligned into generated arrays;
+wild addresses can only occur on wrong paths, where the simulator must
+(and does) tolerate them.
+
+Generation is two-pass: the first build is executed functionally to
+measure the dynamic instruction count (which becomes the workload's
+``region``), then a second, never-executed build from the same seed is
+returned — compiled ``Instruction._exec`` closures are unpicklable, and
+the fuzzer's worker pool needs picklable programs.
+"""
+
+from __future__ import annotations
+
+from repro.arch.interpreter import Fault, run_functional
+from repro.arch.memory import Memory
+from repro.arch.state import ThreadState
+from repro.isa.assembler import Assembler
+from repro.slices.spec import SliceSpec
+from repro.workloads.base import SLICE_CODE_BASE, Lcg, Workload
+
+#: Workload-name prefix the registry dispatches on (`fuzz-0x2a`).
+NAME_PREFIX = "fuzz-"
+
+#: Power-of-two data array sizes (words); masks keep correct-path
+#: accesses in bounds.
+ARR_WORDS = 64
+OUT_WORDS = 32
+CHASE_WORDS = 32
+
+# Fixed register roles. r16..r25 stay unused (wrong-path scratch in
+# spirit); r26 is the link register, r31 reads as zero.
+FUEL = 1
+POOL = tuple(range(2, 10))
+CHASE = 10
+ADDR = 11
+TMP = 12
+ARR = 13
+OUT = 14
+IND = 15
+
+_COND_BRANCHES = ("beq", "bne", "blt", "bge", "ble", "bgt")
+_ALU_OPS = (
+    "add", "sub", "and_", "or_", "xor", "sll", "srl", "sra",
+    "cmpeq", "cmplt", "cmple", "cmpult",
+)
+
+
+class GenerationError(Exception):
+    """A generated program violated its own termination contract."""
+
+
+def seed_name(seed: int) -> str:
+    """Canonical registry name for a fuzz seed (``fuzz-0x2a``)."""
+    return f"{NAME_PREFIX}{seed:#x}"
+
+
+def parse_seed(name: str) -> int:
+    """Inverse of :func:`seed_name`; raises ``ValueError`` on mismatch."""
+    if not name.startswith(NAME_PREFIX):
+        raise ValueError(f"not a fuzz workload name: {name!r}")
+    return int(name[len(NAME_PREFIX):], 0)
+
+
+def _value(rng: Lcg) -> int:
+    """A mixed-magnitude signed literal: small ints dominate, with
+    occasional large positives/negatives to exercise 64-bit wrapping."""
+    kind = rng.below(4)
+    if kind == 0:
+        return rng.below(16)
+    if kind == 1:
+        return rng.below(256) - 128
+    if kind == 2:
+        return rng.next()  # up to 48 bits
+    return -(rng.next() >> rng.below(16)) - 1
+
+
+class _Builder:
+    """One deterministic assembly pass for a given seed."""
+
+    def __init__(self, seed: int, scale: float):
+        self.seed = seed
+        self.scale = scale
+        self.rng = Lcg(seed)
+        self.asm = Assembler()
+        self.chase_pcs: list[int] = []
+        self.block_labels: list[str] = []
+        self.jumptab_fixups: list[tuple[str, int, int]] = []
+        self.n_tables = 0
+
+    # -- data ----------------------------------------------------------
+
+    def _data(self) -> None:
+        rng, asm = self.rng, self.asm
+        asm.data_words("arr", [_value(rng) for _ in range(ARR_WORDS)])
+        asm.data_space("out", OUT_WORDS)
+        base = asm.data_space("chase", CHASE_WORDS)
+        # Single-cycle permutation: every chase word holds the address
+        # of another chase word, so `ld CHASE, CHASE, 0` never escapes.
+        order = list(range(CHASE_WORDS))
+        for i in range(CHASE_WORDS - 1, 0, -1):
+            j = rng.below(i + 1)
+            order[i], order[j] = order[j], order[i]
+        for pos, idx in enumerate(order):
+            succ = order[(pos + 1) % CHASE_WORDS]
+            asm.set_data_word("chase", idx, base + 8 * succ)
+        self.chase_entry = base + 8 * order[0]
+
+    # -- code ----------------------------------------------------------
+
+    def _prologue(self, fuel: int) -> None:
+        rng, asm = self.rng, self.asm
+        asm.label("start")
+        asm.entry("start")
+        asm.li(FUEL, fuel)
+        for reg in POOL:
+            asm.li(reg, _value(rng))
+        asm.li(IND, 0)
+        asm.la(ARR, "arr")
+        asm.la(OUT, "out")
+        asm.li(CHASE, self.chase_entry)
+        asm.br("b0")
+        # Callee and exit live before the blocks so their PCs are known
+        # when block bodies want them (indirect calls need a literal).
+        asm.label("fn")
+        asm.add(TMP, POOL[0], rb=POOL[1])
+        asm.xor(TMP, TMP, imm=rng.below(64))
+        asm.ret()
+        self.fn_pc = asm._labels["fn"]
+        asm.label("exit")
+        asm.halt()
+
+    def _body_op(self) -> None:
+        rng, asm = self.rng, self.asm
+        kind = rng.below(16)
+        rd = POOL[rng.below(len(POOL))]
+        ra = POOL[rng.below(len(POOL))]
+        rb = POOL[rng.below(len(POOL))]
+        if kind < 6:
+            op = getattr(asm, _ALU_OPS[rng.below(len(_ALU_OPS))])
+            if rng.bit():
+                op(rd, ra, rb=rb)
+            else:
+                op(rd, ra, imm=_value(rng))
+        elif kind < 8:  # masked load (either array, so stores are read back)
+            words, base = (
+                (ARR_WORDS, ARR) if rng.bit() else (OUT_WORDS, OUT)
+            )
+            asm.and_(ADDR, ra, imm=words - 1)
+            asm.s8add(ADDR, ADDR, base)
+            asm.ld(rd, ADDR, 0)
+        elif kind < 10:  # masked store (either array — read-after-write
+            # through memory is what exposes a leaked wrong-path store)
+            words, base = (
+                (ARR_WORDS, ARR) if rng.bit() else (OUT_WORDS, OUT)
+            )
+            asm.and_(ADDR, ra, imm=words - 1)
+            asm.s8add(ADDR, ADDR, base)
+            asm.st(rb, ADDR, 0)
+        elif kind < 12:  # pointer chase step (+ fold address entropy)
+            self.chase_pcs.append(asm.ld(CHASE, CHASE, 0).pc)
+            if rng.bit():
+                asm.xor(rd, rd, rb=CHASE)
+        elif kind == 12:
+            getattr(asm, ("cmoveq", "cmovne", "cmovlt", "cmovge")[
+                rng.below(4)])(rd, ra, rb)
+        elif kind == 13:
+            if rng.bit():
+                asm.mul(rd, ra, rb=rb)
+            else:
+                asm.div(rd, ra, rb=rb)
+        elif kind == 14:
+            asm.li(rd, _value(rng))
+        else:  # call (direct 3:1 indirect) — returns, so not a terminator
+            if rng.below(4):
+                asm.call("fn")
+            else:
+                asm.li(ADDR, self.fn_pc)
+                asm.callr(ADDR)
+
+    def _terminator(self, n_blocks: int) -> None:
+        rng, asm = self.rng, self.asm
+        target = f"b{rng.below(n_blocks)}"
+        kind = rng.below(8)
+        if kind < 4:  # conditional: data-dependent or induction-periodic
+            branch = getattr(asm, _COND_BRANCHES[rng.below(6)])
+            if rng.bit():
+                asm.and_(ADDR, IND, imm=rng.below(7) + 1)
+                branch(ADDR, target)
+            else:
+                branch(POOL[rng.below(len(POOL))], target)
+            # conditional ⇒ fallthrough into the next block (a CFG join)
+        elif kind < 6:
+            asm.br(target)
+        else:  # register-indirect jump through a generated table
+            size = 4 if rng.bit() else 8
+            symbol = f"jt{self.n_tables}"
+            self.n_tables += 1
+            asm.data_space(symbol, size)
+            for i in range(size):
+                self.jumptab_fixups.append((symbol, i, rng.below(n_blocks)))
+            src = IND if rng.bit() else POOL[rng.below(len(POOL))]
+            asm.and_(ADDR, src, imm=size - 1)
+            asm.li(TMP, asm.addr_of(symbol))
+            asm.s8add(ADDR, ADDR, TMP)
+            asm.ld(ADDR, ADDR, 0)
+            asm.jr(ADDR)
+
+    def _slice(self) -> tuple[SliceSpec, ...]:
+        """Maybe attach a prefetch slice forked off the pointer chase."""
+        rng = self.rng
+        want = rng.below(5) < 2  # ~40% of seeds
+        if not want or not self.chase_pcs:
+            return ()
+        sl = Assembler(base_pc=SLICE_CODE_BASE)
+        sl.label("s")
+        sl.entry("s")
+        hops = 1 + rng.below(3)
+        slice_ld_pcs = [sl.ld(CHASE, CHASE, 0).pc for _ in range(hops)]
+        sl.halt()
+        code = sl.build()
+        spec = SliceSpec(
+            name=f"{seed_name(self.seed)}-chase",
+            fork_pc=self.chase_pcs[0],
+            code=code,
+            entry_pc=code.pc_of("s"),
+            live_in_regs=(CHASE,),
+            prefetch_for={
+                pc: self.chase_pcs[i % len(self.chase_pcs)]
+                for i, pc in enumerate(slice_ld_pcs)
+            },
+        )
+        return (spec,)
+
+    # -- assembly ------------------------------------------------------
+
+    def build(self):
+        rng, asm = self.rng, self.asm
+        self._data()
+        n_blocks = 4 + rng.below(8)
+        fuel = max(12, round((140 + rng.below(120)) * self.scale))
+        self._prologue(fuel)
+        for i in range(n_blocks):
+            asm.label(f"b{i}")
+            asm.sub(FUEL, FUEL, imm=1)
+            asm.ble(FUEL, "exit")
+            asm.add(IND, IND, imm=1)
+            for _ in range(2 + rng.below(6)):
+                self._body_op()
+            self._terminator(n_blocks)
+        # A conditional terminator on the last block falls through here.
+        asm.br("exit")
+        for symbol, index, block in self.jumptab_fixups:
+            asm.set_data_word(symbol, index, asm._labels[f"b{block}"])
+        slices = self._slice()
+        program = asm.build()
+        return program, slices, fuel
+
+
+def _measure(workload: Workload, fuel: int) -> int:
+    """Dynamic instruction count to HALT (inclusive), functionally."""
+    memory = Memory(workload.memory_image, journaling=False, normalized=True)
+    state = ThreadState(
+        memory, entry_pc=workload.program.entry_pc, journaling=False
+    )
+    cap = max(100_000, fuel * 64)
+    executed = 0
+    for _inst, result in run_functional(workload.program, state, cap):
+        executed += 1
+        if result.fault is Fault.HALT:
+            return executed
+    raise GenerationError(
+        f"{workload.name} did not HALT within {cap} instructions"
+    )
+
+
+def _assemble(seed: int, scale: float, region: int) -> tuple[Workload, int]:
+    program, slices, fuel = _Builder(seed, scale).build()
+    workload = Workload(
+        name=seed_name(seed),
+        program=program,
+        memory_image=dict(program.data),
+        region=region,
+        description=f"fuzz seed {seed:#x} @ scale {scale}",
+        slices=slices,
+        scale=scale,
+    )
+    return workload, fuel
+
+
+def generate(seed: int, scale: float = 1.0) -> Workload:
+    """Deterministically generate the workload for *seed*.
+
+    Two-pass: measure the dynamic length on a throwaway build (its
+    instructions acquire unpicklable exec closures), then return a
+    pristine build with ``region`` set to the full dynamic run.
+    """
+    probe, fuel = _assemble(seed, scale, region=0)
+    region = _measure(probe, fuel)
+    final, _ = _assemble(seed, scale, region=region)
+    return final

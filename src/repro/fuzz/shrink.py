@@ -1,0 +1,211 @@
+"""Automatic shrinking of a divergent seed to a minimal repro.
+
+Classic greedy delta debugging, adapted to a fixed address space:
+instructions are *replaced with NOPs* rather than deleted, so every PC,
+label, branch target, and generated jump-table entry stays valid while
+the program shrinks. Passes, applied to a fixpoint:
+
+1. drop the slice specs (most divergences don't need the SMT contexts);
+2. ddmin over instructions — NOP out binary-halving chunks, keeping any
+   chunk whose removal still diverges;
+3. operand simplification — per surviving instruction, try ``imm -> 0``
+   and source registers -> ``r31`` (the zero register);
+4. ddmin over the data image — drop memory words.
+
+A candidate is *valid* only if its architecturally correct path still
+HALTs within a functional-run budget (NOPing the fuel decrement makes
+the program non-terminating, so it is rejected here), and is *kept*
+only if :func:`~repro.fuzz.diff.check_workload` still reports a
+divergence. The measured ``region`` is recomputed per candidate, so
+every accepted repro is a well-formed workload in its own right.
+
+Soundness contract (tested): the result of a shrink still diverges, is
+never larger than its input, and shrinking a non-divergent workload is
+a no-op.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.arch.interpreter import Fault, run_functional
+from repro.arch.memory import Memory
+from repro.arch.state import ThreadState
+from repro.fuzz.diff import Divergence, check_workload
+from repro.isa.instruction import ZERO_REG, Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.uarch.config import FOUR_WIDE, MachineConfig
+from repro.workloads.base import Workload
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrink run."""
+
+    workload: Workload
+    #: Divergence of the final (possibly shrunk) workload; ``None``
+    #: when the input did not diverge in the first place (no-op).
+    divergence: Divergence | None
+    original_size: int
+    shrunk_size: int
+    #: Differential checks spent (the shrink budget's unit).
+    checks: int
+
+    @property
+    def shrunk(self) -> bool:
+        return self.shrunk_size < self.original_size
+
+
+def workload_size(workload: Workload) -> int:
+    """Shrink metric: live instructions plus data-image words."""
+    live = sum(
+        1
+        for inst in workload.program.instructions
+        if inst.op is not Opcode.NOP
+    )
+    return live + len(workload.memory_image)
+
+
+def _rebuild_program(base: Program, insts, data: dict) -> Program:
+    return Program(
+        instructions=[copy.copy(inst) for inst in insts],
+        base_pc=base.base_pc,
+        data=dict(data),
+        labels=dict(base.labels),
+        data_symbols=dict(base.data_symbols),
+        entry_pc=base.entry_pc,
+    )
+
+
+def _halting_region(program: Program, cap: int) -> int | None:
+    """Dynamic length to HALT on the correct path, or ``None``."""
+    memory = Memory(program.data, journaling=False, normalized=True)
+    state = ThreadState(memory, entry_pc=program.entry_pc, journaling=False)
+    executed = 0
+    for _inst, result in run_functional(program, state, cap):
+        executed += 1
+        if result.fault is Fault.HALT:
+            return executed
+    return None
+
+
+def shrink(
+    workload: Workload,
+    config: MachineConfig = FOUR_WIDE,
+    max_checks: int = 600,
+) -> ShrinkResult:
+    """Shrink *workload* while it keeps diverging; see module docstring."""
+    initial = check_workload(workload, config)
+    checks = 1
+    size = workload_size(workload)
+    if initial is None:
+        return ShrinkResult(workload, None, size, size, checks)
+
+    current = workload
+    divergence = initial
+    cap = max(50_000, workload.region * 4)
+
+    def attempt(insts, data, slices):
+        """Validate + recheck one candidate; returns it if it still
+        diverges, else ``None``."""
+        nonlocal checks, current, divergence
+        if checks >= max_checks:
+            return False
+        program = _rebuild_program(current.program, insts, data)
+        region = _halting_region(program, cap)
+        if region is None:
+            return False
+        checks += 1
+        candidate = Workload(
+            name=current.name,
+            program=program,
+            memory_image=dict(data),
+            region=region,
+            description=current.description,
+            slices=slices,
+            scale=current.scale,
+        )
+        found = check_workload(candidate, config)
+        if found is None:
+            return False
+        current, divergence = candidate, found
+        return True
+
+    # Pass 1: the slice specs.
+    if current.slices:
+        attempt(current.program.instructions, current.program.data, ())
+
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+
+        # Pass 2: ddmin NOPing over live instructions.
+        def live_indices():
+            return [
+                i
+                for i, inst in enumerate(current.program.instructions)
+                if inst.op not in (Opcode.NOP, Opcode.HALT)
+            ]
+
+        indices = live_indices()
+        chunk = max(1, len(indices) // 2)
+        while chunk >= 1 and checks < max_checks:
+            pos = 0
+            while pos < len(indices) and checks < max_checks:
+                subset = indices[pos:pos + chunk]
+                insts = list(current.program.instructions)
+                for i in subset:
+                    insts[i] = Instruction(Opcode.NOP, pc=insts[i].pc)
+                if attempt(insts, current.program.data, current.slices):
+                    improved = True
+                    indices = live_indices()
+                else:
+                    pos += chunk
+            chunk //= 2
+
+        # Pass 3: operand simplification on what survived.
+        for i in live_indices():
+            if checks >= max_checks:
+                break
+            inst = current.program.instructions[i]
+            trials = []
+            if inst.imm not in (None, 0):
+                trials.append(("imm", 0))
+            if inst.rb is not None and inst.rb != ZERO_REG:
+                trials.append(("rb", ZERO_REG))
+            if inst.ra is not None and inst.ra != ZERO_REG:
+                trials.append(("ra", ZERO_REG))
+            for attr, value in trials:
+                insts = list(current.program.instructions)
+                patched = copy.copy(insts[i])
+                setattr(patched, attr, value)
+                insts[i] = patched
+                if attempt(insts, current.program.data, current.slices):
+                    improved = True
+
+        # Pass 4: ddmin over the data image.
+        addrs = sorted(current.memory_image)
+        chunk = max(1, len(addrs) // 2)
+        while chunk >= 1 and checks < max_checks:
+            pos = 0
+            while pos < len(addrs) and checks < max_checks:
+                subset = set(addrs[pos:pos + chunk])
+                data = {
+                    a: v
+                    for a, v in current.program.data.items()
+                    if a not in subset
+                }
+                if attempt(
+                    current.program.instructions, data, current.slices
+                ):
+                    improved = True
+                    addrs = sorted(current.memory_image)
+                else:
+                    pos += chunk
+            chunk //= 2
+
+    return ShrinkResult(
+        current, divergence, size, workload_size(current), checks
+    )

@@ -14,6 +14,10 @@ Usage::
     python -m repro figure11 --fast-forward 20000 --sample 4000  # sampled
     python -m repro table4 --sample 10000 --sample-regions 10  # multi-region
     python -m repro figure11 --sampled  # long-horizon halt-aware plans
+    python -m repro fuzz --seeds 50     # differential workload fuzzer
+    python -m repro fuzz --seeds 200 --shrink --jobs 4  # store minimal repros
+    python -m repro fuzz ls             # list stored minimal repros
+    python -m repro fuzz --replay .repro_cache/fuzz/0x6.repro.json
 
 Simulations fan out over ``--jobs`` worker processes (default:
 ``REPRO_JOBS`` env or the CPU count) and are memoized in the
@@ -70,10 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "cache", "snapshot", "bench"],
+        choices=[*EXPERIMENTS, "all", "cache", "snapshot", "bench", "fuzz"],
         help=(
             "which table/figure to regenerate, 'cache'/'snapshot' "
-            "maintenance, or 'bench' for the simulator self-benchmark"
+            "maintenance, 'bench' for the simulator self-benchmark, or "
+            "'fuzz' for the differential workload fuzzer"
         ),
     )
     parser.add_argument(
@@ -85,7 +90,8 @@ def build_parser() -> argparse.ArgumentParser:
             "'ls' (default) / 'clear' (with 'snapshot'); bench regime: "
             "'balanced' / 'memory_bound' / 'slice_heavy' / 'interpreter' "
             "/ 'sampled' / 'sampled_multi' / 'warming' (with 'bench', "
-            "default 'balanced')"
+            "default 'balanced'); fuzz action: 'ls' lists stored "
+            "minimal repros"
         ),
     )
     parser.add_argument(
@@ -224,6 +230,61 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "with 'cache clear': clear only the warmed-state snapshots "
             "(and the corrupt/ quarantine), keeping cached run results"
+        ),
+    )
+    parser.add_argument(
+        "--fuzz-only",
+        action="store_true",
+        help=(
+            "with 'cache clear': clear only the stored fuzz repros "
+            "under .repro_cache/fuzz/, keeping runs and snapshots"
+        ),
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with the 'fuzz' command: check N sequential seeds starting "
+            "at --seed-start (default 50)"
+        ),
+    )
+    parser.add_argument(
+        "--seed-start",
+        type=int,
+        default=0,
+        metavar="S",
+        help="with the 'fuzz' command: first seed of the batch (default 0)",
+    )
+    parser.add_argument(
+        "--seeds-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "with the 'fuzz' command: read the seed batch from PATH "
+            "(one integer per line, 0x-prefixed hex accepted, '#' "
+            "comments) instead of --seeds/--seed-start"
+        ),
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help=(
+            "with the 'fuzz' command: shrink every diverging seed to a "
+            "minimal repro and store it in the corpus under "
+            ".repro_cache/fuzz/"
+        ),
+    )
+    parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="CASE",
+        help=(
+            "with the 'fuzz' command: re-run the stored minimal repro "
+            "at CASE (a .repro.json path) through the full tier "
+            "cross-check instead of fuzzing; exits 1 if it still "
+            "diverges, 0 if it replays clean"
         ),
     )
     parser.add_argument(
@@ -427,6 +488,124 @@ def run_snapshot_action(action: str | None) -> int:
     return 2
 
 
+def run_fuzz(args: argparse.Namespace) -> int:
+    """``repro fuzz`` — differential seed batch, corpus ls, or replay.
+
+    Exit codes mirror the experiment driver: 0 all seeds agree across
+    every tier, 1 at least one divergence was found (minimal repros
+    land in the corpus when ``--shrink`` is given), 3 some seeds could
+    not be fully checked (crash/timeout with retries exhausted).
+    """
+    from repro.fuzz import corpus as fuzz_corpus
+
+    if args.action == "ls":
+        cases = fuzz_corpus.list_cases()
+        if not cases:
+            print(f"no fuzz repros under {fuzz_corpus.corpus_root()}")
+            return 0
+        print(
+            f"{'seed':>12s} {'scale':>6s} {'size':>5s} {'orig':>5s} "
+            f"{'region':>8s}  divergence"
+        )
+        for case in cases:
+            print(
+                f"{case['seed']:>#12x} {case['scale']:>6g} "
+                f"{case['size']:>5d} {case['original_size']:>5d} "
+                f"{case['region']:>8d}  {case['klass']}"
+            )
+        print(
+            f"{len(cases)} stored repro(s) under {fuzz_corpus.corpus_root()}"
+        )
+        return 0
+    if args.action is not None:
+        print(
+            f"unknown fuzz action {args.action!r}; try: "
+            "repro fuzz [--seeds N] | repro fuzz ls",
+            file=sys.stderr,
+        )
+        return 2
+
+    # Fuzzing defaults to full scale: generated programs are already
+    # small, and the tier cross-check wants real region lengths.
+    scale = args.scale if args.scale is not None else 1.0
+
+    if args.replay is not None:
+        divergence = fuzz_corpus.replay(args.replay)
+        if divergence is None:
+            print(f"{args.replay}: replays clean against the current tree")
+            return 0
+        print(f"{args.replay}: still diverges")
+        print(f"  {divergence}")
+        return 1
+
+    if args.seeds_file is not None:
+        lines = pathlib.Path(args.seeds_file).read_text().splitlines()
+        seeds = [
+            int(text, 0)
+            for text in (line.split("#", 1)[0].strip() for line in lines)
+            if text
+        ]
+    else:
+        count = args.seeds if args.seeds is not None else 50
+        seeds = list(range(args.seed_start, args.seed_start + count))
+
+    from repro.fuzz.batch import run_fuzz_batch
+
+    start = time.time()
+    report = run_fuzz_batch(
+        seeds,
+        scale=scale,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    elapsed = time.time() - start
+    print(
+        f"fuzz: {len(report.checked)} seed(s) at scale {scale:g} in "
+        f"{elapsed:.1f}s: {len(report.divergences)} divergence(s), "
+        f"{len(report.skipped)} skipped"
+    )
+    for divergence in report.divergences:
+        print(f"  {divergence}")
+    for seed, error in report.skipped:
+        print(
+            f"  seed {seed:#x}: check did not complete: {error}",
+            file=sys.stderr,
+        )
+
+    if args.shrink and report.divergences:
+        from repro.fuzz.gen import generate
+        from repro.fuzz.shrink import shrink
+
+        for divergence in report.divergences:
+            result = shrink(generate(divergence.seed, divergence.scale))
+            if result.divergence is None:
+                # Worker-observed divergence that vanished in-process
+                # (e.g. environment-dependent); nothing to store.
+                print(
+                    f"  seed {divergence.seed:#x}: divergence did not "
+                    "reproduce during shrinking; not stored",
+                    file=sys.stderr,
+                )
+                continue
+            path = fuzz_corpus.save_case(
+                result.workload,
+                result.divergence,
+                original_size=result.original_size,
+            )
+            print(
+                f"  seed {divergence.seed:#x}: shrunk "
+                f"{result.original_size} -> {result.shrunk_size} "
+                f"({result.checks} checks), stored {path}"
+            )
+
+    if report.divergences:
+        return 1
+    if report.skipped:
+        return 3
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.no_skip:
@@ -463,6 +642,8 @@ def main(argv: list[str] | None = None) -> int:
         )
     if args.experiment == "snapshot":
         return run_snapshot_action(args.action)
+    if args.experiment == "fuzz":
+        return run_fuzz(args)
     if args.experiment == "cache":
         if args.action != "clear":
             print(
@@ -470,6 +651,11 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        from repro.fuzz import corpus as fuzz_corpus
+
+        if args.fuzz_only:
+            print(f"removed {fuzz_corpus.clear()} fuzz repro(s)")
+            return 0
         from repro.harness.fastforward import SnapshotStore
 
         snapshots = SnapshotStore().clear()
@@ -477,7 +663,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"removed {snapshots} snapshot(s)")
             return 0
         removed = RunCache().clear()
-        print(f"removed {removed} cached run(s) and {snapshots} snapshot(s)")
+        repros = fuzz_corpus.clear()
+        print(
+            f"removed {removed} cached run(s), {snapshots} snapshot(s), "
+            f"and {repros} fuzz repro(s)"
+        )
         return 0
     if args.action is not None:
         print(

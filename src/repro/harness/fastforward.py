@@ -987,6 +987,7 @@ def prebuild_snapshots(
     jobs: int | None = None,
     timeout: float | None = None,
     retries: int | None = None,
+    fault_plan=None,
 ) -> int:
     """Build every snapshot (chain members included) *requests* will
     need, once each.
@@ -1006,6 +1007,11 @@ def prebuild_snapshots(
     when the run that needs the snapshot builds it inline. Serial and
     parallel builds produce byte-identical members — only the
     digest-masked ``built_by`` stamp differs (CI asserts this).
+
+    *fault_plan* injects deterministic worker faults into the pooled
+    path (chaos tests only), under the same keying as the run matrix:
+    a plan targeting ``(request, attempt)`` perturbs the prebuild
+    attempt for that request's chain.
     """
     from repro.workloads import registry
 
@@ -1032,7 +1038,7 @@ def prebuild_snapshots(
             retries=_resolve_retries(retries),
             on_error="skip",
             backoff_base=0.05,
-            fault_plan=None,
+            fault_plan=fault_plan,
             report=MatrixReport(),
             entry=_prebuild_entry,
         )

@@ -103,6 +103,24 @@ class Assembler:
         """Return the address of an already-allocated data symbol."""
         return self._data_symbols[symbol]
 
+    def set_data_word(self, symbol: str, index: int, value: int) -> int:
+        """Overwrite word *index* of an allocated symbol; return its address.
+
+        Lets builders patch data after code emission — e.g. filling a
+        jump table with block PCs that only exist once the blocks have
+        been laid out (the generated-program idiom in
+        :mod:`repro.fuzz.gen`).
+        """
+        if symbol not in self._data_symbols:
+            raise AssemblerError(f"unknown data symbol {symbol!r}")
+        addr = self._data_symbols[symbol] + 8 * index
+        if addr not in self._data:
+            raise AssemblerError(
+                f"index {index} outside allocation of {symbol!r}"
+            )
+        self._data[addr] = value
+        return addr
+
     # ------------------------------------------------------------------
     # Instruction emission
     # ------------------------------------------------------------------

@@ -86,6 +86,13 @@ _CMOV_TEST = {
     Opcode.CMOVGE: ">= 0",
 }
 
+#: Source line the ST path emits to journal the overwritten word before
+#: a fused store lands. Hoisted to a module constant so differential
+#: tests can monkeypatch it (e.g. to ``"    pass"``) and prove the
+#: fuzzer detects a fused tier that skips journaled writes — wrong-path
+#: stores then survive rollback and diverge architecturally.
+_ST_JOURNAL_SRC = "    if mjon: mj((wa, mw_get(wa)))"
+
 #: Opcodes the code generator can fuse. Everything else (control
 #: transfers, HALT, FORK) terminates a block by construction.
 FUSABLE_OPS = (
@@ -323,7 +330,7 @@ def compile_segment(
             emit("        st.block_deopts += 1")
             epilogue(k, next_pc, "        ")
             emit("    wa = addr & -8")
-            emit("    if mjon: mj((wa, mw_get(wa)))")
+            emit(_ST_JOURNAL_SRC)
             emit(f"    mw[wa] = sv if {_MIN64} <= sv <= {_MAX64} else _ts(sv)")
             entry(k, "None", "addr", "sv", next_pc, "_F0")
         else:  # pragma: no cover - callers filter on FUSABLE_OPS

@@ -54,10 +54,21 @@ SLICE_BENCHMARKS = (
 
 
 def build(name: str, scale: float = 1.0) -> Workload:
-    """Build workload *name* at the given *scale*."""
+    """Build workload *name* at the given *scale*.
+
+    Besides the twelve registered benchmarks, seed-named generated
+    workloads (``fuzz-0x2a``) dispatch to
+    :mod:`repro.workloads.synthetic` — they carry their whole identity
+    in the name, so they are rebuildable anywhere a request travels
+    without being registry entries.
+    """
     try:
         builder = WORKLOAD_BUILDERS[name]
     except KeyError:
+        from repro.workloads import synthetic
+
+        if synthetic.is_synthetic(name):
+            return synthetic.build(name, scale=scale)
         known = ", ".join(WORKLOAD_BUILDERS)
         raise KeyError(f"unknown workload {name!r}; known: {known}") from None
     workload = builder(scale=scale)

@@ -1,0 +1,28 @@
+"""Registry adapter for generated (fuzz) workloads.
+
+A fuzz workload's identity is its seed, carried in the name
+(``fuzz-0x2a``), so the declarative plumbing that rebuilds workloads by
+name — :class:`~repro.harness.parallel.RunRequest`, pool workers, the
+run-cache fingerprint — works for generated programs exactly as it
+does for the twelve paper benchmarks, with no registry entries and no
+side channel: any process holding the name can rebuild the
+byte-identical workload.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def is_synthetic(name: str) -> bool:
+    """Whether *name* denotes a generated (seed-named) workload."""
+    from repro.fuzz.gen import NAME_PREFIX
+
+    return name.startswith(NAME_PREFIX)
+
+
+def build(name: str, scale: float = 1.0) -> Workload:
+    """Build the generated workload *name* encodes (``fuzz-<seed>``)."""
+    from repro.fuzz.gen import generate, parse_seed
+
+    return generate(parse_seed(name), scale)

@@ -1,0 +1,62 @@
+"""Differential cross-check: clean seeds agree, injected bugs diverge."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.diff import check_seed
+from repro.uarch import fusion
+
+#: The injected-bug fixture: the fused tier stops journaling the word a
+#: store overwrites, so wrong-path stores survive rollback. The classic
+#: "tier that is fast and wrong" — exactly what the fuzzer exists for.
+_BROKEN_ST_JOURNAL = "    pass"
+
+#: Canonical seeds (scale 0.25) known to expose the fused-journal bug.
+BUGGY_SEEDS = (6, 12)
+
+
+@pytest.fixture
+def broken_fused_store(monkeypatch):
+    monkeypatch.setattr(fusion, "_ST_JOURNAL_SRC", _BROKEN_ST_JOURNAL)
+
+
+def test_clean_seeds_agree_across_all_tiers():
+    for seed in range(6):
+        divergence = check_seed(seed, scale=0.25)
+        assert divergence is None, str(divergence)
+
+
+def test_injected_fused_store_bug_is_detected(broken_fused_store):
+    """ISSUE acceptance: an intentionally-introduced tier bug (the
+    fused tier skips the store journal) is caught by the cross-check
+    and classified against the fused tiers."""
+    found = [
+        (seed, check_seed(seed, scale=0.25)) for seed in BUGGY_SEEDS
+    ]
+    for seed, divergence in found:
+        assert divergence is not None, f"seed {seed} missed the bug"
+        assert divergence.seed == seed
+        assert "fused" in divergence.tier_b
+        assert divergence.klass == f"{divergence.kind}:interp/{divergence.tier_b}"
+
+
+def test_divergence_is_deterministic(broken_fused_store):
+    a = check_seed(BUGGY_SEEDS[0], scale=0.25)
+    b = check_seed(BUGGY_SEEDS[0], scale=0.25)
+    assert a == b
+
+
+def test_pinned_seed_batch_parses():
+    """The CI batch file stays well-formed and pins the canonical
+    bug-hunting seeds."""
+    lines = (
+        Path(__file__).with_name("seeds.txt").read_text().splitlines()
+    )
+    seeds = [
+        int(text, 0)
+        for text in (line.split("#", 1)[0].strip() for line in lines)
+        if text
+    ]
+    assert len(seeds) == len(set(seeds)) == 50
+    assert set(BUGGY_SEEDS) <= set(seeds)

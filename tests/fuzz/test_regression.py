@@ -1,0 +1,46 @@
+"""Promoted corpus cases: fixed bugs stay fixed.
+
+Each ``corpus/*.repro.json`` here is a shrunk minimal repro promoted
+from a fuzzing run (via ``repro fuzz --shrink``). Replaying runs the
+full differential check against the *current* tree, so a case failing
+this test means one of the execution tiers regressed into a previously
+observed bug.
+
+``0x6.repro.json``: seed 6, shrunk from 236 to 26 units. Found by
+fuzzing an intentionally broken fused tier whose store path skipped the
+rollback journal (wrong-path stores survived recovery and leaked into
+architectural state through a later load). Pinned with the bug absent.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import corpus
+from repro.uarch import fusion
+
+from tests.fuzz.test_diff import _BROKEN_ST_JOURNAL
+
+CASES = sorted((Path(__file__).parent / "corpus").glob("*.repro.json"))
+
+
+def test_corpus_is_populated():
+    assert CASES, "tests/fuzz/corpus/ lost its promoted repro cases"
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_promoted_case_replays_clean(path):
+    divergence = corpus.replay(path)
+    assert divergence is None, (
+        f"{path.name} regressed: {divergence}"
+    )
+
+
+def test_seed6_case_still_detects_its_bug(monkeypatch):
+    """The fixture keeps its teeth: reintroducing the fused-store
+    journal bug makes the same case diverge again."""
+    monkeypatch.setattr(fusion, "_ST_JOURNAL_SRC", _BROKEN_ST_JOURNAL)
+    path = Path(__file__).parent / "corpus" / "0x6.repro.json"
+    divergence = corpus.replay(path)
+    assert divergence is not None
+    assert "fused" in divergence.tier_b

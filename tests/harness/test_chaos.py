@@ -207,6 +207,87 @@ def test_cache_corruption_quarantined_and_rerun(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# Snapshot-chain prebuild under faults.
+# ---------------------------------------------------------------------------
+
+
+def _digests(store):
+    from repro.harness.fastforward import snapshot_digest
+
+    return {
+        path.stem: snapshot_digest(store.get(path.stem))
+        for path in store.entry_paths()
+    }
+
+
+def test_prebuild_crash_and_hang_converge_to_serial_digests(tmp_path):
+    """ISSUE acceptance: a worker crash and a hang injected into the
+    parallel chain prebuild must still converge — same store keys,
+    same provenance-masked member digests as a serial fresh-store
+    build. (A killed attempt leaves a chain prefix behind; the retry
+    resumes from the deepest stored member, so partial progress must
+    compose into identical bytes.)"""
+    from repro.harness.fastforward import SnapshotStore, prebuild_snapshots
+
+    sampled = [
+        dataclasses.replace(
+            request, fast_forward=2000, sample=300, sample_regions=3
+        )
+        for request in (VPR_BASE, GZIP_BASE)
+    ]
+    serial_store = SnapshotStore(tmp_path / "serial")
+    prebuild_snapshots(sampled, store=serial_store, jobs=1)
+    serial = _digests(serial_store)
+    assert serial, "serial prebuild stored no chain members"
+
+    plan = FaultPlan.targeting(
+        {
+            (sampled[0], 0): FaultKind.CRASH,
+            (sampled[1], 0): FaultKind.HANG,
+        },
+        hang_seconds=60.0,
+    )
+    chaos_store = SnapshotStore(tmp_path / "chaos")
+    prebuild_snapshots(
+        sampled,
+        store=chaos_store,
+        jobs=2,
+        timeout=10.0,
+        retries=2,
+        fault_plan=plan,
+    )
+    assert _digests(chaos_store) == serial
+
+
+def test_prebuild_exhausted_faults_skip_not_raise(tmp_path):
+    """Prebuilding is an optimization: a chain whose every attempt
+    fails is skipped (the run that needs it builds inline), and the
+    other chain still lands in full. (Transient in-worker failures, not
+    crashes: a crashed worker breaks the pool and legitimately charges
+    the innocent in-flight sibling an attempt.)"""
+    from repro.harness.fastforward import SnapshotStore, prebuild_snapshots
+
+    sampled = [
+        dataclasses.replace(
+            request, fast_forward=2000, sample=300, sample_regions=3
+        )
+        for request in (VPR_BASE, GZIP_BASE)
+    ]
+    serial_store = SnapshotStore(tmp_path / "serial")
+    prebuild_snapshots([sampled[1]], store=serial_store, jobs=1)
+
+    plan = FaultPlan.targeting(
+        {(sampled[0], attempt): FaultKind.FLAKY for attempt in range(3)}
+    )
+    chaos_store = SnapshotStore(tmp_path / "chaos")
+    prebuild_snapshots(
+        sampled, store=chaos_store, jobs=2, retries=2, fault_plan=plan
+    )
+    chaos = _digests(chaos_store)
+    assert set(_digests(serial_store).items()) <= set(chaos.items())
+
+
+# ---------------------------------------------------------------------------
 # The acceptance scenario: everything at once.
 # ---------------------------------------------------------------------------
 
