@@ -95,3 +95,20 @@ class RunTimeoutError(SimulationError):
 
     def __reduce__(self):
         return (type(self), (self.args[0], self.timeout, self.attempts))
+
+
+class ServiceError(SimulationError):
+    """The experiment service misbehaved: an unreachable server, a
+    malformed or checksum-failing response, or a remote job that
+    exhausted its lease attempts.
+
+    Carries the job key (the run-cache fingerprint) when the failure is
+    attributable to one request.
+    """
+
+    def __init__(self, message: str, key: str = ""):
+        super().__init__(message)
+        self.key = key
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.key))

@@ -139,6 +139,12 @@ class RunCache(IntegrityStore):
         """
         return self.load(fingerprint(request), self._decode_stats)
 
+    def get_by_key(self, key: str) -> RunStats | None:
+        """Like :meth:`get`, addressed by an already-computed
+        fingerprint — the experiment service's serve path, which holds
+        result keys, not request objects."""
+        return self.load(key, self._decode_stats)
+
     def put(self, request, stats: RunStats) -> None:
         """Store *stats* for *request* (atomic rename, last writer wins).
 

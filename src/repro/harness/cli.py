@@ -18,6 +18,10 @@ Usage::
     python -m repro fuzz --seeds 200 --shrink --jobs 4  # store minimal repros
     python -m repro fuzz ls             # list stored minimal repros
     python -m repro fuzz --replay .repro_cache/fuzz/0x6.repro.json
+    python -m repro cache stats         # per-namespace entries/bytes/hit rate
+    python -m repro serve --port 8737   # experiment service front end
+    python -m repro worker --drain      # drain the service job queue
+    python -m repro figure11 --service http://host:8737  # thin-client run
 
 Simulations fan out over ``--jobs`` worker processes (default:
 ``REPRO_JOBS`` env or the CPU count) and are memoized in the
@@ -74,11 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, "all", "cache", "snapshot", "bench", "fuzz"],
+        choices=[
+            *EXPERIMENTS, "all", "cache", "snapshot", "bench", "fuzz",
+            "serve", "worker",
+        ],
         help=(
             "which table/figure to regenerate, 'cache'/'snapshot' "
-            "maintenance, 'bench' for the simulator self-benchmark, or "
-            "'fuzz' for the differential workload fuzzer"
+            "maintenance, 'bench' for the simulator self-benchmark, "
+            "'fuzz' for the differential workload fuzzer, or "
+            "'serve'/'worker' for the experiment service"
         ),
     )
     parser.add_argument(
@@ -86,12 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "cache action: 'clear' (with 'cache'); snapshot action: "
-            "'ls' (default) / 'clear' (with 'snapshot'); bench regime: "
-            "'balanced' / 'memory_bound' / 'slice_heavy' / 'interpreter' "
-            "/ 'sampled' / 'sampled_multi' / 'warming' (with 'bench', "
-            "default 'balanced'); fuzz action: 'ls' lists stored "
-            "minimal repros"
+            "cache action: 'clear' / 'stats' (with 'cache'); snapshot "
+            "action: 'ls' (default) / 'clear' (with 'snapshot'); bench "
+            "regime: 'balanced' / 'memory_bound' / 'slice_heavy' / "
+            "'interpreter' / 'sampled' / 'sampled_multi' / 'warming' "
+            "(with 'bench', default 'balanced'); fuzz action: 'ls' "
+            "lists stored minimal repros"
         ),
     )
     parser.add_argument(
@@ -303,6 +311,56 @@ def build_parser() -> argparse.ArgumentParser:
             "with the 'bench' command: run the regime under cProfile and "
             "write the top-25 cumulative entries to "
             "benchmarks/results/profile_<regime>.txt"
+        ),
+    )
+    parser.add_argument(
+        "--service",
+        default=None,
+        metavar="URL",
+        help=(
+            "run experiment matrices through a remote experiment "
+            "service ('repro serve') instead of the in-process pool; "
+            "cache hits still resolve locally (default: "
+            "REPRO_SERVICE_URL env or in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default=None,
+        metavar="ADDR",
+        help="with 'serve': bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="with 'serve': TCP port (default 8737; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with 'worker': seconds a claimed job's lease lasts "
+            "between heartbeats (default 30); a worker that dies "
+            "mid-lease has its job re-granted after this long"
+        ),
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with 'worker': exit after resolving N jobs",
+    )
+    parser.add_argument(
+        "--drain",
+        action="store_true",
+        help=(
+            "with 'worker': exit when the queue is empty instead of "
+            "polling for more work"
         ),
     )
     parser.add_argument(
@@ -606,6 +664,105 @@ def run_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_cache_action(args: argparse.Namespace) -> int:
+    """``repro cache clear`` / ``repro cache stats`` over the unified
+    :class:`~repro.service.store.ContentStore` (runs, snapshots, fuzz
+    corpus, and the service job queue share one root)."""
+    from repro.service.store import ContentStore
+
+    store = ContentStore()
+    if args.action == "stats":
+        stats = store.stats()
+        print(
+            f"{'namespace':10s} {'entries':>8s} {'bytes':>12s} "
+            f"{'quarantined':>11s} {'hits':>8s} {'misses':>8s} "
+            f"{'corrupt':>7s} {'hit rate':>8s}"
+        )
+        for name, entry in stats.items():
+            rate = entry["hit_rate"]
+            print(
+                f"{name:10s} {entry['entries']:>8d} {entry['bytes']:>12,d} "
+                f"{entry['quarantined']:>11d} {entry['hits']:>8d} "
+                f"{entry['misses']:>8d} {entry['corruptions']:>7d} "
+                f"{'-' if rate is None else f'{rate:7.1%}':>8s}"
+            )
+        print(f"cache root: {store.root}")
+        queue_db = store.root / "queue" / "jobs.db"
+        if queue_db.exists():
+            from repro.service.queue import JobQueue
+
+            queue = JobQueue(store.root)
+            qstats = queue.stats()
+            queue.close()
+            jobs = ", ".join(
+                f"{count} {status}"
+                for status, count in qstats["jobs"].items()
+                if count
+            )
+            print(f"queue: {jobs or 'empty'}")
+            if qstats["counters"]:
+                lifetime = ", ".join(
+                    f"{count} {name}"
+                    for name, count in sorted(qstats["counters"].items())
+                )
+                print(f"queue lifetime: {lifetime}")
+        return 0
+    if args.action != "clear":
+        print(
+            f"unknown cache action {args.action!r}; "
+            "try: repro cache clear|stats",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fuzz_only:
+        removed = store.clear(only="fuzz")
+        print(f"removed {removed['fuzz']} fuzz repro(s)")
+        return 0
+    if args.snapshots_only:
+        removed = store.clear(only="snapshots")
+        print(f"removed {removed['snapshots']} snapshot(s)")
+        return 0
+    removed = store.clear()
+    parts = [
+        f"{removed['runs']} cached run(s)",
+        f"{removed['snapshots']} snapshot(s)",
+        f"{removed['fuzz']} fuzz repro(s)",
+    ]
+    if "queue" in removed:
+        parts.append(f"{removed['queue']} queued job(s)")
+    print("removed " + ", ".join(parts))
+    return 0
+
+
+def run_serve(args: argparse.Namespace) -> int:
+    """``repro serve`` — run the experiment service front end."""
+    from repro.service.server import DEFAULT_HOST, DEFAULT_PORT, serve
+
+    host = args.host or DEFAULT_HOST
+    port = args.port if args.port is not None else DEFAULT_PORT
+    print(f"repro serve: listening on http://{host}:{port}", file=sys.stderr)
+    serve(host=host, port=port)
+    return 0
+
+
+def run_worker(args: argparse.Namespace) -> int:
+    """``repro worker`` — drain the experiment service job queue."""
+    from repro.service.queue import DEFAULT_LEASE_SECONDS
+    from repro.service.worker import work
+
+    lease = args.lease if args.lease is not None else DEFAULT_LEASE_SECONDS
+    resolved = work(
+        lease=lease,
+        jobs=args.jobs or 1,
+        timeout=args.timeout,
+        retries=args.retries,
+        max_jobs=args.max_jobs,
+        drain=args.drain,
+    )
+    print(f"worker resolved {resolved} job(s)", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.no_skip:
@@ -636,6 +793,14 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_SAMPLE_REGIONS"] = str(args.sample_regions)
     if args.sample_period is not None:
         os.environ["REPRO_SAMPLE_PERIOD"] = str(args.sample_period)
+    if args.service is not None:
+        # Same env-mirror mechanism: every run_matrix call anywhere
+        # downstream becomes a thin client of the experiment service.
+        os.environ["REPRO_SERVICE_URL"] = args.service
+    if args.experiment == "serve":
+        return run_serve(args)
+    if args.experiment == "worker":
+        return run_worker(args)
     if args.experiment == "bench":
         return run_bench(
             args.action, profile=args.profile, run_all=args.bench_all
@@ -645,37 +810,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "fuzz":
         return run_fuzz(args)
     if args.experiment == "cache":
-        if args.action != "clear":
-            print(
-                f"unknown cache action {args.action!r}; try: repro cache clear",
-                file=sys.stderr,
-            )
-            return 2
-        from repro.fuzz import corpus as fuzz_corpus
-
-        if args.fuzz_only:
-            print(f"removed {fuzz_corpus.clear()} fuzz repro(s)")
-            return 0
-        from repro.harness.fastforward import SnapshotStore
-
-        snapshots = SnapshotStore().clear()
-        if args.snapshots_only:
-            print(f"removed {snapshots} snapshot(s)")
-            return 0
-        removed = RunCache().clear()
-        repros = fuzz_corpus.clear()
-        print(
-            f"removed {removed} cached run(s), {snapshots} snapshot(s), "
-            f"and {repros} fuzz repro(s)"
-        )
-        return 0
+        return run_cache_action(args)
     if args.action is not None:
         print(
             f"unexpected argument {args.action!r} after {args.experiment!r}",
             file=sys.stderr,
         )
         return 2
-    cache = RunCache(enabled=not args.no_cache)
+    from repro.service.store import ContentStore
+
+    # The run cache comes from a ContentStore so run_matrix flushes the
+    # persistent hit/miss counters behind `repro cache stats`.
+    cache = ContentStore(enabled=not args.no_cache).runs
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     reset_skipped_log()
     blocks = []

@@ -33,6 +33,14 @@ outcome/attempts/latency accounting is returned as a
 substitutes empty placeholder stats for skipped requests so partial
 renders survive. Deterministic fault injection for all of the above
 lives in :mod:`repro.harness.faults`.
+
+**Service mode.** When ``REPRO_SERVICE_URL`` (the ``--service`` CLI
+flag) names a running experiment service (:mod:`repro.service`),
+:func:`run_matrix` becomes a thin client with the *same signature and
+result bytes*: cache hits still resolve locally, misses are submitted
+as one sweep and executed by ``repro worker`` processes, and the
+decoded results are re-published into the local cache. The in-process
+pool remains the default.
 """
 
 from __future__ import annotations
@@ -41,8 +49,10 @@ import dataclasses
 import hashlib
 import logging
 import os
+import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -606,6 +616,24 @@ def run_matrix(
             resolved[request] = RequestOutcome(request, "cached", stats)
 
     report = MatrixReport()
+    service = _service_url()
+    if pending and service is not None:
+        # Thin-client mode (``--service`` / ``REPRO_SERVICE_URL``): ship
+        # the misses to the experiment service and let its workers pay
+        # for execution — including snapshot prebuilds, which belong on
+        # the machines that run the windows. Results come back
+        # bit-identical (checksummed pickles) and are re-published into
+        # the local cache below, so a later offline run is a pure hit.
+        executed = _execute_service(
+            pending, service, timeout=timeout, on_error=on_error
+        )
+        for request, outcome in executed.items():
+            if outcome.status == "ok":
+                cache.put(request, outcome.stats)
+            else:
+                _skipped_log.append(outcome)
+            resolved[request] = outcome
+        pending = []
     if pending:
         sampled = [
             r
@@ -657,9 +685,104 @@ def run_matrix(
             resolved[request] = outcome
 
     report.outcomes = [resolved[request] for request in requests]
+    store = getattr(cache, "content_store", None)
+    if store is not None:
+        # Caches handed out by a ContentStore persist their hit/miss
+        # counters across processes (``repro cache stats``).
+        store.flush_counters()
     if return_report:
         return report
     return report.stats_list()
+
+
+#: Thread-scoped override: inside :func:`direct_execution`, service
+#: mode is ignored for this thread's ``run_matrix`` calls.
+_direct = threading.local()
+
+
+@contextmanager
+def direct_execution():
+    """Force in-process execution even when ``REPRO_SERVICE_URL`` is
+    set. The service *worker* wraps its own ``run_matrix`` call in
+    this: it is the service's executor, and must never loop a claimed
+    job back into the queue it was claimed from. Thread-scoped, so a
+    worker thread and a thin-client thread coexist in one process
+    (the differential tests do exactly that)."""
+    previous = getattr(_direct, "on", False)
+    _direct.on = True
+    try:
+        yield
+    finally:
+        _direct.on = previous
+
+
+def _service_url() -> str | None:
+    """The configured experiment-service endpoint, if any (lazy import
+    so the default in-process path never loads the service package)."""
+    if getattr(_direct, "on", False):
+        return None
+    if not os.environ.get("REPRO_SERVICE_URL", "").strip():
+        return None
+    from repro.service.client import service_url
+
+    return service_url()
+
+
+def _execute_service(
+    pending,
+    url: str,
+    timeout: float | None,
+    on_error: str,
+) -> dict[RunRequest, RequestOutcome]:
+    """Run *pending* through a remote experiment service.
+
+    One sweep submission, polled until the workers publish every
+    result. The per-request ``timeout`` scales into a whole-sweep
+    deadline (the client cannot preempt a remote worker, only give up
+    waiting); jobs the service marks failed — and every job, if the
+    service itself is unreachable — land on the usual ``on_error``
+    policy as :class:`~repro.errors.ServiceError`.
+    """
+    from repro.errors import ServiceError
+    from repro.harness.cache import fingerprint
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(url)
+    deadline = timeout * max(1, len(pending)) if timeout else None
+    start = time.monotonic()
+    results: dict[str, RunStats] = {}
+    failed: dict[str, str] = {}
+    sweep_error: Exception | None = None
+    try:
+        results, failed = client.run(pending, deadline=deadline)
+    except ServiceError as exc:
+        sweep_error = exc
+
+    outcomes: dict[RunRequest, RequestOutcome] = {}
+    latency = time.monotonic() - start
+    for request in pending:
+        key = fingerprint(request)
+        stats = results.get(key)
+        if stats is not None:
+            outcomes[request] = RequestOutcome(
+                request, "ok", stats, attempts=1, latency=latency
+            )
+            continue
+        error: Exception
+        if key in failed:
+            error = ServiceError(
+                f"service failed job {key[:12]}: {failed[key]}", key=key
+            )
+        elif sweep_error is not None:
+            error = sweep_error
+        else:
+            error = ServiceError(
+                f"service returned no result for {key[:12]}", key=key
+            )
+        outcomes[request] = _finalize_failure(
+            request, error, attempts=1, latency=latency, on_error=on_error
+        )
+    return outcomes
 
 
 def _execute_inline(

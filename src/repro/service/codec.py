@@ -1,0 +1,83 @@
+"""Wire encodings for the experiment service.
+
+Two payload kinds cross the service boundary:
+
+* **Requests** travel as canonical JSON — the same
+  ``dataclasses.asdict`` shape the cache fingerprint digests, so a
+  request encoded by a client, decoded by the server, and decoded again
+  by a worker lands on the *identical* content-addressed key. The
+  round-trip is exact for JSON-native field values (every preset and
+  CLI path produces those).
+* **Results** (:class:`~repro.uarch.stats.RunStats`) travel as
+  checksummed pickles: base64 payload plus its SHA-256, verified by the
+  receiver **before any unpickling** — the same integrity-first
+  discipline as the on-disk stores (:mod:`repro.harness.blobstore`).
+  Pickle keeps service results bit-identical to in-process results;
+  the checksum means a truncated or corrupted response is rejected, not
+  parsed. The service trusts its peers (one team's cache, one cluster)
+  — it is not hardened against a hostile server.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import pickle
+
+from repro.errors import ServiceError
+from repro.harness.blobstore import payload_digest
+from repro.uarch.stats import RunStats
+
+
+def encode_request(request) -> dict:
+    """JSON-native payload for one RunRequest (fingerprint shape)."""
+    return dataclasses.asdict(request)
+
+
+def decode_request(payload: dict):
+    """Rebuild a :class:`~repro.harness.parallel.RunRequest` from
+    :func:`encode_request` output.
+
+    JSON has no tuples, so sequence fields come back as lists and are
+    re-tupled here; ``RunRequest.__post_init__`` then re-normalizes,
+    making ``decode(encode(r)) == r`` for JSON-native requests.
+    """
+    from repro.harness.parallel import RunRequest
+
+    payload = dict(payload)
+    payload["overrides"] = tuple(
+        (path, value) for path, value in payload.get("overrides", ())
+    )
+    for field in ("perfect_branch_pcs", "perfect_load_pcs"):
+        payload[field] = tuple(payload.get(field, ()))
+    return RunRequest(**payload)
+
+
+def encode_stats(stats: RunStats) -> dict:
+    """Checksummed wire form of one result."""
+    blob = pickle.dumps({"stats": stats}, protocol=pickle.HIGHEST_PROTOCOL)
+    return {
+        "payload": base64.b64encode(blob).decode("ascii"),
+        "sha256": payload_digest(blob),
+    }
+
+
+def decode_stats(payload: dict) -> RunStats:
+    """Verify and unpickle one :func:`encode_stats` payload.
+
+    The checksum is verified before the bytes reach the pickle parser;
+    a mismatch (or a payload that is not RunStats) raises
+    :class:`~repro.errors.ServiceError` instead of trusting the bytes.
+    """
+    try:
+        blob = base64.b64decode(payload["payload"].encode("ascii"))
+    except (KeyError, ValueError, AttributeError) as exc:
+        raise ServiceError(f"malformed result payload: {exc}") from exc
+    if payload_digest(blob) != payload.get("sha256"):
+        raise ServiceError("result payload checksum mismatch")
+    stats = pickle.loads(blob)["stats"]
+    if not isinstance(stats, RunStats):
+        raise ServiceError(
+            f"result payload is {type(stats).__name__}, not RunStats"
+        )
+    return stats

@@ -1,0 +1,263 @@
+"""Unified content-addressed store: one contract over every cache.
+
+Three on-disk stores grew up beside each other — the run cache
+(:class:`~repro.harness.cache.RunCache`), the snapshot store
+(:class:`~repro.harness.fastforward.SnapshotStore`), and the fuzz
+corpus (:mod:`repro.fuzz.corpus`) — each with its own clear/ls/
+quarantine accounting scattered across the CLI. :class:`ContentStore`
+fronts all of them as *namespaces* under one cache root with one keyed
+get/put/verify/quarantine contract:
+
+* ``runs`` / ``snapshots`` — the existing
+  :class:`~repro.harness.blobstore.IntegrityStore` subclasses
+  (checksummed payloads, corrupt → ``corrupt/``), unchanged on disk.
+* ``fuzz`` — :class:`FuzzNamespace`, which wraps the JSON corpus in
+  the same contract: a case that fails JSON parsing or the schema
+  check is quarantined to the shared ``corrupt/`` directory and
+  counted, instead of crashing ``repro fuzz ls``. (Corpus files stay
+  plain JSON — diffable, committable — so this namespace validates by
+  schema rather than checksum.)
+
+The store also owns the **persistent hit/miss counters** behind
+``repro cache stats``: each namespace's in-process counters are
+accumulated into ``<cache root>/stats_counters.json`` by
+:meth:`ContentStore.flush_counters` (called by ``run_matrix``, the
+worker loop, and the server), so hit rates survive across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from pathlib import Path
+
+from repro.fuzz import corpus as fuzz_corpus
+from repro.harness.blobstore import CORRUPT_SUBDIR
+from repro.harness.cache import DEFAULT_CACHE_DIR, RunCache
+from repro.harness.fastforward import SnapshotStore
+
+log = logging.getLogger(__name__)
+
+#: Namespaces every :class:`ContentStore` exposes, in display order.
+NAMESPACES = ("runs", "snapshots", "fuzz")
+
+#: Persistent counter accumulator under the cache root.
+COUNTERS_FILE = "stats_counters.json"
+
+
+class FuzzNamespace:
+    """The fuzz corpus under the unified store contract.
+
+    Keys are the corpus's own case names (``0x2a``-style seed tags);
+    payloads are the schema-checked case dicts. Validation failures
+    quarantine the file to the shared ``corrupt/`` directory — the
+    evidence survives, the listing keeps working, and the corruption
+    is counted exactly like a rotten run-cache entry.
+    """
+
+    suffix = ".repro.json"
+
+    def __init__(self, cache_root: str | os.PathLike, enabled: bool = True):
+        self.cache_root = Path(cache_root)
+        self.root = fuzz_corpus.corpus_root(cache_root)
+        self.corrupt_dir = self.cache_root / CORRUPT_SUBDIR
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.corruptions = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}{self.suffix}"
+
+    def get(self, key: str) -> dict | None:
+        """Load and schema-check one case; quarantine on corruption."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path(key)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            case = fuzz_corpus.load_case(path)
+        except (ValueError, KeyError, OSError) as exc:
+            self.corruptions += 1
+            self.misses += 1
+            try:
+                self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(path, self.corrupt_dir / path.name)
+            except OSError:
+                pass
+            log.warning(
+                "quarantined corrupt fuzz case %s: %s", path.name, exc
+            )
+            return None
+        self.hits += 1
+        return case
+
+    def put(self, workload, divergence, **kwargs) -> Path:
+        """Persist one case through the corpus writer."""
+        return fuzz_corpus.save_case(
+            workload, divergence, cache_root=self.cache_root, **kwargs
+        )
+
+    def entry_paths(self):
+        return fuzz_corpus.case_paths(self.cache_root)
+
+    def total_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entry_paths())
+
+    def quarantined_count(self) -> int:
+        if not self.corrupt_dir.exists():
+            return 0
+        return sum(1 for _ in self.corrupt_dir.glob(f"*{self.suffix}"))
+
+    def clear(self) -> int:
+        removed = fuzz_corpus.clear(self.cache_root)
+        if self.corrupt_dir.exists():
+            for path in self.corrupt_dir.glob(f"*{self.suffix}"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+class ContentStore:
+    """Every namespace of the cache root behind one object.
+
+    ``runs``, ``snapshots``, and ``fuzz`` share the root directory (and
+    the ``corrupt/`` quarantine) but keep their own suffixes, schemas,
+    and decoders — exactly as before; this class adds the shared
+    surface (stats / clear / counter persistence), not a new disk
+    format. Existing cache contents are fully compatible.
+    """
+
+    def __init__(
+        self,
+        cache_root: str | os.PathLike | None = None,
+        enabled: bool = True,
+    ):
+        if cache_root is None:
+            cache_root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(cache_root)
+        self.runs = RunCache(cache_root, enabled=enabled)
+        self.snapshots = SnapshotStore(cache_root, enabled=enabled)
+        self.fuzz = FuzzNamespace(cache_root, enabled=enabled)
+        self._flushed: dict[str, tuple[int, int, int]] = {}
+        # Back-pointer so ``run_matrix`` can flush the persistent
+        # counters when handed ``store.runs`` as its cache.
+        self.runs.content_store = self
+
+    def namespaces(self) -> dict[str, object]:
+        return {
+            "runs": self.runs,
+            "snapshots": self.snapshots,
+            "fuzz": self.fuzz,
+        }
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+
+    @property
+    def counters_path(self) -> Path:
+        return self.root / COUNTERS_FILE
+
+    def flush_counters(self) -> None:
+        """Accumulate this process's hit/miss/corruption counters into
+        the persistent per-root file (read-merge-rename; concurrent
+        flushes may drop each other's deltas — the counters are
+        operational telemetry, not correctness state)."""
+        totals = self._read_counters()
+        dirty = False
+        for name, store in self.namespaces().items():
+            seen = self._flushed.get(name, (0, 0, 0))
+            delta = (
+                store.hits - seen[0],
+                store.misses - seen[1],
+                store.corruptions - seen[2],
+            )
+            if any(delta):
+                dirty = True
+                entry = totals.setdefault(
+                    name, {"hits": 0, "misses": 0, "corruptions": 0}
+                )
+                entry["hits"] += delta[0]
+                entry["misses"] += delta[1]
+                entry["corruptions"] += delta[2]
+                self._flushed[name] = (
+                    store.hits, store.misses, store.corruptions
+                )
+        if not dirty:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self.counters_path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(totals, sort_keys=True, indent=1))
+            os.replace(tmp, self.counters_path)
+        except OSError:
+            pass  # telemetry write failure must never fail a run
+
+    def _read_counters(self) -> dict:
+        try:
+            data = json.loads(self.counters_path.read_text())
+        except (OSError, ValueError):
+            return {}
+        return data if isinstance(data, dict) else {}
+
+    def stats(self) -> dict:
+        """Per-namespace disk + counter accounting for
+        ``repro cache stats`` and the server's ``/api/status``."""
+        persisted = self._read_counters()
+        out = {}
+        for name, store in self.namespaces().items():
+            lifetime = persisted.get(name, {})
+            hits = lifetime.get("hits", 0) + store.hits
+            misses = lifetime.get("misses", 0) + store.misses
+            lookups = hits + misses
+            out[name] = {
+                "entries": sum(1 for _ in store.entry_paths()),
+                "bytes": store.total_bytes(),
+                "quarantined": store.quarantined_count(),
+                "hits": hits,
+                "misses": misses,
+                "corruptions": (
+                    lifetime.get("corruptions", 0) + store.corruptions
+                ),
+                "hit_rate": (hits / lookups) if lookups else None,
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Clear
+    # ------------------------------------------------------------------
+
+    def clear(self, only: str | None = None) -> dict[str, int]:
+        """Clear namespaces (all, or just *only*); returns
+        ``{namespace: entries removed}`` so the CLI can report exactly
+        what went away. Clearing everything also drops the persistent
+        counters and the job queue's outstanding jobs."""
+        stores = self.namespaces()
+        if only is not None:
+            if only not in stores:
+                raise ValueError(
+                    f"unknown namespace {only!r}; known: {tuple(stores)}"
+                )
+            return {only: stores[only].clear()}
+        removed = {name: store.clear() for name, store in stores.items()}
+        try:
+            self.counters_path.unlink()
+        except OSError:
+            pass
+        self._flushed.clear()
+        queue_db = self.root / "queue" / "jobs.db"
+        if queue_db.exists():
+            from repro.service.queue import JobQueue
+
+            queue = JobQueue(self.root)
+            removed["queue"] = queue.clear()
+            queue.close()
+        return removed

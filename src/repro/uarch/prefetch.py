@@ -61,6 +61,14 @@ class StreamPrefetcher:
         #: a list only while two or more streams expect the same line
         #: — the miss path allocates no bookkeeping list that way.
         self._index: dict[int, _Stream | list[_Stream]] = {}
+        #: Preallocated stream records: the table's worth of ``_Stream``
+        #: objects is built once here, handed out as the table fills,
+        #: and recycled in place on eviction — the steady-state
+        #: allocate path constructs nothing.
+        self._spare: list[_Stream] = [
+            _Stream(0, 0, False, 0)
+            for _ in range(config.stream_table_entries)
+        ]
         self._seq = 0
         self.prefetches_launched = 0
         self.streams_confirmed = 0
@@ -120,24 +128,29 @@ class StreamPrefetcher:
                     index[key] = [prev, stream]
 
     def _index_remove(self, stream: _Stream) -> None:
+        # ``pop`` folds the lookup and the delete into one dict
+        # operation; the (rare) shared-line bucket is trimmed and
+        # reinserted.
         index = self._index
         for key in self._expected_lines(stream):
-            bucket = index[key]
+            bucket = index.pop(key)
             if type(bucket) is list:
                 bucket.remove(stream)
-                if len(bucket) == 1:
-                    index[key] = bucket[0]
-            else:
-                del index[key]
+                index[key] = bucket[0] if len(bucket) == 1 else bucket
 
     def _allocate(self, line: int) -> None:
         streams = self._streams
         if len(streams) >= self._config.stream_table_entries:
-            self._index_remove(streams.popleft())
+            # Evict the oldest tracker and recycle its record in place.
+            stream = streams.popleft()
+            self._index_remove(stream)
+        else:
+            stream = self._spare.pop()
         self._seq += 1
-        stream = _Stream(
-            last_line=line, stride=0, confirmed=False, seq=self._seq
-        )
+        stream.last_line = line
+        stream.stride = 0
+        stream.confirmed = False
+        stream.seq = self._seq
         streams.append(stream)
         self._index_add(stream)
 
@@ -174,6 +187,13 @@ class StreamPrefetcher:
             )
             self._streams.append(stream)
             self._index_add(stream)
+        # Refill the record pool for whatever table headroom remains.
+        self._spare = [
+            _Stream(0, 0, False, 0)
+            for _ in range(
+                max(0, self._config.stream_table_entries - len(image))
+            )
+        ]
 
     # ------------------------------------------------------------------
 
@@ -251,6 +271,8 @@ def build_warm_access(hierarchy: DataHierarchy, prefetcher: StreamPrefetcher):
     buf_entries = buffer._entries
     streams = prefetcher._streams
     index = prefetcher._index
+    index_pop = index.pop
+    spare = prefetcher._spare
     config = prefetcher._config
     table_entries = config.stream_table_entries
     depth = config.stream_depth
@@ -303,41 +325,34 @@ def build_warm_access(hierarchy: DataHierarchy, prefetcher: StreamPrefetcher):
             # and recycling the oldest) and prefetch the sequential
             # next block.
             if len(streams) >= table_entries:
+                # Evict the oldest tracker; its index entries come out
+                # with one ``pop`` each (lookup + delete fused), and
+                # its record is recycled in place.
                 stream = streams.popleft()
                 last = stream.last_line
                 if stream.confirmed:
-                    ob = index[last + stream.stride]
+                    key = last + stream.stride
+                    ob = index_pop(key)
                     if type(ob) is list:
                         ob.remove(stream)
-                        if len(ob) == 1:
-                            index[last + stream.stride] = ob[0]
-                    else:
-                        del index[last + stream.stride]
+                        index[key] = ob[0] if len(ob) == 1 else ob
                 else:
-                    ob = index[last + 1]
+                    ob = index_pop(last + 1)
                     if type(ob) is list:
                         ob.remove(stream)
-                        if len(ob) == 1:
-                            index[last + 1] = ob[0]
-                    else:
-                        del index[last + 1]
-                    ob = index[last - 1]
+                        index[last + 1] = ob[0] if len(ob) == 1 else ob
+                    ob = index_pop(last - 1)
                     if type(ob) is list:
                         ob.remove(stream)
-                        if len(ob) == 1:
-                            index[last - 1] = ob[0]
-                    else:
-                        del index[last - 1]
-                seq += 1
-                stream.last_line = line
-                stream.stride = 0
-                stream.confirmed = False
-                stream.seq = seq
+                        index[last - 1] = ob[0] if len(ob) == 1 else ob
             else:
-                seq += 1
-                stream = _Stream(
-                    last_line=line, stride=0, confirmed=False, seq=seq
-                )
+                # Preallocated at construction: nothing to build here.
+                stream = spare.pop()
+            seq += 1
+            stream.last_line = line
+            stream.stride = 0
+            stream.confirmed = False
+            stream.seq = seq
             streams.append(stream)
             up = line + 1
             prev = index.setdefault(up, stream)
@@ -391,28 +406,20 @@ def build_warm_access(hierarchy: DataHierarchy, prefetcher: StreamPrefetcher):
                 stream = candidates
             last = stream.last_line
             if stream.confirmed:
-                ob = index[last + stream.stride]
+                key = last + stream.stride
+                ob = index_pop(key)
                 if type(ob) is list:
                     ob.remove(stream)
-                    if len(ob) == 1:
-                        index[last + stream.stride] = ob[0]
-                else:
-                    del index[last + stream.stride]
+                    index[key] = ob[0] if len(ob) == 1 else ob
             else:
-                ob = index[last + 1]
+                ob = index_pop(last + 1)
                 if type(ob) is list:
                     ob.remove(stream)
-                    if len(ob) == 1:
-                        index[last + 1] = ob[0]
-                else:
-                    del index[last + 1]
-                ob = index[last - 1]
+                    index[last + 1] = ob[0] if len(ob) == 1 else ob
+                ob = index_pop(last - 1)
                 if type(ob) is list:
                     ob.remove(stream)
-                    if len(ob) == 1:
-                        index[last - 1] = ob[0]
-                else:
-                    del index[last - 1]
+                    index[last - 1] = ob[0] if len(ob) == 1 else ob
                 stream.stride = line - last
                 stream.confirmed = True
                 prefetcher.streams_confirmed += 1

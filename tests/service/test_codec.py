@@ -1,0 +1,74 @@
+"""Wire codecs: request round-trips preserve the cache key; result
+payloads are checksum-verified before unpickling."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.harness.cache import fingerprint
+from repro.harness.parallel import RunRequest
+from repro.service.codec import (
+    decode_request,
+    decode_stats,
+    encode_request,
+    encode_stats,
+)
+from repro.uarch.stats import RunStats
+
+REQUESTS = [
+    RunRequest(workload="vpr", scale=0.05),
+    RunRequest(workload="gzip", scale=0.05, mode="slice", dedicated=True),
+    RunRequest(
+        workload="mcf",
+        scale=0.1,
+        mode="perfect",
+        perfect_branch_pcs=(12, 4),
+        perfect_load_pcs=(7,),
+        overrides=(("memory_latency", 400),),
+    ),
+    RunRequest(
+        workload="vpr", scale=0.05, fast_forward=5000, sample=2000,
+        sample_regions=3, sample_period=10_000,
+    ),
+]
+
+
+@pytest.mark.parametrize("request_", REQUESTS, ids=lambda r: r.mode)
+def test_request_roundtrip_is_exact(request_):
+    decoded = decode_request(encode_request(request_))
+    assert decoded == request_
+    assert fingerprint(decoded) == fingerprint(request_)
+
+
+def test_request_roundtrip_survives_json():
+    import json
+
+    for request in REQUESTS:
+        wire = json.loads(json.dumps(encode_request(request)))
+        assert fingerprint(decode_request(wire)) == fingerprint(request)
+
+
+def test_stats_roundtrip():
+    stats = RunStats(config_name="4-wide", workload_name="vpr")
+    stats.committed = 1234
+    stats.cycles = 5678
+    decoded = decode_stats(encode_stats(stats))
+    assert decoded.committed == 1234
+    assert decoded.cycles == 5678
+
+
+def test_stats_checksum_rejects_tampering():
+    payload = encode_stats(RunStats(config_name="4-wide", workload_name="x"))
+    import base64
+
+    blob = bytearray(base64.b64decode(payload["payload"]))
+    blob[len(blob) // 2] ^= 0xFF
+    payload["payload"] = base64.b64encode(bytes(blob)).decode()
+    with pytest.raises(ServiceError):
+        decode_stats(payload)
+
+
+def test_stats_rejects_malformed_payload():
+    with pytest.raises(ServiceError):
+        decode_stats({"payload": "not base64!!!", "sha256": "0" * 64})
+    with pytest.raises(ServiceError):
+        decode_stats({})

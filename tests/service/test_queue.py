@@ -1,0 +1,166 @@
+"""JobQueue lease semantics: idempotent submission, atomic claims,
+expiry re-leasing with a bounded attempt budget, owner-checked
+resolution, and sweep bookkeeping."""
+
+import time
+
+from repro.harness.cache import fingerprint
+from repro.harness.parallel import RunRequest
+from repro.service.queue import JobQueue
+
+VPR = RunRequest(workload="vpr", scale=0.05)
+GZIP = RunRequest(workload="gzip", scale=0.05)
+
+
+def make_queue(tmp_path, **kwargs):
+    return JobQueue(tmp_path / "cache", **kwargs)
+
+
+def test_submit_is_idempotent(tmp_path):
+    queue = make_queue(tmp_path)
+    key, enqueued = queue.submit(VPR)
+    assert enqueued
+    assert key == fingerprint(VPR)
+    key2, enqueued2 = queue.submit(VPR)
+    assert key2 == key
+    assert not enqueued2
+    assert queue.status_counts()["pending"] == 1
+
+
+def test_claim_is_fifo_and_charges_an_attempt(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.submit(VPR)
+    queue.submit(GZIP)
+    first = queue.claim("w1")
+    second = queue.claim("w2")
+    assert first.request == VPR
+    assert second.request == GZIP
+    assert first.attempts == 1
+    assert queue.claim("w3") is None  # nothing runnable left
+    assert queue.status_counts()["leased"] == 2
+
+
+def test_leased_job_is_invisible_until_deadline(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.submit(VPR)
+    job = queue.claim("w1", lease=30.0)
+    assert queue.claim("w2") is None
+    assert queue.job(job.key).owner == "w1"
+
+
+def test_expired_lease_is_regranted_and_counted(tmp_path):
+    queue = make_queue(tmp_path)
+    key, _ = queue.submit(VPR)
+    queue.claim("dead-worker", lease=0.01)
+    time.sleep(0.05)
+    job = queue.claim("live-worker")
+    assert job is not None
+    assert job.key == key
+    assert job.owner == "live-worker"
+    assert job.attempts == 2  # expiry charged the first attempt
+    assert queue.counters()["lease_expiries"] == 1
+
+
+def test_exhausted_attempts_quarantine_the_job(tmp_path):
+    queue = make_queue(tmp_path, max_attempts=2)
+    key, _ = queue.submit(VPR)
+    for _ in range(2):
+        assert queue.claim("crashy", lease=0.01) is not None
+        time.sleep(0.05)
+    # Both attempts spent on expired leases: the next scan fails the
+    # job instead of re-granting it forever.
+    assert queue.claim("crashy") is None
+    job = queue.job(key)
+    assert job.status == "failed"
+    assert "retries exhausted" in job.error
+
+
+def test_heartbeat_extends_only_the_owners_lease(tmp_path):
+    queue = make_queue(tmp_path)
+    key, _ = queue.submit(VPR)
+    queue.claim("w1", lease=0.2)
+    assert queue.heartbeat(key, "w1", lease=30.0)
+    assert not queue.heartbeat(key, "imposter", lease=30.0)
+    time.sleep(0.3)
+    # The heartbeat pushed the deadline out; the job is not re-grantable.
+    assert queue.claim("w2") is None
+
+
+def test_complete_is_owner_checked(tmp_path):
+    queue = make_queue(tmp_path)
+    key, _ = queue.submit(VPR)
+    queue.claim("w1")
+    assert not queue.complete(key, "zombie")
+    assert queue.complete(key, "w1")
+    assert not queue.complete(key, "w1")  # exactly once
+    assert queue.job(key).status == "done"
+    assert queue.counters()["completed"] == 1
+
+
+def test_fail_requeues_until_budget_then_quarantines(tmp_path):
+    queue = make_queue(tmp_path, max_attempts=2)
+    key, _ = queue.submit(VPR)
+    queue.claim("w1")
+    assert queue.fail(key, "w1", "boom")
+    assert queue.job(key).status == "pending"  # budget remains
+    queue.claim("w1")
+    assert queue.fail(key, "w1", "boom again")
+    job = queue.job(key)
+    assert job.status == "failed"
+    assert job.error == "boom again"
+
+
+def test_resubmission_revives_a_failed_job(tmp_path):
+    queue = make_queue(tmp_path, max_attempts=1)
+    key, _ = queue.submit(VPR)
+    queue.claim("w1")
+    queue.fail(key, "w1", "boom")
+    assert queue.job(key).status == "failed"
+    key2, enqueued = queue.submit(VPR)
+    assert key2 == key
+    assert enqueued
+    job = queue.job(key)
+    assert job.status == "pending"
+    assert job.attempts == 0  # fresh budget
+
+
+def test_done_job_is_not_reenqueued(tmp_path):
+    queue = make_queue(tmp_path)
+    key, _ = queue.submit(VPR)
+    queue.claim("w1")
+    queue.complete(key, "w1")
+    _, enqueued = queue.submit(VPR)
+    assert not enqueued
+    assert queue.job(key).status == "done"
+
+
+def test_sweeps_roundtrip(tmp_path):
+    queue = make_queue(tmp_path)
+    keys = [fingerprint(VPR), fingerprint(GZIP)]
+    queue.save_sweep("abc123", keys)
+    assert queue.load_sweep("abc123") == keys
+    assert queue.load_sweep("nope") is None
+
+
+def test_clear_drops_jobs_keeps_lifetime_counters(tmp_path):
+    queue = make_queue(tmp_path)
+    queue.submit(VPR)
+    key, _ = queue.submit(GZIP)
+    queue.claim("w1")
+    queue.complete(fingerprint(VPR), "w1")
+    assert queue.clear() == 2
+    assert queue.status_counts() == {
+        "pending": 0, "leased": 0, "done": 0, "failed": 0
+    }
+    assert queue.counters()["completed"] == 1
+
+
+def test_queue_survives_reopen(tmp_path):
+    queue = make_queue(tmp_path)
+    key, _ = queue.submit(VPR)
+    queue.close()
+    reopened = make_queue(tmp_path)
+    job = reopened.job(key)
+    assert job is not None
+    assert job.status == "pending"
+    assert job.request == VPR

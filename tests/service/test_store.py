@@ -1,0 +1,156 @@
+"""ContentStore: one stats/clear/quarantine contract over the run
+cache, snapshot store, and fuzz corpus, plus cross-process counter
+persistence."""
+
+import json
+
+import pytest
+
+from repro.fuzz.diff import Divergence
+from repro.fuzz.gen import generate
+from repro.harness.parallel import RunRequest, run_matrix
+from repro.service.store import NAMESPACES, ContentStore
+from repro.uarch.stats import RunStats
+
+VPR = RunRequest(workload="vpr", scale=0.05)
+
+
+@pytest.fixture
+def divergence():
+    return Divergence(
+        seed=3,
+        scale=0.25,
+        tier_a="interp",
+        tier_b="event-fused",
+        kind="stream",
+        detail="synthetic fixture",
+    )
+
+
+def test_namespaces_share_one_root(tmp_path):
+    store = ContentStore(tmp_path)
+    assert tuple(store.namespaces()) == NAMESPACES
+    assert store.runs.root == store.root
+    assert store.snapshots.root == store.root / "snapshots"
+    assert store.fuzz.root == store.root / "fuzz"
+    # One shared quarantine directory across every namespace.
+    assert store.snapshots.corrupt_dir == store.runs.corrupt_dir
+    assert store.fuzz.corrupt_dir == store.runs.corrupt_dir
+
+
+def test_stats_counts_entries_and_bytes(tmp_path, divergence):
+    store = ContentStore(tmp_path)
+    store.runs.put(VPR, RunStats(config_name="4-wide", workload_name="vpr"))
+    store.fuzz.put(generate(3, 0.25), divergence)
+    stats = store.stats()
+    assert stats["runs"]["entries"] == 1
+    assert stats["runs"]["bytes"] > 0
+    assert stats["fuzz"]["entries"] == 1
+    assert stats["snapshots"]["entries"] == 0
+    assert stats["snapshots"]["hit_rate"] is None
+
+
+def test_fuzz_namespace_quarantines_corrupt_case(tmp_path, divergence):
+    store = ContentStore(tmp_path)
+    path = store.fuzz.put(generate(3, 0.25), divergence)
+    key = path.name.removesuffix(".repro.json")
+    assert store.fuzz.get(key) is not None
+    assert store.fuzz.get("nope") is None
+
+    path.write_text("{ not json")
+    assert store.fuzz.get(key) is None
+    assert not path.exists()  # moved, not deleted: evidence survives
+    assert store.fuzz.quarantined_count() == 1
+    assert (store.fuzz.corrupt_dir / path.name).is_file()
+    assert store.fuzz.corruptions == 1
+    assert store.stats()["fuzz"]["quarantined"] == 1
+
+
+def test_fuzz_namespace_rejects_wrong_schema(tmp_path, divergence):
+    store = ContentStore(tmp_path)
+    path = store.fuzz.put(generate(3, 0.25), divergence)
+    case = json.loads(path.read_text())
+    case["schema"] = 999
+    path.write_text(json.dumps(case))
+    key = path.name.removesuffix(".repro.json")
+    assert store.fuzz.get(key) is None
+    assert store.fuzz.quarantined_count() == 1
+
+
+def test_clear_reports_per_namespace(tmp_path, divergence):
+    store = ContentStore(tmp_path)
+    store.runs.put(VPR, RunStats(config_name="4-wide", workload_name="vpr"))
+    store.fuzz.put(generate(3, 0.25), divergence)
+    removed = store.clear()
+    assert removed["runs"] == 1
+    assert removed["fuzz"] == 1
+    assert removed["snapshots"] == 0
+    assert store.stats()["runs"]["entries"] == 0
+
+
+def test_clear_only_one_namespace(tmp_path, divergence):
+    store = ContentStore(tmp_path)
+    store.runs.put(VPR, RunStats(config_name="4-wide", workload_name="vpr"))
+    store.fuzz.put(generate(3, 0.25), divergence)
+    removed = store.clear(only="fuzz")
+    assert removed == {"fuzz": 1}
+    assert store.stats()["runs"]["entries"] == 1
+    with pytest.raises(ValueError):
+        store.clear(only="nope")
+
+
+def test_counters_persist_across_processes(tmp_path):
+    store = ContentStore(tmp_path)
+    assert store.runs.get(VPR) is None  # miss
+    store.runs.put(VPR, RunStats(config_name="4-wide", workload_name="vpr"))
+    assert store.runs.get(VPR) is not None  # hit
+    store.flush_counters()
+    assert store.counters_path.is_file()
+
+    fresh = ContentStore(tmp_path)  # simulates a new process
+    stats = fresh.stats()
+    assert stats["runs"]["hits"] == 1
+    assert stats["runs"]["misses"] == 1
+    assert stats["runs"]["hit_rate"] == 0.5
+
+
+def test_flush_is_delta_based_not_double_counted(tmp_path):
+    store = ContentStore(tmp_path)
+    store.runs.get(VPR)
+    store.flush_counters()
+    store.flush_counters()  # no new events: no double count
+    assert ContentStore(tmp_path).stats()["runs"]["misses"] == 1
+    store.runs.get(VPR)
+    store.flush_counters()
+    assert ContentStore(tmp_path).stats()["runs"]["misses"] == 2
+
+
+def test_run_matrix_flushes_store_counters(tmp_path):
+    store = ContentStore(tmp_path)
+    run_matrix([VPR], jobs=1, cache=store.runs)
+    # The miss (and the re-read pattern of the matrix) must have been
+    # persisted without an explicit flush call.
+    persisted = json.loads(store.counters_path.read_text())
+    assert persisted["runs"]["misses"] >= 1
+
+
+def test_full_clear_drops_persistent_counters_and_queue(tmp_path):
+    from repro.service.queue import JobQueue
+
+    store = ContentStore(tmp_path)
+    store.runs.get(VPR)
+    store.flush_counters()
+    queue = JobQueue(tmp_path)
+    queue.submit(VPR)
+    queue.close()
+    removed = store.clear()
+    assert removed["queue"] == 1
+    assert not store.counters_path.exists()
+    assert ContentStore(tmp_path).stats()["runs"]["misses"] == 0
+
+
+def test_disabled_store_never_touches_disk(tmp_path):
+    store = ContentStore(tmp_path, enabled=False)
+    store.runs.put(VPR, RunStats(config_name="4-wide", workload_name="vpr"))
+    assert store.runs.get(VPR) is None
+    assert store.stats()["runs"]["entries"] == 0
