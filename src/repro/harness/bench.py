@@ -29,6 +29,13 @@ answer "where does the time go" without hand-building a workload:
   tier (:mod:`repro.uarch.warmfuse`) carrying the inter-window gaps.
   Unlike **sampled**, the chain build is *inside* the timed region —
   this measures the one-shot (unamortized) cost of a sampled run.
+* **sampled_parallel** — the same 8-window mcf schedule, but run the
+  way a sweep runs it: chain prebuilt into the snapshot store
+  (untimed, amortized), then one ``run_matrix`` call exploding the
+  windows into per-window work units fanned over 8 pool workers
+  (:mod:`repro.harness.parallel`). End-to-end wall-clock of the whole
+  matrix call — the window-parallel regime the PR 10 scheduler
+  targets.
 
 ``run_all_regimes`` additionally measures the **interpreter** tier
 (raw functional ``execute()`` throughput) and the **warming** tier
@@ -75,6 +82,14 @@ class BenchRegime:
     #: no store amortization, unlike the single-snapshot regime).
     sample_regions: int = 0
     sample_period: int = 0
+    #: Window-level parallelism (``>= 2``): run the multi-region
+    #: request through :func:`~repro.harness.parallel.run_matrix` with
+    #: this many pool workers, windows exploded into parallel work
+    #: units over a *prebuilt* (untimed, amortized) snapshot chain —
+    #: the window-parallel regime's cost model, complementing the
+    #: one-shot in-memory chain build of the serial multi-region
+    #: regime.
+    window_jobs: int = 0
 
     def build_workload(self):
         return registry.build(self.workload, scale=self.scale)
@@ -120,21 +135,29 @@ class BenchRegime:
         regime's throughput (the denominator still times only
         ``run()``; the shared snapshot is amortized across a sweep).
 
-        For a multi-region regime, ``stats.ff_insts`` holds the chain
-        *span* (the deepest window's prefix, which is all the chained
-        build executes — not the per-window sum), so the numerator is
-        the program span the run swept: span + every window's discard
-        prefix + everything measured.
+        For a multi-region regime the prefix term is the chain *span*
+        (the deepest window's prefix — all the chained build
+        executes), not the per-window ``ff_insts`` sum. With an
+        explicit ``sample_period`` the span is closed-form from the
+        schedule, which also covers window-parallel aggregates: a
+        :func:`~repro.harness.parallel.run_matrix` aggregate sums each
+        window's own prefix into ``ff_insts`` (the windows never see
+        the chain as one object), so trusting ``ff_insts`` there would
+        inflate the rate quadratically. Without an explicit period the
+        serial runner's span rewrite (:func:`_run_multi_region`) is
+        trusted as before.
         """
         if self.sample_regions >= 2:
             from repro.harness.fastforward import sample_plan
 
             _region, warmup = sample_plan(self.sample)
-            return (
-                stats.ff_insts
-                + stats.sample_regions * warmup
-                + stats.committed
-            )
+            regions_run = stats.sample_regions or self.sample_regions
+            if self.sample_period > 0:
+                period = max(self.sample_period, warmup + self.sample)
+                span = self.fast_forward + (regions_run - 1) * period
+            else:
+                span = stats.ff_insts
+            return span + regions_run * warmup + stats.committed
         if self.fast_forward > 0 or self.sample > 0:
             from repro.harness.fastforward import sample_plan
 
@@ -219,6 +242,27 @@ REGIMES: dict[str, BenchRegime] = {
             "in-memory snapshot chain"
         ),
     ),
+    "sampled_parallel": BenchRegime(
+        name="sampled_parallel",
+        workload="mcf",
+        scale=4.0,
+        mode="base",
+        config=FOUR_WIDE,
+        # The same 8-window schedule as sampled_multi, but measured the
+        # way a window-parallel sweep runs it: chain prebuilt into the
+        # snapshot store (untimed — a sweep amortizes it), then one
+        # run_matrix call fanning the 8 windows over 8 pool workers.
+        # Wall-clock is the whole matrix call, so the rate is honest
+        # end-to-end window-parallel throughput (pool spawn included).
+        sample=2_000,
+        sample_regions=8,
+        sample_period=25_000,
+        window_jobs=8,
+        description=(
+            "window-parallel mcf: 8 x 2k-inst windows fanned over 8 "
+            "workers, prebuilt chain"
+        ),
+    ),
 }
 
 
@@ -280,6 +324,51 @@ def _run_multi_region(regime: BenchRegime, workload) -> tuple[RunStats, float]:
     return total, elapsed
 
 
+def _bench_request(regime: BenchRegime):
+    """The :class:`~repro.harness.parallel.RunRequest` equivalent of
+    *regime* (window-parallel regimes run through ``run_matrix``)."""
+    from repro.harness.parallel import RunRequest
+
+    return RunRequest(
+        workload=regime.workload,
+        scale=regime.scale,
+        mode=regime.mode,
+        config=regime.config.name,
+        fast_forward=regime.fast_forward,
+        sample=regime.sample,
+        sample_regions=regime.sample_regions,
+        sample_period=regime.sample_period,
+    )
+
+
+def _run_window_parallel(regime: BenchRegime) -> tuple[RunStats, float]:
+    """One timed window-parallel multi-region run.
+
+    The snapshot chain is prebuilt into the store first, *untimed* —
+    the amortized case a sweep lives in (idempotent: rounds after the
+    first are pure store hits). The timed region is one whole
+    ``run_matrix`` call with the run cache disabled: window explosion,
+    pool fan-out over ``regime.window_jobs`` workers, snapshot restore
+    per window, and depth-order reassembly — end-to-end wall-clock,
+    which is exactly what :meth:`BenchRegime.covered_insts` divides by.
+    """
+    from repro.harness.cache import RunCache
+    from repro.harness.fastforward import prebuild_snapshots
+    from repro.harness.parallel import run_matrix
+
+    request = _bench_request(regime)
+    prebuild_snapshots([request], jobs=regime.window_jobs)
+    start = time.perf_counter()
+    stats_list = run_matrix(
+        [request],
+        jobs=regime.window_jobs,
+        cache=RunCache(enabled=False),
+        window_jobs=regime.window_jobs,
+    )
+    elapsed = time.perf_counter() - start
+    return stats_list[0], elapsed
+
+
 def run_regime(
     regime: BenchRegime, workload=None, **overrides
 ) -> tuple[RunStats, float]:
@@ -288,8 +377,12 @@ def run_regime(
     Core construction (workload build, slice load, snapshot fetch) is
     excluded from the timing; only ``run()`` is measured — except for
     a multi-region regime, whose timing deliberately includes its
-    fresh in-memory chain build (see :func:`_run_multi_region`).
+    fresh in-memory chain build (see :func:`_run_multi_region`), and a
+    window-parallel regime, which times one whole ``run_matrix`` call
+    over a prebuilt chain (see :func:`_run_window_parallel`).
     """
+    if regime.window_jobs >= 2:
+        return _run_window_parallel(regime)
     if regime.sample_regions >= 2:
         if workload is None:
             workload = regime.build_workload()
@@ -315,7 +408,9 @@ def best_rate(
     warmed snapshot across rounds, and its rate counts every
     instruction the run covered (prefix + discard window + region).
     """
-    workload = regime.build_workload()
+    # A window-parallel regime's workloads are built inside the pool
+    # workers; building one here would only add dead weight.
+    workload = None if regime.window_jobs >= 2 else regime.build_workload()
     if regime.fast_forward > 0 and "snapshot" not in overrides:
         from repro.harness.fastforward import ensure_snapshot
 
@@ -477,6 +572,8 @@ def run_all_regimes(rounds: int = 3) -> dict:
             results[name]["sample_regions"] = regime.sample_regions
             results[name]["sample_period"] = regime.sample_period
             results[name]["regions_run"] = stats.sample_regions
+        if regime.window_jobs >= 2:
+            results[name]["window_jobs"] = regime.window_jobs
     rate, executed = measure_interpreter_rate(rounds=rounds)
     results["interpreter"] = {
         "description": "functional execute() tier, vpr instruction stream",

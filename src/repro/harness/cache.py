@@ -50,8 +50,11 @@ __all__ = [
     "DEFAULT_CACHE_DIR",
     "RunCache",
     "SCHEMA_VERSION",
+    "WINDOW_SUBDIR",
+    "WindowCache",
     "fingerprint",
     "source_tree_hash",
+    "window_fingerprint",
 ]
 
 #: Bump when the cache payload layout changes; old entries become
@@ -66,6 +69,13 @@ _HEADER_LEN = len(_MAGIC) + 64 + 1  # magic + sha256 hex + newline
 
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Subdirectory (under the cache root) holding per-window results.
+WINDOW_SUBDIR = "windows"
+
+#: Window-entry header magic — own schema tag so the run cache and the
+#: window store never decode each other's entries.
+_WINDOW_MAGIC = b"repro-window-%d\n" % SCHEMA_VERSION
 
 _source_hash_cache: str | None = None
 
@@ -97,6 +107,40 @@ def fingerprint(request, source_hash: str | None = None) -> str:
         "schema": SCHEMA_VERSION,
         "source": source_hash if source_hash is not None else source_tree_hash(),
         "request": dataclasses.asdict(request),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def window_fingerprint(request, depth: int, source_hash: str | None = None) -> str:
+    """Content-addressed key for one detailed *window* of a sampled run.
+
+    A multi-region request is a schedule of independent windows; each
+    window's result depends on the request *minus* the schedule
+    (``sample_regions``/``sample_period`` choose which windows exist,
+    not what any one of them computes, and ``fast_forward`` is the
+    schedule's origin, not the window's own depth) *plus* the window's
+    own coordinates: its chain depth and the derived warmup/sample
+    lengths. Two schedules that overlap — an 8-region sweep re-run at
+    10 regions, or a shifted ``fast_forward`` whose periodic grid lands
+    on the same depths — therefore share entries for every common
+    window instead of recomputing whole requests.
+    """
+    base = dataclasses.asdict(request)
+    sample = base.pop("sample")
+    for field in ("fast_forward", "sample_regions", "sample_period"):
+        base.pop(field)
+    # Local import: fastforward imports this module for the store
+    # discipline, so the warmup rule is resolved lazily.
+    from repro.harness.fastforward import sample_plan
+
+    _region, warmup = sample_plan(sample)
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "kind": "window",
+        "source": source_hash if source_hash is not None else source_tree_hash(),
+        "request": base,
+        "window": {"depth": depth, "warmup": warmup, "sample": sample},
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()
@@ -159,3 +203,53 @@ class RunCache(IntegrityStore):
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         self.store(fingerprint(request), blob)
+
+
+class WindowCache(IntegrityStore):
+    """Per-window result store under ``<cache root>/windows/``.
+
+    The finer-grained sibling of :class:`RunCache`: one entry per
+    detailed window of a multi-region run, keyed by
+    :func:`window_fingerprint`. Shares the cache root and the
+    ``corrupt/`` quarantine with the run cache, but uses its own
+    suffix (``.win``) and schema magic so the stores never clear or
+    decode each other's entries.
+    """
+
+    def __init__(
+        self,
+        cache_root: str | os.PathLike | None = None,
+        enabled: bool = True,
+    ):
+        if cache_root is None:
+            cache_root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        cache_root = Path(cache_root)
+        super().__init__(
+            cache_root / WINDOW_SUBDIR,
+            magic=_WINDOW_MAGIC,
+            suffix=".win",
+            enabled=enabled,
+            corrupt_dir=cache_root / CORRUPT_SUBDIR,
+        )
+
+    @staticmethod
+    def _decode_stats(blob: bytes) -> RunStats:
+        stats = pickle.loads(blob)["stats"]
+        if not isinstance(stats, RunStats):
+            raise CacheCorruptionError(
+                f"payload is {type(stats).__name__}, not RunStats"
+            )
+        return stats
+
+    def get(self, key: str) -> RunStats | None:
+        """Return the cached window stats for *key*, or ``None`` on a
+        miss (corrupt entries quarantined and counted, as in the run
+        cache)."""
+        return self.load(key, self._decode_stats)
+
+    def put(self, key: str, stats: RunStats) -> None:
+        """Store one window's *stats* under its precomputed key."""
+        if not self.enabled:
+            return
+        blob = pickle.dumps({"stats": stats}, protocol=pickle.HIGHEST_PROTOCOL)
+        self.store(key, blob)

@@ -14,6 +14,7 @@ Usage::
     python -m repro figure11 --fast-forward 20000 --sample 4000  # sampled
     python -m repro table4 --sample 10000 --sample-regions 10  # multi-region
     python -m repro figure11 --sampled  # long-horizon halt-aware plans
+    python -m repro table4 --sample-regions 10 --window-jobs 8  # window-parallel
     python -m repro fuzz --seeds 50     # differential workload fuzzer
     python -m repro fuzz --seeds 200 --shrink --jobs 4  # store minimal repros
     python -m repro fuzz ls             # list stored minimal repros
@@ -97,7 +98,8 @@ def build_parser() -> argparse.ArgumentParser:
             "cache action: 'clear' / 'stats' (with 'cache'); snapshot "
             "action: 'ls' (default) / 'clear' (with 'snapshot'); bench "
             "regime: 'balanced' / 'memory_bound' / 'slice_heavy' / "
-            "'interpreter' / 'sampled' / 'sampled_multi' / 'warming' "
+            "'interpreter' / 'sampled' / 'sampled_multi' / "
+            "'sampled_parallel' / 'warming' "
             "(with 'bench', default 'balanced'); fuzz action: 'ls' "
             "lists stored minimal repros"
         ),
@@ -113,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="worker processes (default: REPRO_JOBS env or CPU count)",
+    )
+    parser.add_argument(
+        "--window-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="window-level parallelism for multi-region sampled runs"
+        " (default: REPRO_WINDOW_JOBS env or the --jobs worker count;"
+        " 1 = serial per-request windows, the bit-identity oracle)",
     )
     parser.add_argument(
         "--no-cache",
@@ -666,8 +677,9 @@ def run_fuzz(args: argparse.Namespace) -> int:
 
 def run_cache_action(args: argparse.Namespace) -> int:
     """``repro cache clear`` / ``repro cache stats`` over the unified
-    :class:`~repro.service.store.ContentStore` (runs, snapshots, fuzz
-    corpus, and the service job queue share one root)."""
+    :class:`~repro.service.store.ContentStore` (runs, per-window
+    results, snapshots, fuzz corpus, and the service job queue share
+    one root)."""
     from repro.service.store import ContentStore
 
     store = ContentStore()
@@ -725,6 +737,7 @@ def run_cache_action(args: argparse.Namespace) -> int:
     removed = store.clear()
     parts = [
         f"{removed['runs']} cached run(s)",
+        f"{removed['windows']} window result(s)",
         f"{removed['snapshots']} snapshot(s)",
         f"{removed['fuzz']} fuzz repro(s)",
     ]
@@ -793,6 +806,11 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_SAMPLE_REGIONS"] = str(args.sample_regions)
     if args.sample_period is not None:
         os.environ["REPRO_SAMPLE_PERIOD"] = str(args.sample_period)
+    if args.window_jobs is not None:
+        # Window-level parallelism is a scheduling knob, not a request
+        # field — it never enters a fingerprint, so the env mirror
+        # changes wall-clock, never results.
+        os.environ["REPRO_WINDOW_JOBS"] = str(args.window_jobs)
     if args.service is not None:
         # Same env-mirror mechanism: every run_matrix call anywhere
         # downstream becomes a thin client of the experiment service.

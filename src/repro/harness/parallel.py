@@ -116,6 +116,7 @@ def _default_sample_period() -> int:
     """
     return int(os.environ.get("REPRO_SAMPLE_PERIOD", "0") or 0)
 
+
 from repro.harness.cache import RunCache
 from repro.uarch.config import EIGHT_WIDE, FOUR_WIDE, MachineConfig
 from repro.uarch.perfect import PerfectSpec
@@ -372,11 +373,195 @@ def execute_request(request: RunRequest) -> RunStats:
     return stats
 
 
-def _pool_entry(request: RunRequest, attempt: int, fault_plan) -> RunStats:
-    """Pool worker: apply any planned fault, then run the request."""
+def window_request(request: RunRequest, depth: int) -> RunRequest:
+    """The single-window :class:`RunRequest` computing one detailed
+    window of a multi-region *request*.
+
+    A window at chain depth *d* is exactly the single-window sampled
+    run ``fast_forward=d, sample=request.sample``: same snapshot-store
+    key, same warmup/region pair, same dispatch — so executing the
+    derived request is bit-identical to the serial loop's iteration at
+    that depth (the oracle the differential tests assert against).
+    """
+    return dataclasses.replace(
+        request, fast_forward=depth, sample_regions=0, sample_period=0
+    )
+
+
+@dataclass(frozen=True)
+class _WindowUnit:
+    """One per-window work unit of an exploded multi-region request.
+
+    A first-class sibling of ordinary matrix entries in the pool:
+    hashable, picklable, fault-targetable (``request_key`` works on any
+    dataclass), and deduplicated by its content-addressed *key* so two
+    parents with overlapping schedules share each common window.
+    """
+
+    request: RunRequest  # the derived single-window request
+    key: str  # window_fingerprint — the windows-namespace cache key
+    depth: int
+
+    @property
+    def workload(self) -> str:  # log-line protocol of _execute_pooled
+        return self.request.workload
+
+    @property
+    def mode(self) -> str:
+        return f"{self.request.mode}@{self.depth}"
+
+
+def window_depths(request: RunRequest) -> tuple[int, ...]:
+    """The chain depths of a multi-region request's windows.
+
+    With an explicit ``sample_period`` the schedule is closed-form (no
+    workload build needed — the experiment service's submit path relies
+    on this); a derived period needs the workload's region length.
+    """
+    from repro.harness.fastforward import _plan_for_request, build_sample_plan
+
+    if request.sample_period > 0:
+        return build_sample_plan(
+            0,
+            request.fast_forward,
+            request.sample,
+            request.sample_regions,
+            request.sample_period,
+        ).depths
+    return _plan_for_request(request).depths
+
+
+def window_schedule(request: RunRequest) -> list[_WindowUnit]:
+    """Explode a multi-region *request* into its per-window work units,
+    in depth order, each carrying its windows-namespace cache key."""
+    from repro.harness.cache import window_fingerprint
+
+    return [
+        _WindowUnit(
+            request=window_request(request, depth),
+            key=window_fingerprint(request, depth),
+            depth=depth,
+        )
+        for depth in window_depths(request)
+    ]
+
+
+def assemble_window_stats(per_window, depths) -> RunStats:
+    """Fold per-window stats back into the whole-run aggregate, with
+    the halt-drop rule reproduced exactly.
+
+    The serial loop breaks at the first chain member whose functional
+    prefix halted short of its requested depth (``executed <
+    ff_insts``), keeping the first window unconditionally (legacy
+    degenerate semantics when ``fast_forward`` overshoots the program).
+    A window's stats carry ``ff_insts = snapshot.executed``, so the
+    same rule here is ``stats.ff_insts < depth``: every window at or
+    after the first short member is discarded, making the assembled
+    aggregate bit-identical to :func:`_execute_multi_region` no matter
+    how (or when, for cached windows) the windows were measured.
+    """
+    from repro.uarch.stats import aggregate_stats
+
+    kept: list[RunStats] = []
+    for stats, depth in zip(per_window, depths):
+        if depth > 0 and stats.ff_insts < depth and kept:
+            break
+        kept.append(stats)
+    return aggregate_stats(kept)
+
+
+def _assemble_outcome(
+    request: RunRequest,
+    units,
+    window_cached,
+    unit_outcomes,
+) -> "RequestOutcome":
+    """Reassemble one exploded request from its windows' outcomes.
+
+    Walks the schedule in depth order applying the serial loop's
+    halt-drop rule (see :func:`assemble_window_stats`); a window that
+    failed (skipped after exhausting retries) fails the whole request
+    unless an earlier short chain member already dropped it.
+    """
+    from repro.uarch.stats import aggregate_stats
+
+    kept: list[RunStats] = []
+    attempts = 0
+    hits = 0
+    latency = 0.0
+    missing: str | None = None
+    for unit in units:
+        cached = window_cached.get(unit.key)
+        stats = cached
+        if stats is None:
+            outcome = unit_outcomes.get(unit.key)
+            if outcome is not None:
+                attempts += outcome.attempts
+                latency = max(latency, outcome.latency)
+                stats = outcome.stats
+            if stats is None:
+                missing = (
+                    outcome.error
+                    if outcome is not None and outcome.error
+                    else f"window at depth {unit.depth} was not measured"
+                )
+                break
+        if unit.depth > 0 and stats.ff_insts < unit.depth and kept:
+            # Halt-drop: the chain halted short of this window's start;
+            # it and every later window are discarded, exactly as the
+            # serial loop would never have run them.
+            break
+        if cached is not None:
+            hits += 1
+        kept.append(stats)
+    if missing is not None:
+        return RequestOutcome(
+            request,
+            "skipped",
+            None,
+            attempts=attempts,
+            error=missing,
+            latency=latency,
+            windows=len(units),
+            window_hits=hits,
+        )
+    return RequestOutcome(
+        request,
+        "ok",
+        aggregate_stats(kept),
+        attempts=attempts,
+        latency=latency,
+        windows=len(units),
+        window_hits=hits,
+    )
+
+
+def _window_store(cache):
+    """The windows-namespace store riding alongside *cache*.
+
+    A :class:`~repro.service.store.ContentStore` pins its own
+    ``WindowCache`` on the run cache (so hit/miss counters persist);
+    a bare :class:`RunCache` gets one lazily under the same root,
+    inheriting its enabled flag.
+    """
+    store = getattr(cache, "window_store", None)
+    if store is None:
+        from repro.harness.cache import WindowCache
+
+        store = WindowCache(cache.root, enabled=cache.enabled)
+        cache.window_store = store
+    return store
+
+
+def _pool_entry(item, attempt: int, fault_plan) -> RunStats:
+    """Pool worker: apply any planned fault, then run the item — an
+    ordinary :class:`RunRequest` or one :class:`_WindowUnit` of an
+    exploded multi-region request."""
     if fault_plan is not None:
-        fault_plan.perturb(request, attempt)
-    return execute_request(request)
+        fault_plan.perturb(item, attempt)
+    if isinstance(item, _WindowUnit):
+        return execute_request(item.request)
+    return execute_request(item)
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -385,6 +570,26 @@ def resolve_jobs(jobs: int | None = None) -> int:
         env = os.environ.get("REPRO_JOBS")
         jobs = int(env) if env else (os.cpu_count() or 1)
     return max(1, jobs)
+
+
+def resolve_window_jobs(window_jobs: int | None, jobs: int | None = None) -> int:
+    """Window-level parallelism: explicit arg, else ``REPRO_WINDOW_JOBS``
+    env (the ``--window-jobs`` CLI flag), else the matrix worker count.
+
+    ``1`` is the serial escape hatch (and bit-identity oracle): each
+    multi-region request measures its windows sequentially inside one
+    worker, exactly as before. Any value ``> 1`` explodes multi-region
+    requests into per-window work units scheduled through the same
+    pool as ordinary matrix entries. ``window_jobs`` is *not* part of
+    :class:`RunRequest` — it is pure execution strategy, so cache
+    fingerprints (and results) are identical either way.
+    """
+    if window_jobs is None:
+        env = os.environ.get("REPRO_WINDOW_JOBS")
+        window_jobs = int(env) if env else 0
+    if window_jobs <= 0:
+        return resolve_jobs(jobs)
+    return window_jobs
 
 
 def _resolve_timeout(timeout: float | None) -> float | None:
@@ -445,6 +650,12 @@ class RequestOutcome:
     error: str | None = None
     #: Wall-clock seconds from first submission to resolution.
     latency: float = 0.0
+    #: Window-parallel accounting (multi-region requests exploded into
+    #: per-window units): how many windows this request's schedule has,
+    #: and how many were answered from the windows cache namespace
+    #: instead of being measured.
+    windows: int = 0
+    window_hits: int = 0
 
     @property
     def ok(self) -> bool:
@@ -523,6 +734,19 @@ class MatrixReport:
                 total += 1
         return total
 
+    @property
+    def windows(self) -> int:
+        """Windows scheduled through the window-parallel decomposition
+        (0 when requests ran serially or came whole from the cache)."""
+        return sum(o.windows for o in _unique_outcomes(self.outcomes))
+
+    @property
+    def window_hits(self) -> int:
+        """Windows answered from the windows cache namespace instead of
+        measured — the per-window reuse a re-sweep with an overlapping
+        schedule (e.g. 8 -> 10 regions) gets."""
+        return sum(o.window_hits for o in _unique_outcomes(self.outcomes))
+
     def stats_list(self) -> list[RunStats]:
         """Input-order stats; skipped requests yield empty placeholder
         :class:`RunStats` so downstream renderers survive partial
@@ -565,6 +789,7 @@ def run_matrix(
     jobs: int | None = None,
     cache: RunCache | None = None,
     *,
+    window_jobs: int | None = None,
     timeout: float | None = None,
     retries: int | None = None,
     on_error: str | None = None,
@@ -578,6 +803,18 @@ def run_matrix(
     (pass a disabled :class:`RunCache` to opt out); fresh runs go to a
     process pool when more than one worker is useful (or whenever a
     ``timeout`` is set — in-process execution cannot be preempted).
+
+    **Window-parallel sampling.** When window-level parallelism is on
+    (``window_jobs`` / ``REPRO_WINDOW_JOBS``; default: the matrix
+    worker count), every multi-region request is exploded after the
+    chain prebuild into per-window work units that fan out through the
+    same pool as ordinary entries — inheriting timeout/retry/respawn/
+    fault-plan semantics — and are reassembled in depth order with the
+    serial loop's halt-drop rule, bit-identically. Each window also
+    gets its own content-addressed entry in the ``windows`` cache
+    namespace, so a re-sweep with an overlapping schedule (8 -> 10
+    regions, say) recomputes only the new windows. ``window_jobs=1``
+    is the serial escape hatch and bit-identity oracle.
 
     Resilience knobs (see the module docstring for the failure model):
 
@@ -655,27 +892,75 @@ def run_matrix(
             prebuild_snapshots(
                 sampled, jobs=jobs, timeout=timeout, retries=retries
             )
-        workers = min(resolve_jobs(jobs), len(pending))
-        use_pool = workers > 1 or timeout is not None
-        if use_pool:
-            executed = _execute_pooled(
-                pending,
-                workers,
-                timeout=timeout,
-                retries=retries,
-                on_error=on_error,
-                backoff_base=backoff_base,
-                fault_plan=fault_plan,
-                report=report,
+        # Two-level scheduling: explode multi-region requests into
+        # per-window units (first-class pool siblings of the plain
+        # requests), answering already-measured windows from the
+        # ``windows`` cache namespace.
+        window_jobs_n = resolve_window_jobs(window_jobs, jobs)
+        plans: dict[RunRequest, list[_WindowUnit]] = {}
+        window_cached: dict[str, RunStats] = {}
+        units_by_key: dict[str, _WindowUnit] = {}
+        windows_store = None
+        if window_jobs_n > 1:
+            multi = [r for r in pending if r.sample_regions >= 2]
+            if multi:
+                windows_store = _window_store(cache)
+                for request in multi:
+                    units = window_schedule(request)
+                    plans[request] = units
+                    for unit in units:
+                        if (
+                            unit.key in window_cached
+                            or unit.key in units_by_key
+                        ):
+                            continue
+                        stats = windows_store.get(unit.key)
+                        if stats is not None:
+                            window_cached[unit.key] = stats
+                        else:
+                            units_by_key[unit.key] = unit
+        plain = [r for r in pending if r not in plans]
+        pool_items: list = plain + list(units_by_key.values())
+        executed: dict = {}
+        if pool_items:
+            workers = min(
+                max(resolve_jobs(jobs), window_jobs_n if units_by_key else 1),
+                len(pool_items),
             )
-        else:
-            executed = _execute_inline(
-                pending,
-                retries=retries,
-                on_error=on_error,
-                backoff_base=backoff_base,
-                fault_plan=fault_plan,
-                report=report,
+            use_pool = workers > 1 or timeout is not None
+            if use_pool:
+                executed = _execute_pooled(
+                    pool_items,
+                    workers,
+                    timeout=timeout,
+                    retries=retries,
+                    on_error=on_error,
+                    backoff_base=backoff_base,
+                    fault_plan=fault_plan,
+                    report=report,
+                )
+            else:
+                executed = _execute_inline(
+                    pool_items,
+                    retries=retries,
+                    on_error=on_error,
+                    backoff_base=backoff_base,
+                    fault_plan=fault_plan,
+                    report=report,
+                )
+        # Publish fresh windows to their namespace, then reassemble
+        # each exploded request in depth order (halt-drop applied at
+        # assembly). Failed windows surface on the parent outcome.
+        unit_outcomes: dict[str, RequestOutcome] = {}
+        for item in list(executed):
+            if isinstance(item, _WindowUnit):
+                outcome = executed.pop(item)
+                unit_outcomes[item.key] = outcome
+                if outcome.status == "ok" and windows_store is not None:
+                    windows_store.put(item.key, outcome.stats)
+        for request, units in plans.items():
+            executed[request] = _assemble_outcome(
+                request, units, window_cached, unit_outcomes
             )
         for request, outcome in executed.items():
             if outcome.status == "ok":
@@ -811,7 +1096,11 @@ def _execute_inline(
             try:
                 if fault_plan is not None:
                     fault_plan.perturb(request, attempt, in_process=True)
-                stats = execute_request(request)
+                stats = execute_request(
+                    request.request
+                    if isinstance(request, _WindowUnit)
+                    else request
+                )
             except Exception as exc:  # noqa: BLE001 — retry boundary
                 error = exc
                 log.warning(

@@ -54,6 +54,7 @@ _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
     key            TEXT PRIMARY KEY,
     request        TEXT NOT NULL,
+    kind           TEXT NOT NULL DEFAULT 'run',
     status         TEXT NOT NULL DEFAULT 'pending',
     attempts       INTEGER NOT NULL DEFAULT 0,
     max_attempts   INTEGER NOT NULL,
@@ -69,6 +70,11 @@ CREATE TABLE IF NOT EXISTS sweeps (
     keys     TEXT NOT NULL,
     created  REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS assemblies (
+    key     TEXT PRIMARY KEY,
+    payload TEXT NOT NULL,
+    created REAL NOT NULL
+);
 CREATE TABLE IF NOT EXISTS counters (
     name  TEXT PRIMARY KEY,
     value INTEGER NOT NULL
@@ -76,6 +82,12 @@ CREATE TABLE IF NOT EXISTS counters (
 """
 
 JOB_STATUSES = ("pending", "leased", "done", "failed")
+
+#: Job kinds: a ``run`` job's key is the run-cache fingerprint of its
+#: request; a ``window`` job's key is the *windows*-namespace
+#: fingerprint and its request is the derived single-window request
+#: (see :func:`~repro.harness.parallel.window_request`).
+JOB_KINDS = ("run", "window")
 
 
 def default_owner() -> str:
@@ -95,6 +107,7 @@ class Job:
     owner: str | None
     lease_deadline: float | None
     error: str | None
+    kind: str = "run"
 
 
 class JobQueue:
@@ -124,6 +137,19 @@ class JobQueue:
             check_same_thread=False,
         )
         self._db.executescript(_SCHEMA)
+        # Migration: queue databases from before window-parallel
+        # execution lack the ``kind`` column (and get the assemblies
+        # table from the executescript above); every old row is a
+        # whole-request job, exactly what the default says.
+        columns = {
+            row[1]
+            for row in self._db.execute("PRAGMA table_info(jobs)")
+        }
+        if "kind" not in columns:
+            self._db.execute(
+                "ALTER TABLE jobs ADD COLUMN kind TEXT NOT NULL"
+                " DEFAULT 'run'"
+            )
 
     def close(self) -> None:
         with self._lock:
@@ -133,15 +159,25 @@ class JobQueue:
     # Producer side
     # ------------------------------------------------------------------
 
-    def submit(self, request) -> tuple[str, bool]:
+    def submit(
+        self, request, kind: str = "run", key: str | None = None
+    ) -> tuple[str, bool]:
         """Enqueue *request*; return ``(key, enqueued)``.
 
         Idempotent on the content-addressed key: a request already
         pending, leased, or done is not enqueued again (``enqueued``
         False); a previously *failed* job is revived to ``pending``
-        with a fresh attempt budget.
+        with a fresh attempt budget. ``kind="window"`` jobs carry the
+        derived single-window request and must pass their
+        windows-namespace *key* explicitly (the run fingerprint of a
+        derived request is *not* its window key).
         """
-        key = fingerprint(request)
+        if kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {kind!r}; known: {JOB_KINDS}")
+        if key is None:
+            if kind != "run":
+                raise ValueError("window jobs need an explicit key")
+            key = fingerprint(request)
         payload = json.dumps(
             encode_request(request), sort_keys=True, separators=(",", ":")
         )
@@ -154,10 +190,10 @@ class JobQueue:
                 ).fetchone()
                 if row is None:
                     self._db.execute(
-                        "INSERT INTO jobs (key, request, status, attempts,"
-                        " max_attempts, created, updated)"
-                        " VALUES (?, ?, 'pending', 0, ?, ?, ?)",
-                        (key, payload, self.max_attempts, now, now),
+                        "INSERT INTO jobs (key, request, kind, status,"
+                        " attempts, max_attempts, created, updated)"
+                        " VALUES (?, ?, ?, 'pending', 0, ?, ?, ?)",
+                        (key, payload, kind, self.max_attempts, now, now),
                     )
                     self._bump("submitted")
                     enqueued = True
@@ -200,7 +236,8 @@ class JobQueue:
             try:
                 while True:
                     row = self._db.execute(
-                        "SELECT key, request, status, attempts, max_attempts"
+                        "SELECT key, request, status, attempts,"
+                        " max_attempts, kind"
                         " FROM jobs WHERE status = 'pending'"
                         " OR (status = 'leased' AND lease_deadline < ?)"
                         " ORDER BY created LIMIT 1",
@@ -209,7 +246,7 @@ class JobQueue:
                     if row is None:
                         self._db.execute("COMMIT")
                         return None
-                    key, payload, status, attempts, max_attempts = row
+                    key, payload, status, attempts, max_attempts, kind = row
                     if status == "leased":
                         self._bump("lease_expiries")
                         if attempts >= max_attempts:
@@ -242,6 +279,7 @@ class JobQueue:
                         owner=owner,
                         lease_deadline=now + lease,
                         error=None,
+                        kind=kind,
                     )
             except BaseException:
                 self._db.execute("ROLLBACK")
@@ -331,6 +369,34 @@ class JobQueue:
         return None if row is None else json.loads(row[0])
 
     # ------------------------------------------------------------------
+    # Assemblies (server bookkeeping: a decomposed multi-region request
+    # awaiting its windows — the parent's run-cache key maps to the
+    # encoded parent request and its depth-ordered window keys)
+    # ------------------------------------------------------------------
+
+    def save_assembly(self, key: str, payload: dict) -> None:
+        """Record that run-cache key *key* is assembled from windows.
+
+        *payload* is ``{"request": <encoded parent request>,
+        "windows": [[depth, window_key], ...]}`` in depth order — all
+        the server's poll path needs to reassemble the aggregate once
+        every (kept) window has landed in the windows namespace.
+        """
+        with self._lock:
+            self._db.execute(
+                "INSERT OR REPLACE INTO assemblies (key, payload, created)"
+                " VALUES (?, ?, ?)",
+                (key, json.dumps(payload, sort_keys=True), time.time()),
+            )
+
+    def load_assembly(self, key: str) -> dict | None:
+        with self._lock:
+            row = self._db.execute(
+                "SELECT payload FROM assemblies WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    # ------------------------------------------------------------------
     # Introspection / maintenance
     # ------------------------------------------------------------------
 
@@ -338,7 +404,8 @@ class JobQueue:
         with self._lock:
             row = self._db.execute(
                 "SELECT key, request, status, attempts, max_attempts,"
-                " owner, lease_deadline, error FROM jobs WHERE key = ?",
+                " owner, lease_deadline, error, kind"
+                " FROM jobs WHERE key = ?",
                 (key,),
             ).fetchone()
         if row is None:
@@ -352,6 +419,7 @@ class JobQueue:
             owner=row[5],
             lease_deadline=row[6],
             error=row[7],
+            kind=row[8],
         )
 
     def status_counts(self) -> dict[str, int]:
@@ -383,6 +451,7 @@ class JobQueue:
             ).fetchone()[0]
             self._db.execute("DELETE FROM jobs")
             self._db.execute("DELETE FROM sweeps")
+            self._db.execute("DELETE FROM assemblies")
         return removed
 
     # ------------------------------------------------------------------

@@ -34,10 +34,12 @@ import hashlib
 import json
 import logging
 
-from repro.harness.cache import fingerprint
-from repro.service.codec import decode_request, encode_stats
+from repro.harness.cache import fingerprint, window_fingerprint
+from repro.harness.parallel import window_depths, window_request
+from repro.service.codec import decode_request, encode_request, encode_stats
 from repro.service.queue import JobQueue
 from repro.service.store import ContentStore
+from repro.uarch.stats import aggregate_stats
 
 log = logging.getLogger(__name__)
 
@@ -79,6 +81,11 @@ class ExperimentServer:
             "requests": 0,
             "served_from_cache": 0,
             "enqueued": 0,
+            #: Window-decomposition accounting: window jobs enqueued
+            #: (a subset of ``enqueued``), and multi-region parents
+            #: reassembled from per-window store hits.
+            "window_jobs": 0,
+            "assembled": 0,
         }
 
     # ------------------------------------------------------------------
@@ -132,9 +139,16 @@ class ExperimentServer:
                 # store — the queue is never touched for a hit.
                 results[key] = encode_stats(stats)
                 self.counters["served_from_cache"] += 1
+                continue
+            stats, fresh = self._submit_request(request, key)
+            if stats is not None:
+                # Partially-or-fully warm multi-region request answered
+                # entirely from per-window hits: assembled, published
+                # to the run cache, served — still zero simulation.
+                results[key] = encode_stats(stats)
+                self.counters["served_from_cache"] += 1
             else:
-                _, fresh = self.queue.submit(request)
-                enqueued += int(fresh)
+                enqueued += fresh
                 pending.append(key)
         self.counters["enqueued"] += enqueued
         return 200, {
@@ -146,6 +160,84 @@ class ExperimentServer:
             "enqueued": enqueued,
         }
 
+    def _submit_request(self, request, key: str) -> tuple[object, int]:
+        """Resolve one run-cache miss: serve it from window hits, or
+        enqueue the missing work; returns ``(stats | None, enqueued)``.
+
+        A multi-region request with an explicit ``sample_period`` has a
+        closed-form window schedule (no workload build — the server
+        never simulates), so it is decomposed: each window already in
+        the ``windows`` namespace is a hit, each missing window becomes
+        one ``kind="window"`` job, and the parent is registered as an
+        *assembly* for the poll path. A half-warm 8→10-region re-sweep
+        therefore enqueues only the 2 new windows. Requests without an
+        explicit period (schedule depends on workload length) and
+        unsampled requests stay whole-request jobs.
+        """
+        if request.sample_regions < 2 or request.sample_period <= 0:
+            _, fresh = self.queue.submit(request)
+            return None, int(fresh)
+        depths = window_depths(request)
+        windows = [
+            (depth, window_fingerprint(request, depth)) for depth in depths
+        ]
+        self.queue.save_assembly(
+            key,
+            {
+                "request": encode_request(request),
+                "windows": [[depth, wkey] for depth, wkey in windows],
+            },
+        )
+        stats, _error = self._assemble(key)
+        if stats is not None:
+            return stats, 0
+        enqueued = 0
+        for depth, wkey in windows:
+            if self.store.windows.get(wkey) is not None:
+                continue
+            _, fresh = self.queue.submit(
+                window_request(request, depth), kind="window", key=wkey
+            )
+            enqueued += int(fresh)
+        self.counters["window_jobs"] += enqueued
+        return None, enqueued
+
+    def _assemble(self, key: str) -> tuple[object, str | None]:
+        """Try to reassemble run-cache key *key* from its windows.
+
+        Walks the registered assembly in depth order with the serial
+        loop's halt-drop rule (the windows-cache mirror of
+        :func:`~repro.harness.parallel.assemble_window_stats`): a short
+        chain member ends the walk, so a halted chain is served even
+        while its never-needed tail windows are missing. Returns
+        ``(stats, None)`` on success — publishing the aggregate to the
+        run cache so every later poll is a plain O(1) hit —
+        ``(None, error)`` if a needed window's job failed, and
+        ``(None, None)`` while still pending (or if *key* has no
+        assembly at all).
+        """
+        assembly = self.queue.load_assembly(key)
+        if assembly is None:
+            return None, None
+        kept = []
+        for depth, wkey in assembly["windows"]:
+            stats = self.store.windows.get(wkey)
+            if stats is None:
+                job = self.queue.job(wkey)
+                if job is not None and job.status == "failed":
+                    return None, (
+                        f"window at depth {depth}: {job.error or 'failed'}"
+                    )
+                return None, None
+            if depth > 0 and stats.ff_insts < depth and kept:
+                break
+            kept.append(stats)
+        aggregate = aggregate_stats(kept)
+        request = decode_request(assembly["request"])
+        self.store.runs.put(request, aggregate)
+        self.counters["assembled"] += 1
+        return aggregate, None
+
     def _poll_sweep(self, sid: str):
         keys = self.queue.load_sweep(sid)
         if keys is None:
@@ -155,9 +247,18 @@ class ExperimentServer:
         failed: dict[str, str] = {}
         for key in dict.fromkeys(keys):  # dedupe, keep order
             stats = self.store.runs.get_by_key(key)
+            error = None
+            if stats is None:
+                # Decomposed parent: fold finished windows back into
+                # the whole-run aggregate (and into the run cache) the
+                # moment the last needed one lands.
+                stats, error = self._assemble(key)
             if stats is not None:
                 results[key] = encode_stats(stats)
                 self.counters["served_from_cache"] += 1
+                continue
+            if error is not None:
+                failed[key] = error
                 continue
             job = self.queue.job(key)
             if job is not None and job.status == "failed":
@@ -175,6 +276,8 @@ class ExperimentServer:
 
     def _fetch_result(self, key: str):
         stats = self.store.runs.get_by_key(key)
+        if stats is None:
+            stats, _error = self._assemble(key)
         if stats is None:
             job = self.queue.job(key)
             status = job.status if job is not None else "unknown"

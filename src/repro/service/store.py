@@ -34,13 +34,16 @@ from pathlib import Path
 
 from repro.fuzz import corpus as fuzz_corpus
 from repro.harness.blobstore import CORRUPT_SUBDIR
-from repro.harness.cache import DEFAULT_CACHE_DIR, RunCache
+from repro.harness.cache import DEFAULT_CACHE_DIR, RunCache, WindowCache
 from repro.harness.fastforward import SnapshotStore
 
 log = logging.getLogger(__name__)
 
 #: Namespaces every :class:`ContentStore` exposes, in display order.
-NAMESPACES = ("runs", "snapshots", "fuzz")
+#: ``windows`` holds one entry per detailed window of a multi-region
+#: run (:func:`~repro.harness.cache.window_fingerprint` keys) — the
+#: finer granularity the window-parallel scheduler caches at.
+NAMESPACES = ("runs", "windows", "snapshots", "fuzz")
 
 #: Persistent counter accumulator under the cache root.
 COUNTERS_FILE = "stats_counters.json"
@@ -144,16 +147,21 @@ class ContentStore:
             cache_root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
         self.root = Path(cache_root)
         self.runs = RunCache(cache_root, enabled=enabled)
+        self.windows = WindowCache(cache_root, enabled=enabled)
         self.snapshots = SnapshotStore(cache_root, enabled=enabled)
         self.fuzz = FuzzNamespace(cache_root, enabled=enabled)
         self._flushed: dict[str, tuple[int, int, int]] = {}
-        # Back-pointer so ``run_matrix`` can flush the persistent
-        # counters when handed ``store.runs`` as its cache.
+        # Back-pointers so ``run_matrix`` can flush the persistent
+        # counters when handed ``store.runs`` as its cache, and so its
+        # window decomposition reuses this namespace (counters and
+        # all) instead of minting a parallel WindowCache.
         self.runs.content_store = self
+        self.runs.window_store = self.windows
 
     def namespaces(self) -> dict[str, object]:
         return {
             "runs": self.runs,
+            "windows": self.windows,
             "snapshots": self.snapshots,
             "fuzz": self.fuzz,
         }

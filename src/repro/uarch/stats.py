@@ -9,6 +9,8 @@ aggregate counters feed the run characterization (Table 4). All
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 
@@ -234,6 +236,26 @@ class RunStats:
         counter.executions += 1
         if missed:
             counter.events += 1
+
+
+def stats_digest(stats: RunStats, *, meta: bool = False) -> str:
+    """Hex SHA-256 of a canonical serialization of *stats*.
+
+    By default the :data:`SIMULATOR_META_FIELDS` are masked out, so the
+    digest captures what the simulated machine did and is stable across
+    execution strategies that are required to agree architecturally —
+    serial vs. window-parallel sampling, cold vs. warm snapshot chains,
+    fresh runs vs. per-window cache replays. Pass ``meta=True`` to
+    digest every field (full bit-identity, provenance included).
+    """
+    payload = dataclasses.asdict(stats)
+    if not meta:
+        for name in SIMULATOR_META_FIELDS:
+            payload.pop(name, None)
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
 
 
 #: Fields :func:`aggregate_stats` handles specially rather than

@@ -360,7 +360,8 @@ def test_cli_cache_clear_covers_snapshots(cache_env, capsys):
     )
     ensure_snapshot(workload, FOUR_WIDE, 500)
     assert cli.main(["cache", "clear"]) == 0
-    assert "1 cached run(s), 1 snapshot(s)" in capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "1 cached run(s)" in out and "1 snapshot(s)" in out
     assert len(list(RunCache(cache_env).entry_paths())) == 0
     assert len(SnapshotStore(cache_env).ls()) == 0
 

@@ -1,0 +1,301 @@
+"""Differential tests for window-parallel sampled execution.
+
+The tentpole invariant: exploding a multi-region request into
+per-window pool units (``window_jobs > 1``) must be *bit-identical* to
+the serial in-request loop (``window_jobs=1``, the oracle) — every
+stat, every workload, both slice arms, halt-drop included — while a
+re-sweep with an overlapping window schedule answers the shared
+windows from the ``windows`` cache namespace instead of re-measuring
+them. Fault injection rides the same pool path, so a worker crash
+mid-window consumes retry budget and still converges to the
+undisturbed aggregate.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.harness.cache import RunCache, WindowCache, window_fingerprint
+from repro.harness.faults import FaultKind, FaultPlan
+from repro.harness.parallel import (
+    RunRequest,
+    execute_request,
+    resolve_window_jobs,
+    run_matrix,
+    window_depths,
+    window_request,
+    window_schedule,
+)
+from repro.workloads import registry
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    """Point every store (run cache + windows + snapshots) at a temp
+    root so the snapshot chains are shared between the serial and
+    parallel arms (the comparison is about execution, not warming)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
+def same_stats(a, b):
+    return dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+def sampled(workload, mode, **kw):
+    kw.setdefault("scale", 0.05)
+    kw.setdefault("sample", 200)
+    kw.setdefault("sample_regions", 3)
+    kw.setdefault("sample_period", 1_500)
+    return RunRequest(workload=workload, mode=mode, **kw)
+
+
+# ----------------------------------------------------------------------
+# The 12-workload x slices on/off differential
+# ----------------------------------------------------------------------
+
+
+def test_window_parallel_bit_identical_all_workloads(cache_env):
+    """Every registered workload, slices off and on, through one
+    matrix: the window-parallel aggregates equal the ``window_jobs=1``
+    oracle field-for-field (``dataclasses.asdict``, nothing masked)."""
+    matrix = [
+        sampled(name, mode)
+        for name in sorted(registry.WORKLOAD_BUILDERS)
+        for mode in ("base", "slice")
+    ]
+    serial = run_matrix(
+        matrix, jobs=1, cache=RunCache(enabled=False), window_jobs=1
+    )
+    parallel = run_matrix(
+        matrix, jobs=2, cache=RunCache(enabled=False), window_jobs=2
+    )
+    for request, want, got in zip(matrix, serial, parallel):
+        assert same_stats(want, got), (request.workload, request.mode)
+        assert got.sample_regions >= 1
+
+
+def test_window_parallel_halt_drop_matches_serial(cache_env):
+    """A chain that halts mid-schedule drops the tail windows at
+    assembly exactly as the serial loop never runs them (mcf@0.2 halts
+    at ~11.1k dynamic instructions; the depth-15k window overshoots)."""
+    request = sampled(
+        "mcf", "base", scale=0.2, sample=500,
+        sample_regions=4, sample_period=5_000,
+    )
+    serial = run_matrix(
+        [request], jobs=1, cache=RunCache(enabled=False), window_jobs=1
+    )[0]
+    report = run_matrix(
+        [request],
+        jobs=2,
+        cache=RunCache(enabled=False),
+        window_jobs=2,
+        return_report=True,
+    )
+    outcome = report.outcomes[0]
+    assert same_stats(serial, outcome.stats)
+    assert serial.sample_regions == 3  # the depth-15k window was dropped
+    # The parallel explosion still *scheduled* (and measured) all four
+    # windows — the drop is an assembly decision, not a scheduling one.
+    assert outcome.windows == 4
+
+
+# ----------------------------------------------------------------------
+# Per-window cache reuse: the 8 -> 10 region re-sweep
+# ----------------------------------------------------------------------
+
+
+def test_resweep_answers_shared_windows_from_cache(cache_env):
+    """Re-running a sweep with 10 regions after an 8-region run
+    recomputes only the 2 new windows: the parent fingerprints differ
+    (so the run cache misses) but the 8 shared windows hit the
+    ``windows`` namespace."""
+    cache = RunCache(cache_env)
+    eight = sampled(
+        "mcf", "base", scale=0.2, sample=300,
+        sample_regions=8, sample_period=1_000,
+    )
+    first = run_matrix(
+        [eight], jobs=2, cache=cache, window_jobs=2, return_report=True
+    )
+    assert first.outcomes[0].windows == 8
+    assert first.window_hits == 0
+
+    ten = dataclasses.replace(eight, sample_regions=10)
+    second = run_matrix(
+        [ten], jobs=2, cache=cache, window_jobs=2, return_report=True
+    )
+    outcome = second.outcomes[0]
+    assert outcome.status == "ok"
+    assert outcome.windows == 10
+    assert outcome.window_hits == 8  # only the 2 new depths were measured
+
+    # The reassembled aggregate is still the serial oracle's, exactly.
+    oracle = run_matrix(
+        [ten], jobs=1, cache=RunCache(enabled=False), window_jobs=1
+    )[0]
+    assert same_stats(oracle, outcome.stats)
+
+    # An exact re-run is a parent-level run-cache hit: no windows at all.
+    third = run_matrix(
+        [ten], jobs=2, cache=cache, window_jobs=2, return_report=True
+    )
+    assert third.outcomes[0].status == "cached"
+    assert third.windows == 0
+
+
+def test_window_fingerprint_ignores_schedule_shape():
+    """Window keys must be shared across schedules: the same depth in
+    an 8-region and a 10-region request is the same cache entry, while
+    depth / measured-window changes produce distinct keys."""
+    eight = sampled("mcf", "base", sample_regions=8)
+    ten = dataclasses.replace(eight, sample_regions=10)
+    assert window_fingerprint(eight, 3_000) == window_fingerprint(ten, 3_000)
+    assert window_fingerprint(eight, 3_000) != window_fingerprint(eight, 4_500)
+    longer = dataclasses.replace(eight, sample=400)
+    assert window_fingerprint(eight, 3_000) != window_fingerprint(longer, 3_000)
+
+
+def test_window_request_is_single_window_oracle(cache_env):
+    """Executing a derived window request is bit-identical to the
+    serial loop's iteration at that depth (same snapshot key, same
+    warmup/region pair)."""
+    request = sampled("gzip", "base", scale=0.1, sample_period=2_000)
+    execute_request(request)  # build the chain once: both arms warm
+    depths = window_depths(request)
+    per_window = [execute_request(window_request(request, d)) for d in depths]
+    from repro.harness.parallel import assemble_window_stats
+
+    assembled = assemble_window_stats(per_window, depths)
+    serial = execute_request(request)
+    assert same_stats(assembled, serial)
+
+
+# ----------------------------------------------------------------------
+# Knob resolution
+# ----------------------------------------------------------------------
+
+
+def test_resolve_window_jobs_precedence(monkeypatch):
+    monkeypatch.delenv("REPRO_WINDOW_JOBS", raising=False)
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_window_jobs(None) == 3  # falls back to worker count
+    assert resolve_window_jobs(1) == 1  # explicit serial escape hatch
+    assert resolve_window_jobs(5) == 5
+    monkeypatch.setenv("REPRO_WINDOW_JOBS", "7")
+    assert resolve_window_jobs(None) == 7  # env (the --window-jobs flag)
+    assert resolve_window_jobs(2) == 2  # explicit arg wins over env
+
+
+def test_window_jobs_is_not_part_of_the_fingerprint():
+    """``window_jobs`` is execution strategy, not experiment identity:
+    it is not a RunRequest field, so fingerprints cannot depend on it."""
+    assert "window_jobs" not in {
+        f.name for f in dataclasses.fields(RunRequest)
+    }
+
+
+# ----------------------------------------------------------------------
+# Chaos: a worker crash mid-window
+# ----------------------------------------------------------------------
+
+
+def test_window_crash_consumes_retry_and_converges(cache_env):
+    """A worker killed while measuring one window (os._exit mid-pool)
+    consumes retry budget and the matrix still converges to the
+    undisturbed serial aggregate, attempts accounted."""
+    request = sampled(
+        "mcf", "base", scale=0.2, sample=300,
+        sample_regions=3, sample_period=1_000,
+    )
+    units = window_schedule(request)
+    plan = FaultPlan.targeting({(units[1], 0): FaultKind.CRASH})
+    report = run_matrix(
+        [request],
+        jobs=2,
+        cache=RunCache(enabled=False),
+        window_jobs=2,
+        retries=1,
+        backoff_base=0.01,
+        fault_plan=plan,
+        return_report=True,
+    )
+    outcome = report.outcomes[0]
+    assert outcome.status == "ok"
+    assert report.pool_respawns >= 1
+    assert report.retries >= 1
+    # The crashed window was charged its retry on top of each window's
+    # first attempt (crash attribution may charge in-flight siblings
+    # too, so this is a floor, not an equality).
+    assert outcome.attempts >= len(units) + 1
+    undisturbed = run_matrix(
+        [request], jobs=1, cache=RunCache(enabled=False), window_jobs=1
+    )[0]
+    assert same_stats(undisturbed, outcome.stats)
+
+
+def test_window_crash_exhausting_retries_skips_parent(cache_env):
+    """A window that crashes on every attempt fails its parent request
+    under on_error='skip' — the hole is visible, never silent."""
+    request = sampled(
+        "mcf", "base", scale=0.2, sample=300,
+        sample_regions=3, sample_period=1_000,
+    )
+    units = window_schedule(request)
+    plan = FaultPlan.targeting({
+        (units[2], 0): FaultKind.CRASH,
+        (units[2], 1): FaultKind.CRASH,
+    })
+    report = run_matrix(
+        [request],
+        jobs=2,
+        cache=RunCache(enabled=False),
+        window_jobs=2,
+        retries=1,
+        backoff_base=0.01,
+        on_error="skip",
+        fault_plan=plan,
+        return_report=True,
+    )
+    outcome = report.outcomes[0]
+    assert outcome.status == "skipped"
+    assert outcome.stats is None
+    assert outcome.error
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+
+def test_parser_accepts_window_jobs():
+    from repro.harness import cli
+
+    args = cli.build_parser().parse_args(["table3", "--window-jobs", "8"])
+    assert args.window_jobs == 8
+
+
+def test_window_jobs_flag_mirrors_to_env(monkeypatch, tmp_path):
+    from repro.harness import cli
+
+    monkeypatch.setenv("REPRO_WINDOW_JOBS", "stale")
+    monkeypatch.delenv("REPRO_WINDOW_JOBS")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert cli.main(["snapshot", "ls", "--window-jobs", "4"]) == 0
+    assert os.environ["REPRO_WINDOW_JOBS"] == "4"
+
+
+def test_cache_clear_covers_windows(cache_env, capsys):
+    from repro.harness import cli
+
+    cache = RunCache(cache_env)
+    request = sampled("gzip", "base", scale=0.1, sample_period=2_000)
+    run_matrix([request], jobs=2, cache=cache, window_jobs=2)
+    windows = WindowCache(cache_env)
+    assert len(list(windows.entry_paths())) == 3
+    assert cli.main(["cache", "clear"]) == 0
+    out = capsys.readouterr().out
+    assert "3 window result(s)" in out
+    assert len(list(WindowCache(cache_env).entry_paths())) == 0
